@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Baseline Congested Clique APSP algorithms the paper compares against
+//! (Section 1.1's landscape), charged through the same simulator as the
+//! paper's algorithm so experiment E11's "who wins" table is
+//! apples-to-apples.
+//!
+//! * [`exact`] — exact APSP by repeated min-plus squaring, the algebraic
+//!   baseline of \[CKK+19\]-flavour. Distributed dense distance products cost
+//!   `Θ(n^(1/3))` rounds each (the Congested Clique matrix-multiplication
+//!   bound), and `⌈log₂ n⌉` squarings are needed.
+//! * [`spanner_only`] — the `O(1)`-round / `O(log n)`-approximation baseline
+//!   of [DFKL21; CZ22]: build a spanner, broadcast it, done. (This is also
+//!   the paper's bootstrap, re-exported here as a standalone baseline.)
+//! * [`doubling`] — the `O(log(hops))`-round k-nearest computation of
+//!   \[CDKL21\]-flavour (squaring the filtered matrix), the ablation baseline
+//!   for the paper's `O(i)`-round Lemma 5.2.
+
+pub mod doubling;
+pub mod exact;
+pub mod spanner_only;

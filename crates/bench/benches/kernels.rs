@@ -1,0 +1,120 @@
+//! Criterion wall-clock benchmarks for the core kernels: the *simulation
+//! cost* of each building block (rounds are measured by the `tables` bench;
+//! these measure how fast the simulator itself runs them).
+
+use cc_apsp::pipeline::{approximate_apsp, PipelineConfig};
+use cc_apsp::{hopset, knearest, skeleton, spanner};
+use cc_graph::generators::Family;
+use cc_graph::{apsp, sssp, NodeId, Weight};
+use cc_matrix::filtered::FilteredMatrix;
+use cc_matrix::sparse::{sparse_product, SparseMatrix};
+use clique_sim::routing::schedule_route;
+use clique_sim::{Bandwidth, Clique};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn workload(n: usize) -> cc_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    Family::Gnp.generate(n, n as u64, &mut rng)
+}
+
+fn bench_spanner(c: &mut Criterion) {
+    let g = workload(256);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("spanner/baswana_sen_k3_n256", |b| {
+        b.iter(|| black_box(spanner::baswana_sen(&g, 3, &mut rng)))
+    });
+}
+
+fn bench_hopset(c: &mut Criterion) {
+    let g = workload(256);
+    let delta = apsp::exact_apsp(&g);
+    c.bench_function("hopset/build_n256_k16", |b| {
+        b.iter(|| {
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            black_box(hopset::build_hopset(&mut clique, &g, &delta, 16))
+        })
+    });
+}
+
+fn bench_knearest(c: &mut Criterion) {
+    let g = workload(256);
+    c.bench_function("knearest/one_round_n256_k16_h2", |b| {
+        let abar = FilteredMatrix::from_graph(&g, 16);
+        b.iter(|| {
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            black_box(knearest::one_round(&mut clique, &abar, 2))
+        })
+    });
+}
+
+fn bench_skeleton(c: &mut Criterion) {
+    let g = workload(256);
+    let k = 16;
+    let rows: Vec<Vec<(NodeId, Weight)>> =
+        (0..g.n()).map(|u| sssp::k_nearest(&g, u, k)).collect();
+    let tilde = FilteredMatrix::from_rows(g.n(), k, rows);
+    c.bench_function("skeleton/build_n256_k16", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            black_box(skeleton::build_skeleton(&mut clique, &g, &tilde, &mut rng))
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = 512;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mk = |rng: &mut StdRng, per_row: usize| {
+        let rows = (0..n)
+            .map(|_| (0..per_row).map(|_| (rng.gen_range(0..n), rng.gen_range(0..1000u64))).collect())
+            .collect();
+        SparseMatrix::from_rows(n, rows)
+    };
+    let s = mk(&mut rng, 22);
+    let t = mk(&mut rng, 60);
+    c.bench_function("matmul/sparse_512_rho22x60", |b| {
+        b.iter(|| black_box(sparse_product(&s, &t, None)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let n = 128;
+    let mut rng = StdRng::seed_from_u64(4);
+    let msgs: Vec<(usize, usize, usize)> = (0..n)
+        .flat_map(|u| {
+            let mut rng = StdRng::seed_from_u64(u as u64);
+            (0..2 * n).map(move |_| (u, rng.gen_range(0..n), 1usize)).collect::<Vec<_>>()
+        })
+        .collect();
+    let _ = &mut rng;
+    c.bench_function("routing/schedule_n128_load2n", |b| {
+        b.iter(|| black_box(schedule_route(n, 1, &msgs)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let g = workload(128);
+    c.bench_function("pipeline/theorem_1_1_n128", |b| {
+        b.iter(|| black_box(approximate_apsp(&g, &PipelineConfig::default())))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = kernels;
+    config = configured();
+    targets = bench_spanner, bench_hopset, bench_knearest, bench_skeleton,
+              bench_matmul, bench_routing, bench_pipeline
+}
+criterion_main!(kernels);

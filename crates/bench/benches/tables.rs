@@ -1,0 +1,6 @@
+//! `cargo bench -p cc-bench --bench tables` — regenerates every experiment
+//! table and figure rendering (E1–E15). Set `FAST=1` for a quick smoke run.
+
+fn main() {
+    cc_bench::experiments::run_all();
+}

@@ -1,0 +1,51 @@
+//! APSP results: the estimate matrix plus its provenance.
+
+use cc_graph::DistMatrix;
+
+/// The output of an approximate-APSP run: the estimate δ, the guaranteed
+/// stretch bound that run's parameters imply, and the measured round costs.
+#[derive(Debug, Clone)]
+pub struct ApspResult {
+    /// The distance estimates; `estimate.get(u, v)` is δ(u, v).
+    pub estimate: DistMatrix,
+    /// The approximation factor guaranteed by the theorem instantiated with
+    /// this run's parameters (e.g. `7⁴·(1+ε)²` for Theorem 1.1).
+    pub stretch_bound: f64,
+    /// Total rounds charged by the simulator.
+    pub rounds: u64,
+    /// Per-phase round breakdown (top-level phases, first-seen order).
+    pub phase_rounds: Vec<(String, u64)>,
+}
+
+impl ApspResult {
+    /// Packages a result from a finished clique run.
+    pub fn from_run(
+        estimate: DistMatrix,
+        stretch_bound: f64,
+        clique: &clique_sim::Clique,
+    ) -> Self {
+        Self {
+            estimate,
+            stretch_bound,
+            rounds: clique.rounds(),
+            phase_rounds: clique.ledger().breakdown(),
+        }
+    }
+}
+
+impl std::fmt::Display for ApspResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "APSP estimate over {} nodes: bound {:.1}×, {} rounds",
+            self.estimate.n(),
+            self.stretch_bound,
+            self.rounds
+        )?;
+        for (phase, rounds) in &self.phase_rounds {
+            let name = if phase.is_empty() { "(top)" } else { phase };
+            writeln!(f, "  {name:<32} {rounds}")?;
+        }
+        Ok(())
+    }
+}

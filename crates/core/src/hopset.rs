@@ -1,0 +1,296 @@
+//! `√n`-nearest β-hopsets (Section 4, Lemma 3.2).
+//!
+//! Given an a-approximation δ of APSP, the `O(1)`-round algorithm below adds
+//! shortcut edges `H` such that in `G ∪ H` every node reaches each of its
+//! `√n`-nearest nodes by a path of at most `β ∈ O(a·log d)` hops whose length
+//! is the **exact** distance — turning an approximate input into an exact
+//! (low-hop) structure. Distances are preserved (`d_{G∪H} = d_G`) because
+//! every hopset edge's weight is the length of a real path.
+//!
+//! The algorithm (Section 4.1):
+//! 1. each node `v` picks its approximate k-nearest set `Ñ_k(v)` — the `k`
+//!    nodes with smallest `(δ(v,u), u)`;
+//! 2. `v` asks every `u ∈ Ñ_k(v)` for `u`'s `k` lightest outgoing edges;
+//! 3. `v` runs a shortest-path computation on the received edges plus its
+//!    own outgoing edges;
+//! 4. `v` adds a hopset edge `(v, u)` weighted by the locally computed
+//!    distance, for each `u ∈ Ñ_k(v)` it reached.
+
+use cc_graph::graph::{Direction, Graph, GraphBuilder};
+use cc_graph::{sssp, DistMatrix, NodeId, Weight, INF};
+use clique_sim::Clique;
+
+/// Output of [`build_hopset`].
+#[derive(Debug, Clone)]
+pub struct Hopset {
+    /// The hopset edges `H` (directed: `(v, u)` means `v` shortcuts to `u`).
+    pub hopset: Graph,
+    /// `G ∪ H`, with the same directedness as the input graph. For an
+    /// undirected input, each hopset edge is inserted undirected — its
+    /// weight is the length of a real path in `G`, which is symmetric.
+    pub combined: Graph,
+    /// `Ñ_k(v)` per node: the approximate k-nearest sets used (sorted by
+    /// `(δ, id)`).
+    pub tilde_sets: Vec<Vec<NodeId>>,
+    /// The `k` parameter (paper: `√n`).
+    pub k: usize,
+}
+
+/// Builds a `k`-nearest hopset from the a-approximation `delta`
+/// (Lemma 3.2; `k = ⌊√n⌋` reproduces the paper's statement).
+///
+/// Round charges: one round of requests, then the bulk transfer of Step 2.
+/// Each node receives `k² ≤ n` edge descriptions (2 words each); senders may
+/// duplicate content across requesters, which is exactly the situation
+/// Lemma 2.2 handles, so the charge uses the receive loads.
+///
+/// # Panics
+///
+/// Panics if `delta` has wrong dimensions or `k == 0`.
+pub fn build_hopset(clique: &mut Clique, g: &Graph, delta: &DistMatrix, k: usize) -> Hopset {
+    assert_eq!(delta.n(), g.n(), "δ dimension mismatch");
+    assert!(k >= 1, "k must be positive");
+    let n = g.n();
+    clique.phase("hopset", |clique| {
+        // Step 1 (local): Ñ_k(v) by (δ(v,u), u).
+        let tilde_sets: Vec<Vec<NodeId>> = (0..n)
+            .map(|v| {
+                let mut order: Vec<(Weight, NodeId)> =
+                    delta.row(v).iter().copied().enumerate().map(|(u, d)| (d, u)).collect();
+                order.sort_unstable();
+                order.into_iter().take(k).map(|(_, u)| u).collect()
+            })
+            .collect();
+
+        // Step 2: v requests the k lightest outgoing edges of each u ∈ Ñ_k(v).
+        // Requests: one word per (v, u) pair.
+        let mut req_send = vec![0usize; n];
+        let mut req_recv = vec![0usize; n];
+        for (v, set) in tilde_sets.iter().enumerate() {
+            req_send[v] += set.len();
+            for &u in set {
+                req_recv[u] += 1;
+            }
+        }
+        clique.charge_route_by_loads("hopset-requests", &req_send, &req_recv);
+
+        // Responses: u sends its k lightest out-edges (2 words each) to every
+        // requester. Content is identical for all requesters (Lemma 2.2
+        // redundancy), so the charge is driven by receive loads; the send
+        // loads record one copy per node.
+        let light: Vec<Vec<(NodeId, Weight)>> =
+            (0..n).map(|u| g.lightest_out_edges(u, k)).collect();
+        let mut resp_send = vec![0usize; n];
+        let mut resp_recv = vec![0usize; n];
+        for (v, set) in tilde_sets.iter().enumerate() {
+            for &u in set {
+                resp_recv[v] += 2 * light[u].len();
+            }
+        }
+        for (u, edges) in light.iter().enumerate() {
+            resp_send[u] = 2 * edges.len();
+        }
+        clique.charge_route_by_loads("hopset-edge-transfer", &resp_send, &resp_recv);
+
+        // Step 3 (local): shortest paths on received edges + own out-edges.
+        // Step 4: add hopset edges (v, u, d'(v, u)); one extra round informs
+        // the other endpoint (one message per hopset edge).
+        let mut hopset_b = GraphBuilder::directed(n);
+        let mut inform_send = vec![0usize; n];
+        let mut inform_recv = vec![0usize; n];
+        for v in 0..n {
+            let mut arcs: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+            for &u in &tilde_sets[v] {
+                for &(t, w) in &light[u] {
+                    arcs.push((u, t, w));
+                }
+            }
+            for (t, w) in g.neighbors(v) {
+                arcs.push((v, t, w));
+            }
+            let dist = sssp::dijkstra_arcs(n, &arcs, v);
+            for &u in &tilde_sets[v] {
+                if u != v && dist[u] < INF {
+                    hopset_b.add_edge(v, u, dist[u]);
+                    inform_send[v] += 3;
+                    inform_recv[u] += 3;
+                }
+            }
+        }
+        clique.charge_route_by_loads("hopset-inform-endpoints", &inform_send, &inform_recv);
+
+        let hopset = hopset_b.build();
+        let combined = match g.direction() {
+            Direction::Directed => g.union(&hopset),
+            Direction::Undirected => {
+                // Re-insert hopset arcs as undirected edges.
+                let mut b = GraphBuilder::undirected(n);
+                for (u, v, w) in g.edges() {
+                    b.add_edge(u, v, w);
+                }
+                for (u, v, w) in hopset.all_arcs() {
+                    b.add_edge(u, v, w);
+                }
+                b.build()
+            }
+        };
+        Hopset { hopset, combined, tilde_sets, k }
+    })
+}
+
+/// Measures the realized hop bound β of a hopset: the maximum, over every
+/// node `v` and every `u` in `v`'s **exact** `k`-nearest set, of the minimum
+/// number of hops of an exact-length `v → u` path in `G ∪ H`.
+///
+/// Also verifies distance preservation; returns `(beta, preserved)`.
+/// Experiment E4 compares β against the Lemma 3.2 bound `O(a·log d)`.
+pub fn measure_hop_bound(g: &Graph, hopset: &Hopset, k: usize) -> (usize, bool) {
+    let n = g.n();
+    let mut beta = 0usize;
+    let mut preserved = true;
+    for v in 0..n {
+        let exact = sssp::dijkstra(g, v);
+        let nearest = sssp::k_nearest_from_dists(&exact, k);
+        let combined_best = sssp::dijkstra_with_hops(&hopset.combined, v);
+        for (u, d) in nearest {
+            let (cd, hops) = combined_best[u];
+            if cd != d {
+                preserved = false;
+            }
+            if u != v {
+                beta = beta.max(hops);
+            }
+        }
+    }
+    (beta, preserved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::hopset_beta_bound;
+    use cc_graph::{apsp, generators, sssp::weighted_diameter};
+    use clique_sim::Bandwidth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clique_for(g: &Graph) -> Clique {
+        Clique::new(g.n(), Bandwidth::standard(g.n()))
+    }
+
+    /// A degraded a-approximation: exact distances multiplied by factors
+    /// cycling in [1, a].
+    fn degraded_estimate(g: &Graph, a: u64) -> DistMatrix {
+        let exact = apsp::exact_apsp(g);
+        let n = g.n();
+        let mut m = DistMatrix::infinite(n);
+        for u in 0..n {
+            for v in 0..n {
+                let d = exact.get(u, v);
+                if u != v && d < INF {
+                    let factor = 1 + (u * 31 + v * 17) as u64 % a;
+                    m.set(u, v, d * factor);
+                }
+            }
+        }
+        // Keep it symmetric, as a spanner-derived δ would be.
+        m.symmetrize_min();
+        m
+    }
+
+    #[test]
+    fn hopset_preserves_distances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp_connected(48, 0.12, 1..=30, &mut rng);
+        let delta = degraded_estimate(&g, 4);
+        let mut clique = clique_for(&g);
+        let h = build_hopset(&mut clique, &g, &delta, 7);
+        assert_eq!(apsp::exact_apsp(&g), apsp::exact_apsp(&h.combined));
+    }
+
+    #[test]
+    fn hop_bound_within_lemma_3_2() {
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::gnp_connected(40, 0.15, 1..=20, &mut rng);
+            let a = 3u64;
+            let delta = degraded_estimate(&g, a);
+            let k = (g.n() as f64).sqrt() as usize;
+            let mut clique = clique_for(&g);
+            let h = build_hopset(&mut clique, &g, &delta, k);
+            let (beta, preserved) = measure_hop_bound(&g, &h, k);
+            assert!(preserved, "seed={seed}: distances to k-nearest not preserved");
+            let bound = hopset_beta_bound(a as f64, weighted_diameter(&g));
+            assert!(beta <= bound, "seed={seed}: beta={beta} > bound={bound}");
+        }
+    }
+
+    #[test]
+    fn exact_input_gives_two_hop_paths() {
+        // With a = 1, Ñ_k(v) is the true k-nearest set and each target is
+        // reached optimally within at most 2 hops (one shortcut + one edge).
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp_connected(36, 0.2, 1..=15, &mut rng);
+        let delta = apsp::exact_apsp(&g);
+        let k = 6;
+        let mut clique = clique_for(&g);
+        let h = build_hopset(&mut clique, &g, &delta, k);
+        let (beta, preserved) = measure_hop_bound(&g, &h, k);
+        assert!(preserved);
+        assert!(beta <= 2, "beta = {beta}");
+    }
+
+    #[test]
+    fn path_graph_gets_logarithmically_short_paths() {
+        // On a path, the hopset must shortcut long stretches.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::path_with_chords(64, 0, 1..=1, &mut rng);
+        let delta = apsp::exact_apsp(&g);
+        let k = 8;
+        let mut clique = clique_for(&g);
+        let h = build_hopset(&mut clique, &g, &delta, k);
+        let (beta, preserved) = measure_hop_bound(&g, &h, k);
+        assert!(preserved);
+        assert!(beta <= 2, "exact input: beta = {beta}");
+    }
+
+    #[test]
+    fn charges_constant_rounds_for_sqrt_n_k() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::gnp_connected(100, 0.08, 1..=25, &mut rng);
+        let delta = degraded_estimate(&g, 3);
+        let k = 10; // √100
+        let mut clique = clique_for(&g);
+        build_hopset(&mut clique, &g, &delta, k);
+        // Receive load ≈ k² = n ⇒ O(1) rounds (constant small).
+        assert!(clique.rounds() <= 10, "rounds = {}", clique.rounds());
+    }
+
+    #[test]
+    fn tilde_sets_have_k_members_including_self() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = generators::gnp_connected(30, 0.2, 1..=9, &mut rng);
+        let delta = apsp::exact_apsp(&g);
+        let mut clique = clique_for(&g);
+        let h = build_hopset(&mut clique, &g, &delta, 5);
+        for (v, set) in h.tilde_sets.iter().enumerate() {
+            assert_eq!(set.len(), 5);
+            assert!(set.contains(&v), "Ñ_k({v}) must contain v (δ(v,v)=0)");
+        }
+    }
+
+    #[test]
+    fn directed_input_supported() {
+        // Lemma 3.2 holds for directed graphs; check distance preservation.
+        let g = Graph::from_edges(
+            5,
+            Direction::Directed,
+            &[(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 0, 2)],
+        );
+        let delta = apsp::exact_apsp(&g);
+        let mut clique = clique_for(&g);
+        let h = build_hopset(&mut clique, &g, &delta, 3);
+        assert_eq!(apsp::exact_apsp(&g), apsp::exact_apsp(&h.combined));
+        assert_eq!(h.combined.direction(), Direction::Directed);
+    }
+}

@@ -1,0 +1,479 @@
+//! Fast computation of the k-nearest nodes (Section 5).
+//!
+//! Lemma 5.1: for `k ∈ O(n^(1/h))`, every node can learn its `k` nearest
+//! nodes **under h-hop distances** in `O(1)` rounds. Iterating (Lemma 5.2)
+//! gives `h^i`-hop k-nearest in `O(i)` rounds, and applying that to `G ∪ H`
+//! for a k-nearest `h^i`-hopset `H` yields exact k-nearest distances
+//! (Lemma 3.3).
+//!
+//! The engine is *filtered matrix multiplication*: keep only the `k` smallest
+//! entries per row (`Ā`, see [`cc_matrix::filtered`]) — Lemma 5.5 shows
+//! filtering commutes with tropical powers. The distributed algorithm
+//! (Section 5.2):
+//!
+//! 1. every node contributes its filtered row to a global ordered list `M`
+//!    of `nk` arcs;
+//! 2. `M` is cut into `p = ⌊n^(1/h)·h/4⌋` contiguous **bins**;
+//! 3. each of the `h·C(p,h) ≤ n` **h-combinations** (an ordered first bin
+//!    plus `h−1` unordered others) is assigned to a node, which learns all
+//!    arcs in its bins;
+//! 4. a combination node computes, for every node `u` owning an arc in its
+//!    *first* bin, the `k` nearest nodes within `h` hops over its arcs, and
+//!    sends them to `u`; `u` merges the responses.
+//!
+//! Every `≤h`-hop path's arcs live in some combination whose first bin holds
+//! the path's first arc (owned by the path's source), so the merge recovers
+//! exactly `filter_k(Ā^h)` (Lemma 5.4).
+
+use cc_graph::{wadd, Graph, NodeId, Weight, INF};
+use cc_matrix::filtered::{select_k_smallest, FilteredMatrix};
+use clique_sim::Clique;
+
+/// The bin/combination geometry for one invocation of Lemma 5.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinPlan {
+    /// Number of bins `p`.
+    pub bins: usize,
+    /// Bin size `s = ⌈nk/p⌉` (positions per bin).
+    pub bin_size: usize,
+    /// All h-combinations: `(first_bin, other_bins)`; index = assigned node.
+    pub combinations: Vec<(usize, Vec<usize>)>,
+}
+
+/// Computes the bin plan, shrinking `p` if needed so the combination count
+/// fits in `n` (the paper proves `h·C(p,h) ≤ n` for `p = ⌊n^(1/h)·h/4⌋`; the
+/// shrink only triggers at tiny `n`). Returns `None` when the preconditions
+/// cannot be met (`p < h` or bin size ≤ k), in which case callers fall back
+/// to broadcasting (the paper's remark: those cases force `k ∈ O(1)`).
+pub fn plan_bins(n: usize, k: usize, h: usize) -> Option<BinPlan> {
+    assert!(h >= 1 && k >= 1 && n >= 1);
+    let mut p = ((n as f64).powf(1.0 / h as f64) * h as f64 / 4.0).floor() as usize;
+    loop {
+        if p < h {
+            return None;
+        }
+        match combination_count(p, h, n as u128) {
+            Some(count) if count <= n as u128 => break,
+            _ => p -= 1,
+        }
+    }
+    let bin_size = (n * k).div_ceil(p);
+    if bin_size <= k {
+        return None;
+    }
+    let mut combinations = Vec::new();
+    let mut rest = Vec::with_capacity(h.saturating_sub(1));
+    for first in 0..p {
+        enumerate_subsets(p, first, h - 1, 0, &mut rest, &mut combinations);
+    }
+    Some(BinPlan { bins: p, bin_size, combinations })
+}
+
+/// `h · C(p, h) = p · C(p-1, h-1)`, capped at `limit+1` to avoid overflow.
+fn combination_count(p: usize, h: usize, limit: u128) -> Option<u128> {
+    if h == 0 || p < h {
+        return Some(0);
+    }
+    // p * C(p-1, h-1)
+    let mut count: u128 = p as u128;
+    let (mut num, mut den) = (1u128, 1u128);
+    for j in 0..(h - 1) {
+        num = num.checked_mul((p - 1 - j) as u128)?;
+        den = den.checked_mul((j + 1) as u128)?;
+        if num / den > limit.saturating_mul(2) {
+            return None; // far beyond any usable count
+        }
+    }
+    count = count.checked_mul(num / den)?;
+    Some(count)
+}
+
+fn enumerate_subsets(
+    p: usize,
+    first: usize,
+    remaining: usize,
+    start: usize,
+    rest: &mut Vec<usize>,
+    out: &mut Vec<(usize, Vec<usize>)>,
+) {
+    if remaining == 0 {
+        out.push((first, rest.clone()));
+        return;
+    }
+    for b in start..p {
+        if b == first {
+            continue;
+        }
+        rest.push(b);
+        enumerate_subsets(p, first, remaining - 1, b + 1, rest, out);
+        rest.pop();
+    }
+}
+
+/// Scratch buffers for hop-limited Bellman–Ford reused across sources.
+struct BfScratch {
+    cur: Vec<Weight>,
+    next: Vec<Weight>,
+    touched: Vec<NodeId>,
+}
+
+impl BfScratch {
+    fn new(n: usize) -> Self {
+        Self { cur: vec![INF; n], next: vec![INF; n], touched: Vec::new() }
+    }
+
+    /// Exact `≤h`-hop distances from `src` over `arcs`; returns the `k`
+    /// smallest `(node, dist)` by `(dist, node)`.
+    fn k_nearest_h_hops(
+        &mut self,
+        arcs: &[(NodeId, NodeId, Weight)],
+        src: NodeId,
+        h: usize,
+        k: usize,
+    ) -> Vec<(NodeId, Weight)> {
+        self.cur[src] = 0;
+        self.next[src] = 0;
+        self.touched.push(src);
+        for _ in 0..h {
+            let mut changed = false;
+            for &(u, v, w) in arcs {
+                let du = self.cur[u];
+                if du >= INF {
+                    continue;
+                }
+                let cand = wadd(du, w);
+                if cand < self.next[v] {
+                    if self.next[v] == INF && self.cur[v] == INF {
+                        self.touched.push(v);
+                    }
+                    self.next[v] = cand;
+                    changed = true;
+                }
+            }
+            for &t in &self.touched {
+                self.cur[t] = self.next[t];
+            }
+            if !changed {
+                break;
+            }
+        }
+        let result =
+            select_k_smallest(self.touched.iter().map(|&t| (t, self.cur[t])), k);
+        for &t in &self.touched {
+            self.cur[t] = INF;
+            self.next[t] = INF;
+        }
+        self.touched.clear();
+        result
+    }
+}
+
+/// One application of Lemma 5.1: from the filtered matrix `abar` (= `Ā`),
+/// computes `filter_k(Ā^h)` — each node's `k` nearest under `h`-hop
+/// distances of `Ā` — in `O(1)` charged rounds.
+pub fn one_round(clique: &mut Clique, abar: &FilteredMatrix, h: usize) -> FilteredMatrix {
+    let n = abar.n();
+    let k = abar.k();
+    assert_eq!(clique.n(), n, "clique size must match matrix dimension");
+    clique.phase("knearest-round", |clique| match plan_bins(n, k, h) {
+        Some(plan) => one_round_binned(clique, abar, h, &plan),
+        None => one_round_broadcast(clique, abar, h),
+    })
+}
+
+/// Fallback for the degenerate parameter regimes (`p < h` or bin ≤ k, both
+/// forcing `k ∈ O(1)`): every node broadcasts its `k` arcs and computes its
+/// row locally. Charge: all-broadcast of `2k` words per node.
+fn one_round_broadcast(clique: &mut Clique, abar: &FilteredMatrix, h: usize) -> FilteredMatrix {
+    let n = abar.n();
+    let k = abar.k();
+    let per_node: Vec<usize> = (0..n).map(|u| 2 * abar.row(u).len()).collect();
+    clique.broadcast_all("knearest-fallback-broadcast", &per_node);
+    let arcs: Vec<(NodeId, NodeId, Weight)> = abar.arcs().collect();
+    let mut scratch = BfScratch::new(n);
+    let rows: Vec<Vec<(NodeId, Weight)>> =
+        (0..n).map(|u| scratch.k_nearest_h_hops(&arcs, u, h, k)).collect();
+    FilteredMatrix::from_rows(n, k, rows)
+}
+
+fn one_round_binned(
+    clique: &mut Clique,
+    abar: &FilteredMatrix,
+    h: usize,
+    plan: &BinPlan,
+) -> FilteredMatrix {
+    let n = abar.n();
+    let k = abar.k();
+    let s = plan.bin_size;
+
+    // Global list M: rows padded to exactly k entries with (u, u, 0)
+    // self-arcs (harmless zero self-loops) so positions are computable.
+    let mut m_list: Vec<(NodeId, NodeId, Weight)> = Vec::with_capacity(n * k);
+    for u in 0..n {
+        let row = abar.row(u);
+        for &(v, w) in row {
+            m_list.push((u, v, w));
+        }
+        for _ in row.len()..k {
+            m_list.push((u, u, 0));
+        }
+    }
+
+    // --- Step 3 charge: combination nodes learn their bins. ---
+    // copies[j] = how many combinations include bin j.
+    let mut copies = vec![0usize; plan.bins];
+    for (first, rest) in &plan.combinations {
+        copies[*first] += 1;
+        for &b in rest {
+            copies[b] += 1;
+        }
+    }
+    let mut send = vec![0usize; n];
+    let mut recv = vec![0usize; n];
+    for (j, &c) in copies.iter().enumerate() {
+        let lo = j * s;
+        let hi = ((j + 1) * s).min(n * k);
+        for pos in lo..hi {
+            send[pos / k] += 2 * c;
+        }
+    }
+    for (idx, (first, rest)) in plan.combinations.iter().enumerate() {
+        let mut words = 0;
+        for &b in std::iter::once(first).chain(rest.iter()) {
+            let lo = b * s;
+            let hi = ((b + 1) * s).min(n * k);
+            words += 2 * (hi - lo);
+        }
+        recv[idx] += words;
+    }
+    clique.charge_route_by_loads("knearest-bin-transfer", &send, &recv);
+
+    // --- Local work at each combination node + Step 4 response charge. ---
+    let mut responses: Vec<Vec<(NodeId, Weight)>> = vec![Vec::new(); n];
+    let mut resp_send = vec![0usize; n];
+    let mut resp_recv = vec![0usize; n];
+    let mut scratch = BfScratch::new(n);
+    let mut arcs: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+    for (idx, (first, rest)) in plan.combinations.iter().enumerate() {
+        arcs.clear();
+        for &b in std::iter::once(first).chain(rest.iter()) {
+            let lo = b * s;
+            let hi = ((b + 1) * s).min(n * k);
+            arcs.extend_from_slice(&m_list[lo..hi]);
+        }
+        // Sources: owners of positions in the first bin.
+        let lo = first * s;
+        let hi = ((first + 1) * s).min(n * k);
+        if lo >= hi {
+            continue;
+        }
+        let src_lo = lo / k;
+        let src_hi = (hi - 1) / k;
+        for u in src_lo..=src_hi {
+            let found = scratch.k_nearest_h_hops(&arcs, u, h, k);
+            resp_send[idx] += 2 * found.len();
+            resp_recv[u] += 2 * found.len();
+            responses[u].extend(found);
+        }
+    }
+    clique.charge_route_by_loads("knearest-responses", &resp_send, &resp_recv);
+
+    // --- Merge at each node: own row ∪ responses, keep k smallest. ---
+    let rows: Vec<Vec<(NodeId, Weight)>> = (0..n)
+        .map(|u| {
+            let own = abar.row(u).iter().copied();
+            select_k_smallest(own.chain(responses[u].iter().copied()), k)
+        })
+        .collect();
+    FilteredMatrix::from_rows(n, k, rows)
+}
+
+/// Lemma 5.2: `i` applications of [`one_round`], yielding each node's `k`
+/// nearest under `h^i`-hop distances, in `O(i)` charged rounds.
+pub fn iterated(
+    clique: &mut Clique,
+    start: &FilteredMatrix,
+    h: usize,
+    iterations: usize,
+) -> FilteredMatrix {
+    let mut cur = start.clone();
+    for _ in 0..iterations {
+        cur = one_round(clique, &cur, h);
+    }
+    cur
+}
+
+/// Lemma 3.3: given `G ∪ H` for a k-nearest `h^i`-hopset `H`, computes each
+/// node's **exact** distances to its `k` nearest nodes in `O(i)` rounds.
+///
+/// The returned rows are `(node, exact distance)` sorted by
+/// `(distance, id)`; row `u` contains `u` itself at distance 0.
+pub fn k_nearest_exact(
+    clique: &mut Clique,
+    combined: &Graph,
+    k: usize,
+    h: usize,
+    iterations: usize,
+) -> FilteredMatrix {
+    let start = FilteredMatrix::from_graph(combined, k);
+    iterated(clique, &start, h, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::graph::Direction;
+    use cc_graph::{generators, sssp};
+    use cc_matrix::dense::adjacency_matrix;
+    use cc_matrix::filtered::filtered_power_reference;
+    use clique_sim::Bandwidth;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clique_for(n: usize) -> Clique {
+        Clique::new(n, Bandwidth::standard(n))
+    }
+
+    fn random_digraph(n: usize, p: f64, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(p) {
+                    edges.push((u, v, rng.gen_range(1..40u64)));
+                }
+            }
+        }
+        Graph::from_edges(n, Direction::Directed, &edges)
+    }
+
+    #[test]
+    fn plan_bins_combination_count_fits_n() {
+        for (n, k, h) in [(1024, 32, 2), (1024, 10, 3), (256, 16, 2), (4096, 8, 4)] {
+            if let Some(plan) = plan_bins(n, k, h) {
+                assert!(plan.combinations.len() <= n, "n={n} k={k} h={h}");
+                assert!(plan.bins >= h);
+                assert!(plan.bin_size > k);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_bins_none_for_degenerate_params() {
+        // Tiny n with big h: p < h.
+        assert!(plan_bins(8, 2, 5).is_none());
+    }
+
+    #[test]
+    fn combinations_are_distinct_and_well_formed() {
+        let plan = plan_bins(512, 22, 2).expect("plan");
+        let mut seen = std::collections::HashSet::new();
+        for (first, rest) in &plan.combinations {
+            assert!(!rest.contains(first));
+            let mut sorted = rest.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, rest, "rest must be sorted (canonical)");
+            assert!(seen.insert((*first, rest.clone())), "duplicate combination");
+        }
+    }
+
+    /// Lemma 5.1: the distributed algorithm computes exactly filter_k(Ā^h).
+    #[test]
+    fn one_round_matches_filtered_power() {
+        for seed in 0..4 {
+            let n = 60;
+            let k = 5;
+            let h = 2;
+            let g = random_digraph(n, 0.15, seed);
+            let abar = FilteredMatrix::from_graph(&g, k);
+            let mut clique = clique_for(n);
+            let out = one_round(&mut clique, &abar, h);
+            let expect = filtered_power_reference(&abar.to_dense(), k, h as u64);
+            assert_eq!(out, expect, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn one_round_broadcast_fallback_matches_reference() {
+        let n = 30;
+        let k = 2;
+        let h = 6; // forces fallback: p < h at this n
+        assert!(plan_bins(n, k, h).is_none());
+        let g = random_digraph(n, 0.2, 9);
+        let abar = FilteredMatrix::from_graph(&g, k);
+        let mut clique = clique_for(n);
+        let out = one_round(&mut clique, &abar, h);
+        let expect = filtered_power_reference(&abar.to_dense(), k, h as u64);
+        assert_eq!(out, expect);
+    }
+
+    /// Lemma 5.2 + Lemma 5.5: i iterations give filter_k(A^(h^i)).
+    #[test]
+    fn iterated_matches_power_of_original_matrix() {
+        let n = 48;
+        let k = 4;
+        let h = 2;
+        let i = 3; // h^i = 8 hops
+        let g = random_digraph(n, 0.12, 5);
+        let start = FilteredMatrix::from_graph(&g, k);
+        let mut clique = clique_for(n);
+        let out = iterated(&mut clique, &start, h, i);
+        let a = adjacency_matrix(&g);
+        let expect = filtered_power_reference(&a, k, (h as u64).pow(i as u32));
+        assert_eq!(out, expect);
+    }
+
+    /// Lemma 3.3: with enough hops, rows hold exact k-nearest distances.
+    #[test]
+    fn k_nearest_exact_matches_dijkstra() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp_connected(50, 0.1, 1..=25, &mut rng);
+        let k = 6;
+        // Any k-nearest node is within k hops; h=2, i=ceil(log2 k)=3 ⇒ 8 ≥ 6.
+        let mut clique = clique_for(g.n());
+        let out = k_nearest_exact(&mut clique, &g, k, 2, 3);
+        for u in 0..g.n() {
+            let expect = sssp::k_nearest(&g, u, k);
+            assert_eq!(out.row(u), &expect[..], "node {u}");
+        }
+    }
+
+    #[test]
+    fn rounds_scale_linearly_in_iterations() {
+        let g = random_digraph(64, 0.1, 8);
+        let start = FilteredMatrix::from_graph(&g, 4);
+        let mut c1 = clique_for(64);
+        iterated(&mut c1, &start, 2, 1);
+        let mut c3 = clique_for(64);
+        iterated(&mut c3, &start, 2, 3);
+        assert!(c3.rounds() <= 3 * c1.rounds() + 3);
+        assert!(c3.rounds() >= c1.rounds());
+    }
+
+    #[test]
+    fn per_node_receive_load_is_linear() {
+        // The lemma's requirement: every routing step has O(n) receive load.
+        let n = 256;
+        let k = 16; // = n^(1/2)
+        let g = random_digraph(n, 0.05, 4);
+        let abar = FilteredMatrix::from_graph(&g, k);
+        let mut clique = clique_for(n);
+        let plan = plan_bins(n, k, 2).expect("plan exists");
+        let out = one_round_binned(&mut clique, &abar, 2, &plan);
+        assert_eq!(out.n(), n);
+        // Check ledger: each routing event charged O(1) rounds for n-load.
+        for ev in clique.ledger().events() {
+            assert!(ev.rounds <= 16, "event {} charged {} rounds", ev.label, ev.rounds);
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero_in_output() {
+        let g = random_digraph(40, 0.1, 6);
+        let mut clique = clique_for(40);
+        let out = k_nearest_exact(&mut clique, &g, 4, 2, 2);
+        for u in 0..40 {
+            assert!(out.row(u).contains(&(u, 0)), "node {u} missing (u, 0)");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Distance oracles and greedy routing — the network-routing application
+//! that motivates APSP in the Congested Clique (Section 1: "particularly
+//! important in distributed computing due to its close connection to
+//! network routing").
+//!
+//! After an APSP run, each node knows an estimate row δ(u, ·). A
+//! [`DistanceOracle`] wraps the estimate together with the graph and
+//! supports *greedy next-hop routing*: from `u` toward `v`, forward to the
+//! neighbor minimizing `w(u, x) + δ(x, v)`. With exact distances this
+//! follows a shortest path; with an α-approximation the detour is bounded
+//! in practice (measured by [`DistanceOracle::routing_quality`]).
+
+use cc_graph::{wadd, DistMatrix, Graph, NodeId, Weight, INF};
+
+/// A queryable distance oracle backed by an APSP estimate.
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    graph: Graph,
+    estimate: DistMatrix,
+}
+
+/// Outcome of routing a batch of random queries through the oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingQuality {
+    /// Queries attempted (connected pairs only).
+    pub attempted: usize,
+    /// Queries whose greedy walk reached the target.
+    pub delivered: usize,
+    /// Mean ratio of walked length to true distance, over delivered
+    /// queries.
+    pub mean_route_stretch: f64,
+    /// Max ratio of walked length to true distance.
+    pub max_route_stretch: f64,
+}
+
+impl DistanceOracle {
+    /// Wraps a graph and an estimate of its APSP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn new(graph: Graph, estimate: DistMatrix) -> Self {
+        assert_eq!(graph.n(), estimate.n(), "oracle estimate dimension mismatch");
+        Self { graph, estimate }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The distance estimate δ(u, v).
+    pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
+        self.estimate.get(u, v)
+    }
+
+    /// The greedy next hop from `u` toward `v`: the neighbor `x` minimizing
+    /// `(w(u,x) + δ(x,v), x)`, or `None` if `u` is isolated or every
+    /// neighbor estimates `v` as unreachable.
+    pub fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        self.graph
+            .neighbors(u)
+            .map(|(x, w)| (wadd(w, self.estimate.get(x, v)), x))
+            .filter(|&(cost, _)| cost < INF)
+            .min()
+            .map(|(_, x)| x)
+    }
+
+    /// Routes greedily from `u` to `v`: at each step, forward to the best
+    /// **unvisited** neighbor by `w(u,x) + δ(x,v)` (excluding visited nodes
+    /// guarantees termination even when the approximate estimate would
+    /// create a loop). Gives up when stuck; returns the node sequence on
+    /// success.
+    pub fn route(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.graph.n();
+        let mut path = vec![u];
+        let mut visited = vec![false; n];
+        visited[u] = true;
+        let mut cur = u;
+        while cur != v {
+            if path.len() > n {
+                return None;
+            }
+            let next = self
+                .graph
+                .neighbors(cur)
+                .filter(|&(x, _)| !visited[x])
+                .map(|(x, w)| (wadd(w, self.estimate.get(x, v)), x))
+                .filter(|&(cost, _)| cost < INF)
+                .min()
+                .map(|(_, x)| x)?;
+            visited[next] = true;
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+
+    /// Measures greedy-routing quality over all ordered connected pairs of a
+    /// deterministic sample (every `stride`-th pair), comparing walked
+    /// length to exact distance.
+    pub fn routing_quality(&self, exact: &DistMatrix, stride: usize) -> RoutingQuality {
+        let n = self.graph.n();
+        let stride = stride.max(1);
+        let mut attempted = 0;
+        let mut delivered = 0;
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        let mut counter = 0usize;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v || exact.get(u, v) >= INF {
+                    continue;
+                }
+                counter += 1;
+                if counter % stride != 0 {
+                    continue;
+                }
+                attempted += 1;
+                if let Some(path) = self.route(u, v) {
+                    let length: Weight = path
+                        .windows(2)
+                        .map(|p| self.graph.edge_weight(p[0], p[1]).expect("route uses real edges"))
+                        .sum();
+                    delivered += 1;
+                    let ratio = length as f64 / exact.get(u, v) as f64;
+                    sum += ratio;
+                    max = max.max(ratio);
+                }
+            }
+        }
+        RoutingQuality {
+            attempted,
+            delivered,
+            mean_route_stretch: if delivered > 0 { sum / delivered as f64 } else { 0.0 },
+            max_route_stretch: max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::graph::Direction;
+    use cc_graph::{apsp, generators};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometric(n: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_geometric(n, 0.3, 50, &mut rng)
+    }
+
+    #[test]
+    fn exact_oracle_routes_along_shortest_paths() {
+        let g = geometric(40, 1);
+        let exact = apsp::exact_apsp(&g);
+        let oracle = DistanceOracle::new(g.clone(), exact.clone());
+        let q = oracle.routing_quality(&exact, 7);
+        assert_eq!(q.attempted, q.delivered);
+        assert!((q.max_route_stretch - 1.0).abs() < 1e-9, "{q:?}");
+    }
+
+    #[test]
+    fn approximate_oracle_delivers_with_bounded_detour() {
+        let g = geometric(50, 2);
+        let exact = apsp::exact_apsp(&g);
+        let result = crate::pipeline::approximate_apsp(
+            &g,
+            &crate::pipeline::PipelineConfig { seed: 2, ..Default::default() },
+        );
+        let oracle = DistanceOracle::new(g, result.estimate);
+        let q = oracle.routing_quality(&exact, 5);
+        // Most queries should deliver, and detours stay modest on geometric
+        // graphs.
+        assert!(q.delivered * 10 >= q.attempted * 8, "{q:?}");
+        assert!(q.max_route_stretch < 20.0, "{q:?}");
+    }
+
+    #[test]
+    fn next_hop_none_for_isolated_node() {
+        let g = Graph::from_edges(3, Direction::Undirected, &[(0, 1, 1)]);
+        let exact = apsp::exact_apsp(&g);
+        let oracle = DistanceOracle::new(g, exact);
+        assert_eq!(oracle.next_hop(2, 0), None);
+        assert_eq!(oracle.route(2, 0), None);
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let g = geometric(10, 3);
+        let exact = apsp::exact_apsp(&g);
+        let oracle = DistanceOracle::new(g, exact);
+        assert_eq!(oracle.route(4, 4), Some(vec![4]));
+    }
+
+    #[test]
+    fn misleading_estimate_detected_as_loop_or_dead_end() {
+        // An estimate claiming everything is at distance 1 everywhere makes
+        // greedy routing walk to the ID-smallest neighbor forever; the
+        // visited-set guard must catch it rather than hang.
+        let g = Graph::from_edges(
+            4,
+            Direction::Undirected,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)],
+        );
+        let mut fake = DistMatrix::infinite(4);
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    fake.set(u, v, 1);
+                }
+            }
+        }
+        let oracle = DistanceOracle::new(g, fake);
+        // Routing may or may not succeed, but must terminate.
+        let _ = oracle.route(0, 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! APSP approximation in small weighted diameter graphs
+//! (Section 7.3, Theorem 7.1), plus Corollary 7.1.
+//!
+//! Pipeline: bootstrap an `O(log n)`-approximation from a spanner
+//! (Corollary 7.2), iterate the factor reduction of Lemma 3.1 while it is
+//! profitable (`15√a < a`, i.e. `a > 225` — at feasible n the bootstrap is
+//! already below this threshold, so the loop runs zero times unless forced;
+//! see `params`), then run the final `√n`-nearest stage:
+//! hopset → exact `√n`-nearest (h = 2) → skeleton → APSP on the skeleton —
+//! by 3-spanner broadcast in the standard model (21-approximation), or by
+//! broadcasting the whole skeleton graph in `Congested-Clique[log³n]`
+//! (7-approximation).
+
+use cc_graph::graph::Graph;
+use cc_graph::{apsp, DistMatrix};
+use clique_sim::Clique;
+use rand::rngs::StdRng;
+
+use crate::params::{
+    hopset_beta_bound, iterations_for_hops, REDUCTION_PROFITABLE_ABOVE,
+};
+use crate::reduction::{estimate_diameter, reduce_once};
+use crate::skeleton::{build_skeleton, extend_estimate, extension_bound};
+use crate::spanner::{baswana_sen, bootstrap_k, spanner_apsp_estimate, SPANNER_CONSTRUCTION_ROUNDS};
+use crate::{hopset, knearest};
+
+/// Configuration for [`small_diameter_apsp`].
+#[derive(Debug, Clone)]
+pub struct SmallDiamConfig {
+    /// Reduction policy: `None` = iterate while profitable then run the
+    /// final stage (Theorem 7.1); `Some(t)` = apply exactly `t` reductions
+    /// and return (the Lemma 8.2 round-limited variant used by
+    /// Theorem 1.2).
+    pub forced_reductions: Option<usize>,
+    /// Whether the final skeleton APSP may broadcast the entire skeleton
+    /// graph (the `Congested-Clique[log³n]` bullet of Theorem 7.1, giving a
+    /// 7- instead of 21-approximation). The broadcast is charged honestly
+    /// against the clique's actual bandwidth either way.
+    pub wide_bandwidth: bool,
+}
+
+impl Default for SmallDiamConfig {
+    fn default() -> Self {
+        Self { forced_reductions: None, wide_bandwidth: false }
+    }
+}
+
+/// Corollary 7.1: an APSP estimate for a *small* graph `gs` (a skeleton
+/// graph whose nodes map into the clique), made known to all nodes.
+///
+/// Builds a `(2b−1)`-spanner and broadcasts it — unless the graph itself is
+/// already no larger than its spanner would be, in which case the graph is
+/// broadcast directly (the degenerate `b = 1` case, exact distances).
+///
+/// Returns `(estimate over gs's node indices, stretch factor l)`.
+pub fn small_graph_apsp(
+    clique: &mut Clique,
+    gs: &Graph,
+    b: usize,
+    rng: &mut StdRng,
+) -> (DistMatrix, f64) {
+    clique.phase("skeleton-apsp", |clique| {
+        let ns = gs.n().max(1);
+        let spanner_size_estimate =
+            (b as f64) * (ns as f64).powf(1.0 + 1.0 / b as f64);
+        if b <= 1 || (gs.m() as f64) <= spanner_size_estimate {
+            // Broadcast the graph itself; every node computes exact APSP.
+            clique.broadcast_volume("broadcast-skeleton-graph", 3 * gs.m());
+            (apsp::exact_apsp(gs), 1.0)
+        } else {
+            let spanner = baswana_sen(gs, b, rng);
+            clique.charge("cz22-construct(cited O(1))", SPANNER_CONSTRUCTION_ROUNDS);
+            clique.broadcast_volume("broadcast-skeleton-spanner", 3 * spanner.m());
+            (apsp::exact_apsp(&spanner), (2 * b - 1) as f64)
+        }
+    })
+}
+
+/// The shared final stage (the Section 3.2 recipe, steps 2–6): from an
+/// a-approximation δ, build a `√n`-nearest hopset, compute exact
+/// `√n`-nearest sets with `h = 2` and `i = ⌈log₂ β⌉` iterations, reduce to
+/// a skeleton, solve it (3-spanner broadcast, or whole-graph broadcast when
+/// `wide`), and extend. Returns `(estimate, bound 7·l)`.
+fn sqrt_n_stage(
+    clique: &mut Clique,
+    g: &Graph,
+    delta: &DistMatrix,
+    a: f64,
+    wide_bandwidth: bool,
+    rng: &mut StdRng,
+) -> (DistMatrix, f64) {
+    let n = g.n();
+    let sqrt_n = ((n as f64).sqrt().floor() as usize).max(2);
+    let hs = hopset::build_hopset(clique, g, delta, sqrt_n);
+    let beta = hopset_beta_bound(a, estimate_diameter(delta));
+    let iterations = iterations_for_hops(2, beta);
+    let rows = knearest::k_nearest_exact(clique, &hs.combined, sqrt_n, 2, iterations);
+    let sk = build_skeleton(clique, g, &rows, rng);
+    let (delta_gs, l) = if wide_bandwidth {
+        // CC[log³n]: broadcast the entire skeleton graph.
+        clique.broadcast_volume("broadcast-skeleton-graph", 3 * sk.graph.m());
+        (apsp::exact_apsp(&sk.graph), 1.0)
+    } else {
+        small_graph_apsp(clique, &sk.graph, 2, rng)
+    };
+    let eta = extend_estimate(clique, &sk, &rows, &delta_gs);
+    (eta, extension_bound(l, 1.0))
+}
+
+/// The Section 3.2 algorithm: a 21-approximation of APSP on **general**
+/// weighted graphs in `O(log log n)` rounds (7-approximation with
+/// `wide_bandwidth`, per the Section 3.2 closing remark).
+///
+/// This is the paper's intermediate milestone before the
+/// `O(log log log n)` result: bootstrap an `O(log n)`-approximation, then
+/// run the `√n`-nearest stage directly — its `i = ⌈log₂ β⌉ ∈ O(log log n)`
+/// k-nearest iterations dominate the round count. No weighted-diameter
+/// assumption is needed.
+pub fn apsp_o_loglog(
+    clique: &mut Clique,
+    g: &Graph,
+    wide_bandwidth: bool,
+    rng: &mut StdRng,
+) -> (DistMatrix, f64) {
+    clique.phase("section-3.2", |clique| {
+        let boot = spanner_apsp_estimate(clique, g, bootstrap_k(g.n()), rng);
+        sqrt_n_stage(clique, g, &boot.estimate, boot.stretch_bound, wide_bandwidth, rng)
+    })
+}
+
+/// Theorem 7.1: APSP approximation for graphs of small weighted diameter.
+/// Returns `(estimate, guaranteed stretch bound)`.
+///
+/// In the standard model the bound is `7·l` with `l = 3` (21); with
+/// `wide_bandwidth` the skeleton graph is broadcast whole (`l = 1`, bound 7).
+pub fn small_diameter_apsp(
+    clique: &mut Clique,
+    g: &Graph,
+    cfg: &SmallDiamConfig,
+    rng: &mut StdRng,
+) -> (DistMatrix, f64) {
+    let n = g.n();
+    clique.phase("theorem-7.1", |clique| {
+        // Bootstrap: O(log n)-approximation (Corollary 7.2).
+        let boot = spanner_apsp_estimate(clique, g, bootstrap_k(n), rng);
+        let mut delta = boot.estimate;
+        let mut a = boot.stretch_bound;
+
+        // Reduction loop. After each step we keep the entrywise min of the
+        // old and new estimates — a zero-round local operation; both are
+        // valid overestimates, so the min inherits the *better* of the two
+        // guarantees. (Asymptotically each step improves a → 15√a; at
+        // finite n, where a starts below the profitability threshold, this
+        // keeps forced runs monotone.)
+        let step = |clique: &mut Clique, delta: &mut DistMatrix, a: &mut f64, rng: &mut StdRng| {
+            let out = reduce_once(clique, g, delta, *a, rng);
+            let mut est = out.estimate;
+            est.entrywise_min(delta);
+            *delta = est;
+            *a = a.min(out.bound).min(crate::reduction::reduction_bound(*a));
+        };
+        match cfg.forced_reductions {
+            Some(t) => {
+                for _ in 0..t {
+                    step(clique, &mut delta, &mut a, rng);
+                }
+                return (delta, a);
+            }
+            None => {
+                while a > REDUCTION_PROFITABLE_ABOVE {
+                    step(clique, &mut delta, &mut a, rng);
+                }
+            }
+        }
+
+        // Final stage: exact √n-nearest, skeleton, and skeleton APSP.
+        sqrt_n_stage(clique, g, &delta, a, cfg.wide_bandwidth, rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+    use clique_sim::Bandwidth;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_model_is_within_21() {
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::gnp_connected(70, 0.1, 1..=20, &mut rng);
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            let (est, bound) =
+                small_diameter_apsp(&mut clique, &g, &SmallDiamConfig::default(), &mut rng);
+            assert!(bound <= 21.0 + 1e-9, "bound = {bound}");
+            let exact = apsp::exact_apsp(&g);
+            let stats = est.stretch_vs(&exact);
+            assert!(stats.is_valid_approximation(bound), "seed={seed}: {stats}");
+        }
+    }
+
+    #[test]
+    fn wide_bandwidth_is_within_7() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnp_connected(60, 0.12, 1..=15, &mut rng);
+        let mut clique = Clique::new(g.n(), Bandwidth::polylog(3, g.n()));
+        let cfg = SmallDiamConfig { wide_bandwidth: true, ..Default::default() };
+        let (est, bound) = small_diameter_apsp(&mut clique, &g, &cfg, &mut rng);
+        assert!(bound <= 7.0 + 1e-9);
+        let exact = apsp::exact_apsp(&g);
+        let stats = est.stretch_vs(&exact);
+        assert!(stats.is_valid_approximation(bound), "{stats}");
+    }
+
+    #[test]
+    fn forced_reductions_return_after_t_steps() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp_connected(50, 0.15, 1..=10, &mut rng);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        let cfg = SmallDiamConfig { forced_reductions: Some(2), ..Default::default() };
+        let (est, bound) = small_diameter_apsp(&mut clique, &g, &cfg, &mut rng);
+        let exact = apsp::exact_apsp(&g);
+        let stats = est.stretch_vs(&exact);
+        assert!(stats.is_valid_approximation(bound), "{stats}");
+    }
+
+    #[test]
+    fn section_3_2_algorithm_is_valid_on_general_graphs() {
+        // No small-diameter assumption: wide weight spreads are fine.
+        for seed in [1u64, 4] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::wide_weight_gnp(64, 0.15, 18, &mut rng);
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            let (est, bound) = apsp_o_loglog(&mut clique, &g, false, &mut rng);
+            assert!(bound <= 21.0 + 1e-9, "bound = {bound}");
+            let exact = apsp::exact_apsp(&g);
+            let stats = est.stretch_vs(&exact);
+            assert!(stats.is_valid_approximation(bound), "seed={seed}: {stats}");
+        }
+    }
+
+    #[test]
+    fn section_3_2_wide_bandwidth_is_7_approx() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp_connected(72, 0.1, 1..=1000, &mut rng);
+        let mut clique = Clique::new(g.n(), Bandwidth::polylog(3, g.n()));
+        let (est, bound) = apsp_o_loglog(&mut clique, &g, true, &mut rng);
+        assert!(bound <= 7.0 + 1e-9);
+        let exact = apsp::exact_apsp(&g);
+        assert!(est.stretch_vs(&exact).is_valid_approximation(bound));
+    }
+
+    #[test]
+    fn small_graph_apsp_exact_when_tiny() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gs = generators::gnp_connected(20, 0.3, 1..=9, &mut rng);
+        let mut clique = Clique::new(64, Bandwidth::standard(64));
+        let (est, l) = small_graph_apsp(&mut clique, &gs, 2, &mut rng);
+        // 20-node graph: broadcasting it directly beats the spanner.
+        assert_eq!(l, 1.0);
+        assert_eq!(est, apsp::exact_apsp(&gs));
+    }
+
+    #[test]
+    fn rounds_stay_modest_as_n_grows() {
+        // The triple-log shape: round counts should be nearly flat in n.
+        let mut totals = Vec::new();
+        for n in [64usize, 128, 256] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let g = generators::gnp_connected(n, (8.0 / n as f64).min(0.3), 1..=20, &mut rng);
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            small_diameter_apsp(&mut clique, &g, &SmallDiamConfig::default(), &mut rng);
+            totals.push(clique.rounds());
+        }
+        // Allow drift but not linear growth: quadrupling n should not even
+        // double the rounds.
+        assert!(
+            totals[2] < totals[0] * 2 + 20,
+            "rounds grew too fast: {totals:?}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Spanners (Section 7.1) and the `O(log n)`-approximation bootstrap.
+//!
+//! The paper uses the constant-round spanner constructions of Chechik–Zhang
+//! \[CZ22\] (Lemma 7.1): a `(2k−1)`-spanner with `O(k·n^(1+1/k))` edges, or a
+//! `(1+ε)(2k−1)`-spanner with `O(n^(1+1/k))` edges, both in `O(1)` rounds.
+//!
+//! **Substitution (documented in DESIGN.md):** we implement the classic
+//! Baswana–Sen randomized construction, which produces a `(2k−1)`-spanner
+//! with `O(k·n^(1+1/k))` expected edges — the same stretch, with an extra `k`
+//! factor in size that only matters on graphs denser than our workloads. The
+//! *construction* is charged `O(1)` rounds per the CZ22 theorem
+//! ([`SPANNER_CONSTRUCTION_ROUNDS`]); the *broadcast* of the spanner (the
+//! step whose cost actually depends on the size) is charged honestly from
+//! the measured edge count.
+
+use cc_graph::graph::{Direction, Graph, GraphBuilder};
+use cc_graph::{apsp, DistMatrix, NodeId, Weight, INF};
+use clique_sim::Clique;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Rounds charged for constructing a spanner in the clique, per [CZ22,
+/// Theorems 1.2/1.3] ("there is a constant-round algorithm that w.h.p.
+/// computes the following spanners"). The data movement of the construction
+/// itself stays inside this charge; the broadcast is charged separately.
+pub const SPANNER_CONSTRUCTION_ROUNDS: u64 = 3;
+
+/// Baswana–Sen `(2k−1)`-spanner of a weighted undirected graph.
+///
+/// `k` rounds of cluster sampling at rate `n^(-1/k)`; expected size
+/// `O(k·n^(1+1/k))`. The output is a subgraph of `g` (every spanner edge is a
+/// graph edge), so spanner distances never underestimate.
+///
+/// # Panics
+///
+/// Panics if `g` is directed or `k == 0`.
+pub fn baswana_sen(g: &Graph, k: usize, rng: &mut StdRng) -> Graph {
+    assert_eq!(g.direction(), Direction::Undirected, "spanners need undirected graphs");
+    assert!(k >= 1, "stretch parameter k must be >= 1");
+    let n = g.n();
+    let mut spanner = GraphBuilder::undirected(n);
+    // cluster[v] = Some(center) if v belongs to a cluster, None if removed.
+    let mut cluster: Vec<Option<NodeId>> = (0..n).map(Some).collect();
+    let sample_prob = (n as f64).powf(-1.0 / k as f64).min(1.0);
+
+    for _phase in 0..k.saturating_sub(1) {
+        // Sample clusters (by center).
+        let mut center_sampled = vec![false; n];
+        let mut any_center = false;
+        for c in 0..n {
+            if rng.gen_bool(sample_prob) {
+                center_sampled[c] = true;
+                any_center = true;
+            }
+        }
+        // Guard against the (exponentially unlikely) empty sample, which
+        // would wipe out all clusters at once and hurt the size bound.
+        if !any_center {
+            center_sampled[rng.gen_range(0..n)] = true;
+        }
+        let mut next_cluster: Vec<Option<NodeId>> = vec![None; n];
+        for v in 0..n {
+            let Some(cv) = cluster[v] else { continue };
+            if center_sampled[cv] {
+                // v's cluster survives.
+                next_cluster[v] = Some(cv);
+                continue;
+            }
+            // Lightest edge from v to each adjacent cluster.
+            let mut best_per_cluster: std::collections::HashMap<NodeId, (Weight, NodeId)> =
+                std::collections::HashMap::new();
+            let mut best_sampled: Option<(Weight, NodeId, NodeId)> = None; // (w, nbr, center)
+            for (u, w) in g.neighbors(v) {
+                let Some(cu) = cluster[u] else { continue };
+                let entry = best_per_cluster.entry(cu).or_insert((w, u));
+                if (w, u) < *entry {
+                    *entry = (w, u);
+                }
+                if center_sampled[cu] {
+                    let cand = (w, u, cu);
+                    if best_sampled.map_or(true, |b| (cand.0, cand.1) < (b.0, b.1)) {
+                        best_sampled = Some(cand);
+                    }
+                }
+            }
+            match best_sampled {
+                Some((wj, uj, cj)) => {
+                    // Join the nearest sampled cluster; keep lighter edges to
+                    // other clusters seen so far.
+                    spanner.add_edge(v, uj, wj);
+                    next_cluster[v] = Some(cj);
+                    for (&c, &(w, u)) in &best_per_cluster {
+                        if c != cj && (w, u) < (wj, uj) {
+                            spanner.add_edge(v, u, w);
+                        }
+                    }
+                }
+                None => {
+                    // No adjacent sampled cluster: connect to every adjacent
+                    // cluster and leave the clustering.
+                    for (&_c, &(w, u)) in &best_per_cluster {
+                        spanner.add_edge(v, u, w);
+                    }
+                    next_cluster[v] = None;
+                }
+            }
+        }
+        cluster = next_cluster;
+    }
+
+    // Phase 2: every node connects to each remaining adjacent cluster.
+    for v in 0..n {
+        let mut best_per_cluster: std::collections::HashMap<NodeId, (Weight, NodeId)> =
+            std::collections::HashMap::new();
+        for (u, w) in g.neighbors(v) {
+            let Some(cu) = cluster[u] else { continue };
+            let entry = best_per_cluster.entry(cu).or_insert((w, u));
+            if (w, u) < *entry {
+                *entry = (w, u);
+            }
+        }
+        for (&_c, &(w, u)) in &best_per_cluster {
+            spanner.add_edge(v, u, w);
+        }
+    }
+    spanner.build()
+}
+
+/// Outcome of [`spanner_apsp_estimate`]: the spanner-based distance estimate
+/// together with the spanner itself and its guarantee.
+#[derive(Debug, Clone)]
+pub struct SpannerEstimate {
+    /// δ(u,v) = distance in the spanner; an α-approximation with
+    /// α = [`Self::stretch_bound`].
+    pub estimate: DistMatrix,
+    /// The spanner (a subgraph of the input).
+    pub spanner: Graph,
+    /// `2k − 1`.
+    pub stretch_bound: f64,
+}
+
+/// Corollary 7.2-style bootstrap: build a `(2k−1)`-spanner, broadcast it to
+/// every node, and have each node locally compute the spanner's APSP. The
+/// result is known to all nodes.
+///
+/// Round charges: [`SPANNER_CONSTRUCTION_ROUNDS`] (cited) + a broadcast of
+/// all spanner edges (3 words each) charged from the measured size.
+pub fn spanner_apsp_estimate(
+    clique: &mut Clique,
+    g: &Graph,
+    k: usize,
+    rng: &mut StdRng,
+) -> SpannerEstimate {
+    clique.phase("spanner-bootstrap", |clique| {
+        let spanner = baswana_sen(g, k, rng);
+        clique.charge("cz22-construct(cited O(1))", SPANNER_CONSTRUCTION_ROUNDS);
+        // Broadcast: the lower-ID endpoint of each spanner edge contributes
+        // it; each node must receive the full edge list.
+        let mut per_node = vec![0usize; g.n()];
+        for (u, v, _) in spanner.edges() {
+            per_node[u.min(v)] += 3;
+        }
+        clique.broadcast_all("broadcast-spanner", &per_node);
+        // Local computation at every node: APSP of the broadcast spanner.
+        let estimate = apsp::exact_apsp(&spanner);
+        SpannerEstimate { estimate, spanner, stretch_bound: (2 * k - 1) as f64 }
+    })
+}
+
+/// The bootstrap parameter of Corollary 7.2: `b = max(2, ⌊α·log₂n / 3⌋)`
+/// with `α = 1`, so the bootstrap stretch `2b−1` is `O(log n)`.
+pub fn bootstrap_k(n: usize) -> usize {
+    ((cc_graph::log2_ceil(n) as usize) / 3).max(2)
+}
+
+/// Measures the true stretch of `spanner` against `g` (max over connected
+/// pairs of `d_spanner / d_g`). Test/experiment helper; `O(n·m log n)`.
+pub fn measure_spanner_stretch(g: &Graph, spanner: &Graph) -> f64 {
+    let dg = apsp::exact_apsp(g);
+    let ds = apsp::exact_apsp(spanner);
+    let mut worst = 1.0f64;
+    for u in 0..g.n() {
+        for v in 0..g.n() {
+            let d = dg.get(u, v);
+            if u == v || d == 0 || d >= INF {
+                continue;
+            }
+            let s = ds.get(u, v);
+            if s >= INF {
+                return f64::INFINITY;
+            }
+            worst = worst.max(s as f64 / d as f64);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+    use clique_sim::Bandwidth;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn spanner_is_subgraph() {
+        let mut r = rng(1);
+        let g = generators::gnp_connected(60, 0.2, 1..=20, &mut r);
+        let s = baswana_sen(&g, 3, &mut r);
+        for (u, v, w) in s.edges() {
+            assert_eq!(g.edge_weight(u, v), Some(w), "spanner edge ({u},{v}) not in G at weight {w}");
+        }
+    }
+
+    #[test]
+    fn spanner_stretch_within_2k_minus_1() {
+        for seed in 0..5 {
+            let mut r = rng(seed);
+            for k in [2usize, 3, 4] {
+                let g = generators::gnp_connected(48, 0.25, 1..=30, &mut r);
+                let s = baswana_sen(&g, k, &mut r);
+                let stretch = measure_spanner_stretch(&g, &s);
+                assert!(
+                    stretch <= (2 * k - 1) as f64 + 1e-9,
+                    "seed={seed} k={k}: stretch {stretch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spanner_size_bounded() {
+        // Expected size O(k n^{1+1/k}); allow constant 4 (plus n for the
+        // random patch edges).
+        let mut r = rng(7);
+        let n = 128;
+        let g = generators::complete_graph(n, 1..=100, &mut r);
+        for k in [2usize, 3] {
+            let s = baswana_sen(&g, k, &mut r);
+            let bound = 4.0 * (k as f64) * (n as f64).powf(1.0 + 1.0 / k as f64) + n as f64;
+            assert!(
+                (s.m() as f64) < bound,
+                "k={k}: {} edges > bound {bound:.0}",
+                s.m()
+            );
+        }
+    }
+
+    #[test]
+    fn k1_spanner_is_whole_graph() {
+        // Stretch 1 requires keeping every (useful) edge; Baswana–Sen with
+        // k = 1 skips phase 1 and connects every node to every adjacent
+        // cluster = every neighbor.
+        let mut r = rng(3);
+        let g = generators::gnp_connected(20, 0.3, 1..=5, &mut r);
+        let s = baswana_sen(&g, 1, &mut r);
+        assert_eq!(s.m(), g.m());
+    }
+
+    #[test]
+    fn bootstrap_estimate_is_valid_log_n_approx() {
+        let mut r = rng(11);
+        let g = generators::gnp_connected(80, 0.1, 1..=40, &mut r);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        let b = bootstrap_k(g.n());
+        let est = spanner_apsp_estimate(&mut clique, &g, b, &mut r);
+        let exact = apsp::exact_apsp(&g);
+        let stats = est.estimate.stretch_vs(&exact);
+        assert!(stats.is_valid_approximation(est.stretch_bound), "{stats}");
+        assert!(clique.rounds() >= SPANNER_CONSTRUCTION_ROUNDS);
+        // The broadcast is charged exactly from the measured spanner size:
+        // construction + 2·⌈3m_spanner / n⌉.
+        let expected =
+            SPANNER_CONSTRUCTION_ROUNDS + 2 * (3 * est.spanner.m()).div_ceil(g.n()) as u64;
+        assert_eq!(clique.rounds(), expected);
+    }
+
+    #[test]
+    fn bootstrap_k_scales_with_log_n() {
+        assert_eq!(bootstrap_k(1 << 9), 3);
+        assert_eq!(bootstrap_k(1 << 15), 5);
+        assert_eq!(bootstrap_k(4), 2);
+    }
+
+    #[test]
+    fn spanner_keeps_graph_connected() {
+        let mut r = rng(5);
+        let g = generators::gnp_connected(64, 0.15, 1..=9, &mut r);
+        let s = baswana_sen(&g, 4, &mut r);
+        let (_, comps) = cc_graph::components::connected_components(&s);
+        assert_eq!(comps, 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Handling zero edge weights (Section 2.2 and Appendix A, Theorem 2.1).
+//!
+//! Any algorithm `A` for positive integer weights extends to nonnegative
+//! weights with `+O(1)` rounds:
+//!
+//! 1. find the connected components of the zero-weight subgraph ("clusters"
+//!    of nodes at distance 0), via an MST — the paper cites Nowicki's
+//!    `O(1)`-round Congested Clique MST \[Now21\]; we compute Borůvka and
+//!    charge the citation;
+//! 2. pick the minimum-ID node of each cluster as its **leader**;
+//! 3. build the **compressed graph** over leaders, with the minimum-weight
+//!    edge between each pair of clusters (strictly positive by
+//!    construction);
+//! 4. run `A` on the compressed graph;
+//! 5. every node reads its distances off its leader's row.
+
+use cc_graph::graph::{Direction, Graph, GraphBuilder};
+use cc_graph::{mst, unionfind::UnionFind, DistMatrix, NodeId, Weight, INF};
+use clique_sim::{Clique, Msg};
+
+/// Rounds charged for the MST step, per the cited \[Now21\] O(1)-round MST.
+pub const MST_ROUNDS: u64 = 2;
+
+/// The cluster structure of the zero-weight subgraph.
+#[derive(Debug, Clone)]
+pub struct ZeroClusters {
+    /// Leader (minimum-ID member) of each node's cluster.
+    pub leader_of: Vec<NodeId>,
+    /// The leaders, sorted; index = compressed-graph node.
+    pub leaders: Vec<NodeId>,
+    /// Maps a leader to its compressed-graph index.
+    pub index_of_leader: Vec<Option<usize>>,
+    /// The compressed graph over the leaders (positive weights).
+    pub compressed: Graph,
+}
+
+/// Theorem 2.1: wraps a positive-weights APSP algorithm `inner` so it
+/// accepts nonnegative weights. `inner` receives a clique sized to the
+/// compressed graph and must return `(estimate, stretch bound)`.
+///
+/// If `g` already has positive weights, `inner` runs directly on `g`.
+pub fn apsp_with_zero_weights(
+    clique: &mut Clique,
+    g: &Graph,
+    inner: impl FnOnce(&mut Clique, &Graph) -> (DistMatrix, f64),
+) -> (DistMatrix, f64) {
+    assert_eq!(g.direction(), Direction::Undirected, "Theorem 2.1 is for undirected graphs");
+    if g.has_positive_weights() {
+        return inner(clique, g);
+    }
+    let n = g.n();
+    let clusters = clique.phase("zero-weight-reduction", |clique| {
+        // Step 1: MST; every node learns it (Appendix A relies on the
+        // [Now21] algorithm ending with every node knowing the whole MST).
+        let forest = mst::boruvka(g);
+        clique.charge("mst (cited [Now21] O(1))", MST_ROUNDS);
+        clique.broadcast_volume("broadcast-mst", 3 * forest.edges.len());
+        // Zero clusters from the MST's zero-weight edges (local): an MST
+        // contains a spanning forest of the zero-weight subgraph, because
+        // zero edges are always safe to add first.
+        let mut uf = UnionFind::new(n);
+        for &(u, v, w) in &forest.edges {
+            if w == 0 {
+                uf.union(u, v);
+            }
+        }
+        // Step 2: leaders = min-ID member per cluster (local).
+        let mut leader_of = vec![usize::MAX; n];
+        for v in 0..n {
+            let r = uf.find(v);
+            if v < leader_of[r] {
+                leader_of[r] = v;
+            }
+        }
+        let leader_of: Vec<NodeId> = (0..n).map(|v| leader_of[uf.find(v)]).collect();
+        let mut leaders: Vec<NodeId> = leader_of.clone();
+        leaders.sort_unstable();
+        leaders.dedup();
+        let mut index_of_leader: Vec<Option<usize>> = vec![None; n];
+        for (i, &s) in leaders.iter().enumerate() {
+            index_of_leader[s] = Some(i);
+        }
+
+        // Step 3: compressed edges. Each node v sends, to each leader t, the
+        // minimum weight of an edge from v into t's cluster (one message per
+        // leader, as in Appendix A).
+        let mut msgs: Vec<Msg<(u64, u64)>> = Vec::new();
+        for v in 0..n {
+            let mut best: std::collections::HashMap<NodeId, Weight> =
+                std::collections::HashMap::new();
+            for (u, w) in g.neighbors(v) {
+                if w == 0 {
+                    continue; // intra-cluster
+                }
+                let t = leader_of[u];
+                let e = best.entry(t).or_insert(INF);
+                if w < *e {
+                    *e = w;
+                }
+            }
+            for (t, w) in best {
+                if t != leader_of[v] {
+                    msgs.push(Msg::new(v, t, (leader_of[v] as u64, w)));
+                }
+            }
+        }
+        let inboxes = clique.route("compressed-edges", msgs);
+        let mut b = GraphBuilder::undirected(leaders.len());
+        for (t, inbox) in inboxes.iter().enumerate() {
+            let Some(it) = index_of_leader[t] else { continue };
+            for m in inbox {
+                let (s, w) = m.payload;
+                if let Some(is) = index_of_leader[s as usize] {
+                    b.add_edge(it, is, w);
+                }
+            }
+        }
+        ZeroClusters {
+            leader_of,
+            index_of_leader,
+            compressed: b.build(),
+            leaders,
+        }
+    });
+
+    // Step 4: run the inner algorithm on the compressed graph. Simulating a
+    // ≤n-node clique inside this one is free round-for-round.
+    let mut child = Clique::new(clusters.compressed.n().max(1), clique.bandwidth());
+    let (delta, bound) = inner(&mut child, &clusters.compressed);
+    clique.charge("inner-algorithm-on-compressed", child.rounds());
+
+    // Step 5: leaders distribute their rows; every node reads its cluster's
+    // row. Each node receives |leaders| words.
+    clique.phase("zero-weight-expand", |clique| {
+        let recv = vec![clusters.leaders.len(); n];
+        let mut send = vec![0usize; n];
+        for &s in &clusters.leaders {
+            // Each leader serves its members.
+            let members = clusters.leader_of.iter().filter(|&&l| l == s).count();
+            send[s] = members * clusters.leaders.len();
+        }
+        clique.charge_route_by_loads("distribute-leader-rows", &send, &recv);
+        let mut eta = DistMatrix::infinite(n);
+        for u in 0..n {
+            let iu = clusters.index_of_leader[clusters.leader_of[u]].expect("leader indexed");
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let iv = clusters.index_of_leader[clusters.leader_of[v]].expect("leader indexed");
+                let d = if iu == iv { 0 } else { delta.get(iu, iv) };
+                eta.set(u, v, d);
+            }
+        }
+        (eta, bound)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{apsp, generators};
+    use clique_sim::Bandwidth;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A graph with zero-weight clusters: clusters of `size` nodes linked by
+    /// zero edges internally, positive edges across.
+    fn clustered_graph(clusters: usize, size: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = clusters * size;
+        let mut b = GraphBuilder::undirected(n);
+        for c in 0..clusters {
+            let base = c * size;
+            for i in 1..size {
+                b.add_edge(base, base + i, 0);
+            }
+        }
+        // Random positive inter-cluster edges + a connecting cycle.
+        for c in 0..clusters {
+            let next = (c + 1) % clusters;
+            b.add_edge(c * size + rng.gen_range(0..size), next * size, rng.gen_range(1..20));
+        }
+        for _ in 0..clusters * 2 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u / size != v / size {
+                b.add_edge(u, v, rng.gen_range(1..20));
+            }
+        }
+        b.build()
+    }
+
+    fn exact_inner(_c: &mut Clique, g: &Graph) -> (DistMatrix, f64) {
+        (apsp::exact_apsp(g), 1.0)
+    }
+
+    #[test]
+    fn zero_weight_reduction_is_exact_with_exact_inner() {
+        for seed in 0..4 {
+            let g = clustered_graph(5, 4, seed);
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            let (est, _) = apsp_with_zero_weights(&mut clique, &g, exact_inner);
+            assert_eq!(est, apsp::exact_apsp(&g), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn compressed_graph_has_positive_weights() {
+        let g = clustered_graph(4, 3, 9);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        apsp_with_zero_weights(&mut clique, &g, |_c, compressed| {
+            assert!(compressed.has_positive_weights());
+            assert_eq!(compressed.n(), 4);
+            (apsp::exact_apsp(compressed), 1.0)
+        });
+    }
+
+    #[test]
+    fn positive_graphs_bypass_the_reduction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp_connected(20, 0.3, 1..=9, &mut rng);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        let mut called_with_n = 0;
+        apsp_with_zero_weights(&mut clique, &g, |_c, inner_g| {
+            called_with_n = inner_g.n();
+            (apsp::exact_apsp(inner_g), 1.0)
+        });
+        assert_eq!(called_with_n, g.n());
+    }
+
+    #[test]
+    fn approximate_inner_keeps_its_bound() {
+        let g = clustered_graph(6, 3, 4);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        // Inner: 3× inflated distances (a 3-approximation).
+        let (est, bound) = apsp_with_zero_weights(&mut clique, &g, |_c, compressed| {
+            let exact = apsp::exact_apsp(compressed);
+            let mut m = exact.clone();
+            for u in 0..compressed.n() {
+                for v in 0..compressed.n() {
+                    let d = exact.get(u, v);
+                    if u != v && d < INF {
+                        m.set(u, v, d * 3);
+                    }
+                }
+            }
+            (m, 3.0)
+        });
+        let exact = apsp::exact_apsp(&g);
+        let stats = est.stretch_vs(&exact);
+        assert!(stats.is_valid_approximation(bound), "{stats}");
+    }
+
+    #[test]
+    fn reduction_overhead_is_constant_rounds() {
+        let g = clustered_graph(8, 4, 5);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        apsp_with_zero_weights(&mut clique, &g, |_c, compressed| {
+            (apsp::exact_apsp(compressed), 1.0) // zero inner rounds
+        });
+        assert!(clique.rounds() <= 16, "rounds = {}", clique.rounds());
+    }
+
+    #[test]
+    fn all_zero_graph_collapses_to_single_cluster() {
+        let mut b = GraphBuilder::undirected(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 0);
+        }
+        let g = b.build();
+        let mut clique = Clique::new(6, Bandwidth::standard(6));
+        let (est, _) = apsp_with_zero_weights(&mut clique, &g, exact_inner);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(est.get(u, v), 0, "({u},{v})");
+            }
+        }
+    }
+}

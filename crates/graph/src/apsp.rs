@@ -1,0 +1,74 @@
+//! Exact all-pairs shortest paths (ground truth).
+
+use crate::sssp::dijkstra;
+use crate::{wadd, DistMatrix, Graph, INF};
+
+/// Exact APSP via Dijkstra from every source.
+///
+/// This is the ground truth all experiments compare against. Runs in
+/// `O(n · m log n)` time centrally (it is *not* a Congested Clique algorithm;
+/// the simulated baselines live in `cc-baselines`).
+pub fn exact_apsp(g: &Graph) -> DistMatrix {
+    let n = g.n();
+    let mut m = DistMatrix::infinite(n);
+    for s in 0..n {
+        let d = dijkstra(g, s);
+        m.row_mut(s).copy_from_slice(&d);
+    }
+    m
+}
+
+/// Exact APSP via Floyd–Warshall. `O(n³)`; used to cross-check
+/// [`exact_apsp`] on small graphs.
+pub fn floyd_warshall(g: &Graph) -> DistMatrix {
+    let n = g.n();
+    let mut m = DistMatrix::infinite(n);
+    for (u, v, w) in g.all_arcs() {
+        m.relax(u, v, w);
+    }
+    for k in 0..n {
+        for u in 0..n {
+            let duk = m.get(u, k);
+            if duk >= INF {
+                continue;
+            }
+            for v in 0..n {
+                let nd = wadd(duk, m.get(k, v));
+                m.relax(u, v, nd);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    #[test]
+    fn dijkstra_and_floyd_agree() {
+        let g = Graph::from_edges(
+            5,
+            Direction::Undirected,
+            &[(0, 1, 3), (1, 2, 1), (2, 3, 7), (3, 4, 2), (0, 4, 20), (1, 3, 5)],
+        );
+        assert_eq!(exact_apsp(&g), floyd_warshall(&g));
+    }
+
+    #[test]
+    fn directed_apsp_is_asymmetric() {
+        let g = Graph::from_edges(3, Direction::Directed, &[(0, 1, 1), (1, 2, 1)]);
+        let m = exact_apsp(&g);
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(2, 0), INF);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_inf() {
+        let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 1), (2, 3, 1)]);
+        let m = exact_apsp(&g);
+        assert_eq!(m.get(0, 3), INF);
+        assert_eq!(m.get(2, 3), 1);
+    }
+}

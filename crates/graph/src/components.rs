@@ -1,0 +1,111 @@
+//! Connected components, including weight-filtered components.
+//!
+//! The zero-weight reduction (Theorem 2.1 / Appendix A) needs the connected
+//! components of the subgraph formed by zero-weight edges: nodes `u`, `v`
+//! belong together iff `d(u, v) = 0`.
+
+use crate::unionfind::UnionFind;
+use crate::{Graph, NodeId, Weight};
+
+/// Connected components of `g` (ignoring direction); returns `comp[v]` =
+/// component index in `0..count`, labeled by order of first appearance.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    components_filtered(g, |_| true)
+}
+
+/// Connected components of the subgraph of edges whose weight passes `keep`
+/// (ignoring direction). Singleton nodes form their own components.
+pub fn components_filtered(g: &Graph, keep: impl Fn(Weight) -> bool) -> (Vec<usize>, usize) {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v, w) in g.all_arcs() {
+        if keep(w) {
+            uf.union(u, v);
+        }
+    }
+    relabel(&mut uf, g.n())
+}
+
+/// Components of the zero-weight subgraph (the clusters compressed by the
+/// Theorem 2.1 reduction).
+pub fn zero_weight_components(g: &Graph) -> (Vec<usize>, usize) {
+    components_filtered(g, |w| w == 0)
+}
+
+fn relabel(uf: &mut UnionFind, n: usize) -> (Vec<usize>, usize) {
+    let mut label = vec![usize::MAX; n];
+    let mut comp = vec![0usize; n];
+    let mut count = 0;
+    for v in 0..n {
+        let r = uf.find(v);
+        if label[r] == usize::MAX {
+            label[r] = count;
+            count += 1;
+        }
+        comp[v] = label[r];
+    }
+    (comp, count)
+}
+
+/// The lowest-ID node of each component: `leaders[c]` is the representative
+/// ("leader" in Appendix A, Step 2) of component `c`.
+pub fn component_leaders(comp: &[usize], count: usize) -> Vec<NodeId> {
+    let mut leaders = vec![usize::MAX; count];
+    for (v, &c) in comp.iter().enumerate() {
+        if v < leaders[c] {
+            leaders[c] = v;
+        }
+    }
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    #[test]
+    fn components_of_two_cliques() {
+        let g = Graph::from_edges(
+            6,
+            Direction::Undirected,
+            &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)],
+        );
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn zero_weight_components_ignore_positive_edges() {
+        let g = Graph::from_edges(
+            5,
+            Direction::Undirected,
+            &[(0, 1, 0), (1, 2, 0), (2, 3, 5), (3, 4, 0)],
+        );
+        let (comp, count) = zero_weight_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[2], comp[3]);
+    }
+
+    #[test]
+    fn leaders_are_lowest_ids() {
+        let g = Graph::from_edges(4, Direction::Undirected, &[(1, 3, 0), (0, 2, 0)]);
+        let (comp, count) = zero_weight_components(&g);
+        let leaders = component_leaders(&comp, count);
+        assert_eq!(leaders.len(), 2);
+        assert!(leaders.contains(&0));
+        assert!(leaders.contains(&1));
+    }
+
+    #[test]
+    fn labels_are_dense_and_in_range() {
+        let g = Graph::from_edges(7, Direction::Undirected, &[(6, 5, 1)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 6);
+        assert!(comp.iter().all(|&c| c < count));
+    }
+}

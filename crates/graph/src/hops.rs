@@ -1,0 +1,195 @@
+//! Hop-structure utilities: hop diameters, shortest-path hop counts, and
+//! path extraction.
+//!
+//! The paper's hop bounds (β in Lemma 3.2, `h` in Lemma 8.1, the `h^i`
+//! radii in Section 5) are all statements about *hop counts along
+//! minimum-length paths*; these helpers measure them on concrete graphs and
+//! reconstruct witnesses.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{wadd, Graph, NodeId, Weight, INF};
+
+/// Per-source result of [`shortest_paths_with_parents`].
+#[derive(Debug, Clone)]
+pub struct PathTree {
+    /// Source node.
+    pub source: NodeId,
+    /// `(distance, hops)` per node, minimized lexicographically; unreachable
+    /// nodes hold `(INF, usize::MAX)`.
+    pub best: Vec<(Weight, usize)>,
+    /// Predecessor on the stored optimal path (`usize::MAX` for the source
+    /// and unreachable nodes).
+    pub parent: Vec<NodeId>,
+}
+
+impl PathTree {
+    /// The node sequence of the stored shortest path to `dst`, or `None`
+    /// when unreachable.
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        if self.best[dst].0 >= INF {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != self.source {
+            cur = self.parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Hops of the stored optimal path to `dst` (`usize::MAX` if
+    /// unreachable).
+    pub fn hops_to(&self, dst: NodeId) -> usize {
+        self.best[dst].1
+    }
+}
+
+/// Dijkstra minimizing `(length, hops)` with parent tracking.
+pub fn shortest_paths_with_parents(g: &Graph, source: NodeId) -> PathTree {
+    let n = g.n();
+    let mut best = vec![(INF, usize::MAX); n];
+    let mut parent = vec![usize::MAX; n];
+    best[source] = (0, 0);
+    let mut heap: BinaryHeap<Reverse<(Weight, usize, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, 0, source)));
+    while let Some(Reverse((d, h, u))) = heap.pop() {
+        if (d, h) > best[u] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = wadd(d, w);
+            if nd >= INF {
+                continue;
+            }
+            let nh = h + 1;
+            if (nd, nh) < best[v] {
+                best[v] = (nd, nh);
+                parent[v] = u;
+                heap.push(Reverse((nd, nh, v)));
+            }
+        }
+    }
+    PathTree { source, best, parent }
+}
+
+/// The **hop diameter under shortest paths**: the maximum, over connected
+/// pairs, of the minimum hop count among minimum-length paths. This is the
+/// `h` for which Lemma 8.1's guarantee covers *every* pair.
+pub fn shortest_path_hop_diameter(g: &Graph) -> usize {
+    let mut worst = 0;
+    for s in 0..g.n() {
+        let tree = shortest_paths_with_parents(g, s);
+        for v in 0..g.n() {
+            let (d, h) = tree.best[v];
+            if d < INF && h != usize::MAX {
+                worst = worst.max(h);
+            }
+        }
+    }
+    worst
+}
+
+/// The unweighted (BFS) diameter: maximum hop distance over connected pairs.
+pub fn hop_diameter(g: &Graph) -> usize {
+    let n = g.n();
+    let mut worst = 0;
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        dist.iter_mut().for_each(|d| *d = usize::MAX);
+        dist[s] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in g.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    worst = worst.max(dist[v]);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// Verifies that `path` is a real path in `g` and returns its length.
+pub fn path_length(g: &Graph, path: &[NodeId]) -> Option<Weight> {
+    let mut total = 0;
+    for pair in path.windows(2) {
+        total = wadd(total, g.edge_weight(pair[0], pair[1])?);
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn diamond() -> Graph {
+        Graph::from_edges(
+            4,
+            Direction::Undirected,
+            &[(0, 1, 2), (1, 3, 2), (0, 2, 5), (2, 3, 1), (0, 3, 4)],
+        )
+    }
+
+    #[test]
+    fn path_tree_minimizes_hops_among_shortest() {
+        let tree = shortest_paths_with_parents(&diamond(), 0);
+        // d(0,3) = 4 via either 0-1-3 (2 hops) or 0-3 (1 hop).
+        assert_eq!(tree.best[3], (4, 1));
+        assert_eq!(tree.path_to(3), Some(vec![0, 3]));
+    }
+
+    #[test]
+    fn extracted_paths_have_claimed_length() {
+        let g = diamond();
+        for s in 0..g.n() {
+            let tree = shortest_paths_with_parents(&g, s);
+            for v in 0..g.n() {
+                if let Some(p) = tree.path_to(v) {
+                    assert_eq!(path_length(&g, &p), Some(tree.best[v].0));
+                    assert_eq!(p.len() - 1, tree.hops_to(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_gives_none() {
+        let g = Graph::from_edges(3, Direction::Undirected, &[(0, 1, 1)]);
+        let tree = shortest_paths_with_parents(&g, 0);
+        assert_eq!(tree.path_to(2), None);
+    }
+
+    #[test]
+    fn hop_diameters_on_path_graph() {
+        let edges: Vec<_> = (0..9).map(|i| (i, i + 1, 1)).collect();
+        let g = Graph::from_edges(10, Direction::Undirected, &edges);
+        assert_eq!(hop_diameter(&g), 9);
+        assert_eq!(shortest_path_hop_diameter(&g), 9);
+    }
+
+    #[test]
+    fn weighted_shortcut_lowers_sp_hop_diameter() {
+        // Path of weight-1 edges plus one heavy chord: the chord does not
+        // lie on any shortest path, so the SP hop diameter stays 9, while a
+        // light chord would reduce it.
+        let mut edges: Vec<_> = (0..9).map(|i| (i, i + 1, 1)).collect();
+        edges.push((0, 9, 2)); // light chord: d(0,9) = 2 via 1 hop
+        let g = Graph::from_edges(10, Direction::Undirected, &edges);
+        assert!(shortest_path_hop_diameter(&g) < 9);
+    }
+
+    #[test]
+    fn path_length_rejects_non_paths() {
+        let g = diamond();
+        assert_eq!(path_length(&g, &[0, 2, 1]), None); // no edge 2-1
+    }
+}

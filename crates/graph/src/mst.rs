@@ -1,0 +1,130 @@
+//! Minimum spanning forests (Borůvka and Kruskal).
+//!
+//! The zero-weight reduction (Theorem 2.1, Appendix A Step 1) computes an MST
+//! to identify zero-weight clusters, citing Nowicki's O(1)-round Congested
+//! Clique MST \[Now21\]. We implement Borůvka — whose phase structure maps
+//! naturally onto the clique (each phase: every component announces its
+//! minimum outgoing edge) — and Kruskal as an independent reference for
+//! testing. The round charge for the clique version lives in `cc-apsp`'s
+//! zero-weight module; here is the pure graph computation.
+
+use crate::unionfind::UnionFind;
+use crate::{Graph, NodeId, Weight};
+
+/// An MST/MSF edge list with total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// The chosen edges `(u, v, w)`.
+    pub edges: Vec<(NodeId, NodeId, Weight)>,
+    /// Sum of chosen edge weights.
+    pub total_weight: Weight,
+    /// Number of Borůvka phases used (1 for Kruskal).
+    pub phases: usize,
+}
+
+/// Borůvka's algorithm. Ties are broken by `(w, u, v)` so the chosen edge set
+/// is deterministic and phase counts are reproducible.
+pub fn boruvka(g: &Graph) -> SpanningForest {
+    let n = g.n();
+    let mut uf = UnionFind::new(n);
+    let mut chosen: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+    let mut phases = 0;
+    loop {
+        // min outgoing edge per component root, keyed by (w, u, v).
+        let mut best: Vec<Option<(Weight, NodeId, NodeId)>> = vec![None; n];
+        for (u, v, w) in g.all_arcs() {
+            let (ru, rv) = (uf.find(u), uf.find(v));
+            if ru == rv {
+                continue;
+            }
+            let cand = (w, u.min(v), u.max(v));
+            for r in [ru, rv] {
+                if best[r].map_or(true, |b| cand < b) {
+                    best[r] = Some(cand);
+                }
+            }
+        }
+        let mut merged_any = false;
+        for r in 0..n {
+            if let Some((w, u, v)) = best[r] {
+                if uf.union(u, v) {
+                    chosen.push((u, v, w));
+                    merged_any = true;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+        phases += 1;
+    }
+    let total = chosen.iter().map(|e| e.2).sum();
+    SpanningForest { edges: chosen, total_weight: total, phases }
+}
+
+/// Kruskal's algorithm (reference implementation for testing Borůvka).
+pub fn kruskal(g: &Graph) -> SpanningForest {
+    let mut edges = g.edges();
+    edges.sort_unstable_by_key(|&(u, v, w)| (w, u, v));
+    let mut uf = UnionFind::new(g.n());
+    let mut chosen = Vec::new();
+    for (u, v, w) in edges {
+        if uf.union(u, v) {
+            chosen.push((u, v, w));
+        }
+    }
+    let total = chosen.iter().map(|e| e.2).sum();
+    SpanningForest { edges: chosen, total_weight: total, phases: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn boruvka_matches_kruskal_weight_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let n = 4 + (trial % 30);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        edges.push((u, v, rng.gen_range(1..100)));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, Direction::Undirected, &edges);
+            assert_eq!(boruvka(&g).total_weight, kruskal(&g).total_weight, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 5), (2, 3, 7)]);
+        let f = boruvka(&g);
+        assert_eq!(f.edges.len(), 2);
+        assert_eq!(f.total_weight, 12);
+    }
+
+    #[test]
+    fn boruvka_phase_count_is_logarithmic_on_path() {
+        // A path of 64 unit edges merges at least half the components per
+        // phase: ≤ log2(64) = 6 phases.
+        let edges: Vec<_> = (0..63).map(|i| (i, i + 1, 1)).collect();
+        let g = Graph::from_edges(64, Direction::Undirected, &edges);
+        let f = boruvka(&g);
+        assert_eq!(f.edges.len(), 63);
+        assert!(f.phases <= 6, "phases = {}", f.phases);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_forest() {
+        let g = Graph::empty(5, Direction::Undirected);
+        let f = boruvka(&g);
+        assert!(f.edges.is_empty());
+        assert_eq!(f.total_weight, 0);
+    }
+}

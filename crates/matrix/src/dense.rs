@@ -1,0 +1,168 @@
+//! Dense min-plus products and exponentiation.
+
+use cc_graph::{wadd, DistMatrix, Graph, INF};
+
+/// The weighted adjacency matrix of `g` over the tropical semiring:
+/// `A[u,v] = w(u,v)` for edges, `A[v,v] = 0`, `∞` elsewhere.
+pub fn adjacency_matrix(g: &Graph) -> DistMatrix {
+    let mut a = DistMatrix::infinite(g.n());
+    for (u, v, w) in g.all_arcs() {
+        a.relax(u, v, w);
+    }
+    a
+}
+
+/// The distance product `A ⋆ B`: `(A ⋆ B)[i,j] = min_k (A[i,k] + B[k,j])`.
+///
+/// `O(n³)` centrally. (The *distributed* cost model for products lives in
+/// [`crate::sparse`]; dense products are used as reference semantics and for
+/// node-local computations on broadcast data.)
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn distance_product(a: &DistMatrix, b: &DistMatrix) -> DistMatrix {
+    assert_eq!(a.n(), b.n(), "distance product dimension mismatch");
+    let n = a.n();
+    let mut c = DistMatrix::from_raw(n, vec![INF; n * n]);
+    for i in 0..n {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for k in 0..n {
+            let aik = arow[k];
+            if aik >= INF {
+                continue;
+            }
+            let brow = b.row(k);
+            for j in 0..n {
+                let cand = wadd(aik, brow[j]);
+                if cand < crow[j] {
+                    crow[j] = cand;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `A^h` over the tropical semiring by binary exponentiation
+/// (`O(n³ log h)`). `A^0` is the identity (zero diagonal, `∞` elsewhere).
+pub fn power(a: &DistMatrix, h: u64) -> DistMatrix {
+    let n = a.n();
+    let mut result = DistMatrix::infinite(n); // tropical identity
+    let mut base = a.clone();
+    let mut h = h;
+    while h > 0 {
+        if h & 1 == 1 {
+            result = distance_product(&result, &base);
+        }
+        h >>= 1;
+        if h > 0 {
+            base = distance_product(&base, &base);
+        }
+    }
+    result
+}
+
+/// Exact APSP by repeated squaring until fixpoint; returns the distance
+/// matrix and the number of squarings (`⌈log₂(n-1)⌉` at most).
+pub fn closure(a: &DistMatrix) -> (DistMatrix, usize) {
+    let mut cur = a.clone();
+    let mut squarings = 0;
+    loop {
+        let next = distance_product(&cur, &cur);
+        squarings += 1;
+        if next == cur {
+            return (next, squarings);
+        }
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::apsp::exact_apsp;
+    use cc_graph::graph::Direction;
+    use cc_graph::sssp::bellman_ford_hops;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(n: usize, seed: u64) -> Graph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v, rng.gen_range(1..50)));
+                }
+            }
+        }
+        Graph::from_edges(n, Direction::Undirected, &edges)
+    }
+
+    #[test]
+    fn adjacency_has_zero_diagonal() {
+        let g = random_graph(10, 1);
+        let a = adjacency_matrix(&g);
+        for v in 0..10 {
+            assert_eq!(a.get(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn power_h_equals_h_hop_distances() {
+        let g = random_graph(12, 2);
+        let a = adjacency_matrix(&g);
+        for h in [1u64, 2, 3, 5] {
+            let ah = power(&a, h);
+            for s in 0..g.n() {
+                let bf = bellman_ford_hops(&g, s, h as usize);
+                for t in 0..g.n() {
+                    assert_eq!(ah.get(s, t), bf[t], "h={h} s={s} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_equals_exact_apsp() {
+        let g = random_graph(14, 3);
+        let a = adjacency_matrix(&g);
+        let (closed, squarings) = closure(&a);
+        assert_eq!(closed, exact_apsp(&g));
+        assert!(squarings <= 5, "squarings = {squarings}"); // ceil(log2(13)) + 1
+    }
+
+    #[test]
+    fn product_is_associative_on_random_matrices() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 8;
+        let mk = |rng: &mut rand::rngs::StdRng| {
+            let data: Vec<u64> =
+                (0..n * n).map(|_| if rng.gen_bool(0.3) { INF } else { rng.gen_range(0..100) }).collect();
+            DistMatrix::from_raw(n, data)
+        };
+        for _ in 0..10 {
+            let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+            let left = distance_product(&distance_product(&a, &b), &c);
+            let right = distance_product(&a, &distance_product(&b, &c));
+            assert_eq!(left, right);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let g = random_graph(9, 4);
+        let a = adjacency_matrix(&g);
+        let id = DistMatrix::infinite(9);
+        assert_eq!(distance_product(&a, &id), a);
+        assert_eq!(distance_product(&id, &a), a);
+    }
+
+    #[test]
+    fn power_zero_is_identity() {
+        let g = random_graph(6, 5);
+        let a = adjacency_matrix(&g);
+        assert_eq!(power(&a, 0), DistMatrix::infinite(6));
+    }
+}

@@ -1,0 +1,78 @@
+//! Bandwidth parameterization: `Congested-Clique[B]`.
+//!
+//! We measure message sizes in **words**, where one word is `Θ(log n)` bits —
+//! enough for a node ID or a (polynomially bounded) edge weight. The standard
+//! model (`B = log n`) carries one word per message per link per round;
+//! `Congested-Clique[log^p n]` carries `log^(p-1) n` words.
+
+/// Link bandwidth: how many words fit in one message.
+///
+/// ```
+/// use clique_sim::Bandwidth;
+/// assert_eq!(Bandwidth::standard(1024).words_per_message(), 1);
+/// // Congested-Clique[log^3 n] at n = 1024: log n = 10 bits-words factor ⇒
+/// // each message carries log^2 n = 100 words.
+/// assert_eq!(Bandwidth::polylog(3, 1024).words_per_message(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bandwidth {
+    words: usize,
+}
+
+impl Bandwidth {
+    /// The standard model: one word (`O(log n)` bits) per message.
+    pub fn standard(_n: usize) -> Self {
+        Self { words: 1 }
+    }
+
+    /// `Congested-Clique[log^power n]`: each message carries
+    /// `log^(power-1) n` words. `power = 1` is the standard model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power == 0`.
+    pub fn polylog(power: u32, n: usize) -> Self {
+        assert!(power >= 1, "bandwidth exponent must be >= 1");
+        let log_n = log2_ceil(n) as usize;
+        Self { words: log_n.pow(power - 1).max(1) }
+    }
+
+    /// An explicit number of words per message.
+    pub fn words(words: usize) -> Self {
+        assert!(words >= 1, "bandwidth must be at least one word");
+        Self { words }
+    }
+
+    /// Words carried by one message.
+    pub fn words_per_message(self) -> usize {
+        self.words
+    }
+}
+
+fn log2_ceil(n: usize) -> u32 {
+    let n = n.max(2);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_is_one_word() {
+        assert_eq!(Bandwidth::standard(4096).words_per_message(), 1);
+    }
+
+    #[test]
+    fn polylog_powers() {
+        assert_eq!(Bandwidth::polylog(1, 1024).words_per_message(), 1);
+        assert_eq!(Bandwidth::polylog(2, 1024).words_per_message(), 10);
+        assert_eq!(Bandwidth::polylog(4, 1024).words_per_message(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_words_rejected() {
+        Bandwidth::words(0);
+    }
+}

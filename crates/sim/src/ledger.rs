@@ -1,0 +1,193 @@
+//! Round accounting.
+//!
+//! Every communication primitive charges rounds into a [`RoundLedger`], which
+//! records an event stream tagged with the current *phase path* (a slash-
+//! separated stack of phase names, e.g. `"theorem-1.1/hopset/collect"`).
+//! Experiments print per-phase breakdowns from the ledger; the ledger's total
+//! is the measured round complexity of a run.
+
+/// Per-routing-instance load report; returned alongside deliveries so tests
+/// and experiments can check the load preconditions of the paper's routing
+/// lemmas (e.g. "each node is the target of O(n) messages", Lemma 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteReport {
+    /// Maximum over nodes of words sent in this instance.
+    pub max_send_words: usize,
+    /// Maximum over nodes of words received in this instance.
+    pub max_recv_words: usize,
+    /// Total words moved.
+    pub total_words: usize,
+    /// Number of messages.
+    pub messages: usize,
+    /// Rounds charged for this instance.
+    pub rounds: u64,
+}
+
+/// A single charge in the ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Slash-separated phase path at the time of the charge.
+    pub phase: String,
+    /// Primitive-level label (e.g. `"route:hopset-edges"`).
+    pub label: String,
+    /// Rounds charged.
+    pub rounds: u64,
+}
+
+/// Ordered log of round charges with a phase stack.
+#[derive(Debug, Clone, Default)]
+pub struct RoundLedger {
+    events: Vec<Event>,
+    phase_stack: Vec<String>,
+    total: u64,
+}
+
+impl RoundLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total rounds charged so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All events, in charge order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Charges `rounds` under the current phase.
+    pub fn charge(&mut self, label: &str, rounds: u64) {
+        self.total += rounds;
+        self.events.push(Event { phase: self.phase_path(), label: label.to_string(), rounds });
+    }
+
+    /// Pushes a phase name; charges until the matching [`Self::pop_phase`]
+    /// are tagged with it.
+    pub fn push_phase(&mut self, name: &str) {
+        self.phase_stack.push(name.to_string());
+    }
+
+    /// Pops the innermost phase.
+    pub fn pop_phase(&mut self) {
+        self.phase_stack.pop();
+    }
+
+    /// Current phase path (empty string at top level).
+    pub fn phase_path(&self) -> String {
+        self.phase_stack.join("/")
+    }
+
+    /// Aggregates rounds by *top-level* phase name, in first-seen order.
+    pub fn breakdown(&self) -> Vec<(String, u64)> {
+        self.breakdown_depth(1)
+    }
+
+    /// Aggregates rounds by phase path truncated to `depth` components, in
+    /// first-seen order. `depth = 0` aggregates everything under `""`.
+    pub fn breakdown_depth(&self, depth: usize) -> Vec<(String, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        for ev in &self.events {
+            let key: String = if depth == 0 {
+                String::new()
+            } else {
+                ev.phase.split('/').filter(|s| !s.is_empty()).take(depth).collect::<Vec<_>>().join("/")
+            };
+            if !totals.contains_key(&key) {
+                order.push(key.clone());
+            }
+            *totals.entry(key).or_insert(0) += ev.rounds;
+        }
+        order.into_iter().map(|k| { let t = totals[&k]; (k, t) }).collect()
+    }
+
+    /// Absorbs another ledger's events (used by parallel groups to keep child
+    /// details for auditing without double-charging: the events are appended
+    /// with zero-cost markers, and the caller charges the max separately).
+    pub fn absorb_as_info(&mut self, child: &RoundLedger, prefix: &str) {
+        for ev in child.events() {
+            let phase = if ev.phase.is_empty() {
+                prefix.to_string()
+            } else {
+                format!("{prefix}/{}", ev.phase)
+            };
+            self.events.push(Event {
+                phase,
+                label: format!("[parallel-instance] {}", ev.label),
+                rounds: 0,
+            });
+        }
+    }
+}
+
+impl std::fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "total rounds: {}", self.total)?;
+        for (phase, rounds) in self.breakdown() {
+            let name = if phase.is_empty() { "(top)" } else { &phase };
+            writeln!(f, "  {name:<28} {rounds}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = RoundLedger::new();
+        l.charge("a", 2);
+        l.charge("b", 3);
+        assert_eq!(l.total(), 5);
+        assert_eq!(l.events().len(), 2);
+    }
+
+    #[test]
+    fn phase_paths_nest() {
+        let mut l = RoundLedger::new();
+        l.push_phase("outer");
+        l.charge("x", 1);
+        l.push_phase("inner");
+        l.charge("y", 2);
+        l.pop_phase();
+        l.charge("z", 4);
+        l.pop_phase();
+        assert_eq!(l.events()[0].phase, "outer");
+        assert_eq!(l.events()[1].phase, "outer/inner");
+        assert_eq!(l.events()[2].phase, "outer");
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_top_phase() {
+        let mut l = RoundLedger::new();
+        l.push_phase("p1");
+        l.charge("a", 1);
+        l.push_phase("sub");
+        l.charge("b", 2);
+        l.pop_phase();
+        l.pop_phase();
+        l.push_phase("p2");
+        l.charge("c", 5);
+        l.pop_phase();
+        assert_eq!(l.breakdown(), vec![("p1".into(), 3), ("p2".into(), 5)]);
+        assert_eq!(
+            l.breakdown_depth(2),
+            vec![("p1".into(), 1), ("p1/sub".into(), 2), ("p2".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn absorb_as_info_is_free() {
+        let mut parent = RoundLedger::new();
+        let mut child = RoundLedger::new();
+        child.charge("inner", 7);
+        parent.absorb_as_info(&child, "instance-0");
+        assert_eq!(parent.total(), 0);
+        assert_eq!(parent.events().len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Messages and payload sizing.
+//!
+//! Payload sizes are measured in words (see [`crate::bandwidth`]). The
+//! [`Words`] trait reports how many words a payload occupies; routing charges
+//! are computed from these sizes.
+
+use crate::NodeId;
+
+/// A point-to-point message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg<P> {
+    /// Sender.
+    pub src: NodeId,
+    /// Recipient.
+    pub dst: NodeId,
+    /// Payload; its size in words is given by [`Words::words`].
+    pub payload: P,
+}
+
+impl<P> Msg<P> {
+    /// Creates a message.
+    pub fn new(src: NodeId, dst: NodeId, payload: P) -> Self {
+        Self { src, dst, payload }
+    }
+}
+
+/// Size of a payload in `Θ(log n)`-bit words.
+///
+/// A node ID or an edge weight is one word (weights are polynomially bounded,
+/// Section 2.1 of the paper). Tuples add their components; vectors sum their
+/// elements.
+pub trait Words {
+    /// Number of words this payload occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+impl Words for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for u32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for usize {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for bool {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words> Words for (A, B, C) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words, D: Words> Words for (A, B, C, D) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words()
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(Words::words).sum()
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> usize {
+        self.as_ref().map_or(1, |t| t.words())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!(7usize.words(), 1);
+        assert_eq!(true.words(), 1);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u64, 2u64).words(), 2);
+        assert_eq!((1u64, 2u64, 3u64).words(), 3);
+        assert_eq!(vec![(1u64, 2u64); 5].words(), 10);
+        assert_eq!(Some((1u64, 2u64)).words(), 2);
+        assert_eq!(None::<u64>.words(), 1);
+    }
+
+    #[test]
+    fn msg_construction() {
+        let m = Msg::new(3, 4, (9u64, 1u64));
+        assert_eq!(m.src, 3);
+        assert_eq!(m.dst, 4);
+        assert_eq!(m.payload.words(), 2);
+    }
+}

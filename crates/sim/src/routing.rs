@@ -1,0 +1,141 @@
+//! A concrete round-by-round routing scheduler.
+//!
+//! [`schedule_route`] places messages into rounds under the model's per-link
+//! capacity constraint (one message of `f` words per ordered node pair per
+//! round), using the classic two-phase balanced relay scheme that underlies
+//! Lenzen's routing theorem \[Len13\]:
+//!
+//! * **Phase 1 (scatter):** source `u` splits its traffic into `f`-word units
+//!   and hands unit `j` to relay `(u + j) mod n` — one unit per link per
+//!   round.
+//! * **Phase 2 (deliver):** each relay forwards its held units to their
+//!   destinations — again one unit per link per round.
+//!
+//! The scheduler reports the *exact* number of rounds this schedule takes.
+//! Experiment E15 and the tests compare it against the closed-form charge
+//! `ROUTE_CONSTANT · ceil(L / (n·f))` used by [`crate::Clique::route`]; on
+//! balanced instances (the only ones the paper's lemmas invoke) the two agree
+//! up to a small additive constant. This is a validation tool, not Lenzen's
+//! exact algorithm — his sorting-based scheme achieves a fixed constant on
+//! *all* instances, which we cite rather than re-derive.
+
+use crate::NodeId;
+
+/// Outcome of scheduling one routing instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Rounds used by the scatter phase.
+    pub phase1_rounds: u64,
+    /// Rounds used by the delivery phase.
+    pub phase2_rounds: u64,
+    /// Total rounds.
+    pub total_rounds: u64,
+    /// Number of `f`-word units moved.
+    pub units: usize,
+}
+
+/// Schedules the instance `msgs` (entries `(src, dst, words)`) on an
+/// `n`-node clique with `f` words per message, and returns the exact round
+/// counts of the two-phase relay schedule.
+///
+/// Messages are split into `ceil(words / f)` units. Units destined to their
+/// own source still travel through a relay (keeping the schedule oblivious).
+///
+/// # Panics
+///
+/// Panics if any endpoint is out of range or `f == 0`.
+pub fn schedule_route(n: usize, f: usize, msgs: &[(NodeId, NodeId, usize)]) -> Schedule {
+    assert!(f >= 1, "bandwidth must be at least one word");
+    assert!(n >= 1, "empty clique");
+    // Unit counts per (src, relay) link for phase 1, and per relay a list of
+    // destination unit counts for phase 2.
+    let mut phase1 = vec![0u64; n * n]; // [src * n + relay]
+    let mut phase2 = vec![0u64; n * n]; // [relay * n + dst]
+    let mut next_relay = vec![0usize; n];
+    let mut units_total = 0usize;
+    for &(src, dst, words) in msgs {
+        assert!(src < n && dst < n, "message endpoint out of range");
+        let units = words.div_ceil(f).max(1);
+        units_total += units;
+        for _ in 0..units {
+            let relay = (src + next_relay[src]) % n;
+            next_relay[src] += 1;
+            phase1[src * n + relay] += 1;
+            phase2[relay * n + dst] += 1;
+        }
+    }
+    let phase1_rounds = phase1.iter().copied().max().unwrap_or(0);
+    let phase2_rounds = phase2.iter().copied().max().unwrap_or(0);
+    Schedule {
+        phase1_rounds,
+        phase2_rounds,
+        total_rounds: phase1_rounds + phase2_rounds,
+        units: units_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance_takes_zero_rounds() {
+        let s = schedule_route(4, 1, &[]);
+        assert_eq!(s.total_rounds, 0);
+    }
+
+    #[test]
+    fn single_message_takes_two_rounds() {
+        let s = schedule_route(4, 1, &[(0, 1, 1)]);
+        assert_eq!(s.phase1_rounds, 1);
+        assert_eq!(s.phase2_rounds, 1);
+    }
+
+    #[test]
+    fn balanced_all_to_all_is_constant_rounds() {
+        // Every node sends one word to every node: L = n. The relay schedule
+        // should finish in O(1) rounds.
+        let n = 16;
+        let msgs: Vec<_> =
+            (0..n).flat_map(|u| (0..n).map(move |v| (u, v, 1usize))).collect();
+        let s = schedule_route(n, 1, &msgs);
+        assert!(s.total_rounds <= 4, "rounds = {}", s.total_rounds);
+    }
+
+    #[test]
+    fn load_l_times_n_scales_linearly() {
+        // Each node sends c*n words spread over all destinations.
+        let n = 8;
+        for c in 1..4usize {
+            let msgs: Vec<_> = (0..n)
+                .flat_map(|u| (0..n).flat_map(move |v| (0..c).map(move |_| (u, v, 1usize))))
+                .collect();
+            let s = schedule_route(n, 1, &msgs);
+            assert!(
+                s.total_rounds as usize <= 2 * c + 2,
+                "c = {c}, rounds = {}",
+                s.total_rounds
+            );
+        }
+    }
+
+    #[test]
+    fn wide_messages_split_into_units() {
+        let s = schedule_route(4, 2, &[(0, 1, 10)]);
+        assert_eq!(s.units, 5);
+    }
+
+    #[test]
+    fn bigger_bandwidth_fewer_rounds() {
+        let msgs: Vec<_> = (0..8).map(|v| (0usize, v, 8usize)).collect();
+        let s1 = schedule_route(8, 1, &msgs);
+        let s4 = schedule_route(8, 4, &msgs);
+        assert!(s4.total_rounds < s1.total_rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoints() {
+        schedule_route(4, 1, &[(0, 9, 1)]);
+    }
+}

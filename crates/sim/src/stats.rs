@@ -1,0 +1,126 @@
+//! Cumulative traffic statistics, aggregated per primitive label.
+//!
+//! Complements the [`crate::RoundLedger`] (which answers *how many rounds*)
+//! with *how much data moved and how skewed it was* — the quantities the
+//! paper's routing lemmas constrain (e.g. "every node is the target of O(n)
+//! messages"). Experiments read these to verify load preconditions held.
+
+use std::collections::HashMap;
+
+/// Aggregated traffic for one primitive label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelTraffic {
+    /// Number of invocations of the primitive under this label.
+    pub invocations: usize,
+    /// Total words moved across all invocations.
+    pub total_words: usize,
+    /// Largest single-node load (words) seen in any invocation.
+    pub max_node_load: usize,
+    /// Total rounds charged under this label.
+    pub rounds: u64,
+}
+
+/// Per-label traffic table, in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    order: Vec<String>,
+    by_label: HashMap<String, LabelTraffic>,
+}
+
+impl TrafficStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one primitive invocation.
+    pub fn record(&mut self, label: &str, total_words: usize, max_node_load: usize, rounds: u64) {
+        let entry = match self.by_label.get_mut(label) {
+            Some(e) => e,
+            None => {
+                self.order.push(label.to_string());
+                self.by_label.entry(label.to_string()).or_default()
+            }
+        };
+        entry.invocations += 1;
+        entry.total_words += total_words;
+        entry.max_node_load = entry.max_node_load.max(max_node_load);
+        entry.rounds += rounds;
+    }
+
+    /// Traffic for a label, if any was recorded.
+    pub fn get(&self, label: &str) -> Option<LabelTraffic> {
+        self.by_label.get(label).copied()
+    }
+
+    /// All `(label, traffic)` rows in first-seen order.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, LabelTraffic)> + '_ {
+        self.order.iter().map(move |l| (l.as_str(), self.by_label[l]))
+    }
+
+    /// Total words moved across all labels.
+    pub fn total_words(&self) -> usize {
+        self.by_label.values().map(|t| t.total_words).sum()
+    }
+
+    /// The largest single-node load observed anywhere.
+    pub fn worst_node_load(&self) -> usize {
+        self.by_label.values().map(|t| t.max_node_load).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<44} {:>6} {:>12} {:>10} {:>8}",
+            "label", "calls", "words", "max load", "rounds"
+        )?;
+        for (label, t) in self.rows() {
+            writeln!(
+                f,
+                "{:<44} {:>6} {:>12} {:>10} {:>8}",
+                label, t.invocations, t.total_words, t.max_node_load, t.rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_per_label() {
+        let mut s = TrafficStats::new();
+        s.record("a", 100, 10, 2);
+        s.record("a", 50, 25, 2);
+        s.record("b", 7, 7, 1);
+        let a = s.get("a").unwrap();
+        assert_eq!(a.invocations, 2);
+        assert_eq!(a.total_words, 150);
+        assert_eq!(a.max_node_load, 25);
+        assert_eq!(a.rounds, 4);
+        assert_eq!(s.total_words(), 157);
+        assert_eq!(s.worst_node_load(), 25);
+    }
+
+    #[test]
+    fn rows_preserve_first_seen_order() {
+        let mut s = TrafficStats::new();
+        s.record("z", 1, 1, 1);
+        s.record("a", 1, 1, 1);
+        s.record("z", 1, 1, 1);
+        let labels: Vec<&str> = s.rows().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let mut s = TrafficStats::new();
+        s.record("hopset-edge-transfer", 1000, 64, 2);
+        let text = s.to_string();
+        assert!(text.contains("hopset-edge-transfer"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: approximate APSP on a random weighted graph.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a connected Erdős–Rényi graph, runs the paper's Theorem 1.1
+//! pipeline on a simulated standard Congested Clique, and audits the result
+//! against exact distances.
+
+use cc_apsp::pipeline::{approximate_apsp, PipelineConfig};
+use cc_graph::{apsp, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::gnp_connected(n, 8.0 / n as f64, 1..=100, &mut rng);
+    println!("graph: n = {}, m = {}, max weight = {}", g.n(), g.m(), g.max_weight());
+
+    let cfg = PipelineConfig::default();
+    let result = approximate_apsp(&g, &cfg);
+
+    println!("\n== Theorem 1.1 run ==");
+    println!("guaranteed stretch bound : {:.1}×", result.stretch_bound);
+    println!("rounds charged           : {}", result.rounds);
+    println!("\nphase breakdown:");
+    for (phase, rounds) in &result.phase_rounds {
+        let name = if phase.is_empty() { "(top)" } else { phase };
+        println!("  {name:<28} {rounds}");
+    }
+
+    // Audit against ground truth (the luxury of a simulator).
+    let exact = apsp::exact_apsp(&g);
+    let stats = result.estimate.stretch_vs(&exact);
+    println!("\nmeasured stretch: max {:.3}, mean {:.3}, p99 {:.3}", stats.max_stretch, stats.mean_stretch, stats.p99_stretch);
+    println!("underestimates: {}   missing: {}", stats.underestimates, stats.missing);
+    assert!(stats.is_valid_approximation(result.stretch_bound));
+    println!("\nestimate is a valid {:.1}-approximation ✓", result.stretch_bound);
+
+    // Spot-check a few pairs.
+    println!("\nsample pairs (u, v): exact vs estimate");
+    for (u, v) in [(0usize, n - 1), (3, 200), (17, 99)] {
+        println!(
+            "  d({u:3},{v:3}) = {:5}   δ = {:5}",
+            exact.get(u, v),
+            result.estimate.get(u, v)
+        );
+    }
+}

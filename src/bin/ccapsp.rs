@@ -1,0 +1,147 @@
+//! `ccapsp` — command-line front end for the Congested Clique APSP
+//! reproduction.
+//!
+//! ```text
+//! ccapsp gen <family> <n> <seed> <out.edges>     generate a workload
+//! ccapsp run <graph.edges> [--algo A] [--seed S] run an algorithm + audit
+//! ccapsp info <graph.edges>                      graph statistics
+//! ```
+//!
+//! Algorithms (`--algo`): `thm11` (default, Theorem 1.1), `thm81`
+//! (Theorem 8.1 on CC\[log⁴n\]), `smalldiam` (Theorem 7.1), `spanner`
+//! (the O(log n) baseline), `exact` (min-plus squaring baseline).
+
+use cc_apsp::pipeline::{apsp_large_bandwidth, approximate_apsp, PipelineConfig};
+use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
+use cc_baselines::{exact as exact_baseline, spanner_only};
+use cc_graph::generators::Family;
+use cc_graph::graph::Direction;
+use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph};
+use clique_sim::{Bandwidth, Clique};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ccapsp gen <family:{}> <n> <seed> <out.edges>\n  \
+         ccapsp run <graph.edges> [--algo thm11|thm81|smalldiam|spanner|exact] [--seed S]\n  \
+         ccapsp info <graph.edges>",
+        Family::ALL.map(|f| f.name()).join("|")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let [family, n, seed, out] = args else { return usage() };
+    let Some(family) = Family::ALL.iter().find(|f| f.name() == family) else {
+        eprintln!("unknown family {family:?}");
+        return usage();
+    };
+    let (Ok(n), Ok(seed)) = (n.parse::<usize>(), seed.parse::<u64>()) else {
+        return usage();
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = family.generate(n, n as u64, &mut rng);
+    if let Err(e) = gio::write_graph_file(&g, out) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} nodes, {} edges)", out, g.n(), g.m());
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Graph, ExitCode> {
+    gio::read_graph_file(path, Direction::Undirected).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(code) => return code,
+    };
+    println!("nodes          {}", g.n());
+    println!("edges          {}", g.m());
+    println!("weight range   [{}, {}]", g.min_weight(), g.max_weight());
+    let (_, comps) = cc_graph::components::connected_components(&g);
+    println!("components     {comps}");
+    if g.n() <= 2048 {
+        println!("weighted diam  {}", sssp::weighted_diameter(&g));
+        println!("hop diam       {}", cc_graph::hops::hop_diameter(&g));
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(code) => return code,
+    };
+    let algo = flag(args, "--algo").unwrap_or("thm11");
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let cfg = PipelineConfig { seed, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.n();
+
+    let (estimate, bound, rounds): (DistMatrix, f64, u64) = match algo {
+        "thm11" => {
+            let r = approximate_apsp(&g, &cfg);
+            (r.estimate, r.stretch_bound, r.rounds)
+        }
+        "thm81" => {
+            let mut clique = Clique::new(n, Bandwidth::polylog(4, n));
+            let (est, bound) = apsp_large_bandwidth(&mut clique, &g, &cfg, &mut rng);
+            (est, bound, clique.rounds())
+        }
+        "smalldiam" => {
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            let (est, bound) =
+                small_diameter_apsp(&mut clique, &g, &SmallDiamConfig::default(), &mut rng);
+            (est, bound, clique.rounds())
+        }
+        "spanner" => {
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            let (est, bound) = spanner_only::spanner_only_apsp(&mut clique, &g, &mut rng);
+            (est, bound, clique.rounds())
+        }
+        "exact" => {
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            let est = exact_baseline::exact_apsp_squaring(&mut clique, &g);
+            (est, 1.0, clique.rounds())
+        }
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            return usage();
+        }
+    };
+
+    println!("algorithm      {algo}");
+    println!("rounds         {rounds}");
+    println!("guarantee      {bound:.1}×");
+    if n <= 2048 {
+        let exact = apsp::exact_apsp(&g);
+        let stats = estimate.stretch_vs(&exact);
+        println!("measured       max {:.3} / mean {:.3} / p99 {:.3}", stats.max_stretch, stats.mean_stretch, stats.p99_stretch);
+        println!("valid          {}", stats.is_valid_approximation(bound));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,40 @@
+//! Umbrella crate for the Congested Clique APSP reproduction: re-exports the
+//! workspace crates and hosts the runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`).
+//!
+//! Start with [`cc_apsp::pipeline::approximate_apsp`] — see
+//! `examples/quickstart.rs`.
+
+pub use cc_apsp;
+pub use cc_baselines;
+pub use cc_graph;
+pub use cc_matrix;
+pub use clique_sim;
+
+use cc_graph::{apsp, generators::Family, DistMatrix, Graph, StretchStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generated workload: graph plus its exact distances (ground truth).
+pub struct Workload {
+    /// Short family name (e.g. `"gnp"`).
+    pub family: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// Exact APSP, for stretch auditing.
+    pub exact: DistMatrix,
+}
+
+/// Generates a workload for `family` at `n` nodes (weights up to `n`),
+/// deterministically per seed, with ground truth attached.
+pub fn workload(family: Family, n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = family.generate(n, n as u64, &mut rng);
+    let exact = apsp::exact_apsp(&graph);
+    Workload { family: family.name(), graph, exact }
+}
+
+/// Audits an estimate against a workload's ground truth.
+pub fn audit(w: &Workload, estimate: &DistMatrix) -> StretchStats {
+    estimate.stretch_vs(&w.exact)
+}

@@ -1,0 +1,246 @@
+//! Cross-crate tests of individual building blocks in unusual regimes:
+//! parameter boundaries, degenerate shapes, and compositions the in-crate
+//! unit tests don't reach.
+
+use cc_apsp::knearest::{self, plan_bins};
+use cc_apsp::scaling::{combine, weight_scaling};
+use cc_apsp::skeleton::{build_skeleton, extend_estimate};
+use cc_apsp::smalldiam::apsp_o_loglog;
+use cc_apsp::spanner::baswana_sen;
+use cc_graph::graph::{Direction, Graph};
+use cc_graph::{apsp, generators, sssp, DistMatrix, GraphBuilder, NodeId, Weight, INF};
+use cc_matrix::filtered::{filtered_power_reference, FilteredMatrix};
+use clique_sim::{Bandwidth, Clique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clique_for(n: usize) -> Clique {
+    Clique::new(n, Bandwidth::standard(n))
+}
+
+// ---------- k-nearest in boundary regimes ----------
+
+#[test]
+fn knearest_h_equals_one_is_direct_edges() {
+    // h = 1: combinations are single bins; the output is the filtered
+    // adjacency itself (1-hop k-nearest).
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = generators::gnp_connected(64, 0.15, 1..=20, &mut rng);
+    let abar = FilteredMatrix::from_graph(&g, 5);
+    let mut clique = clique_for(64);
+    let out = knearest::one_round(&mut clique, &abar, 1);
+    assert_eq!(out, abar);
+}
+
+#[test]
+fn knearest_k_equals_one_is_self_only() {
+    // k = 1: every row keeps only the diagonal (distance 0 to self beats
+    // every positive-weight edge).
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::gnp_connected(32, 0.2, 1..=9, &mut rng);
+    let mut clique = clique_for(32);
+    let out = knearest::k_nearest_exact(&mut clique, &g, 1, 2, 2);
+    for u in 0..32 {
+        assert_eq!(out.row(u), &[(u, 0)]);
+    }
+}
+
+#[test]
+fn knearest_k_at_sqrt_n_boundary() {
+    // k = √n with h = 2 is exactly the boundary the paper uses (Section
+    // 3.2); ensure the plan exists and the output is exact.
+    let n = 256;
+    let k = 16;
+    assert!(plan_bins(n, k, 2).is_some());
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::gnp_connected(n, 0.05, 1..=30, &mut rng);
+    let mut clique = clique_for(n);
+    let out = knearest::k_nearest_exact(&mut clique, &g, k, 2, 4); // 2^4 = 16 ≥ k
+    for u in (0..n).step_by(17) {
+        assert_eq!(out.row(u), &sssp::k_nearest(&g, u, k)[..], "node {u}");
+    }
+}
+
+#[test]
+fn knearest_on_disconnected_graph_pads_with_reachable_only() {
+    let g = Graph::from_edges(
+        10,
+        Direction::Undirected,
+        &[(0, 1, 1), (1, 2, 1), (5, 6, 1)],
+    );
+    let mut clique = clique_for(10);
+    let out = knearest::k_nearest_exact(&mut clique, &g, 5, 2, 3);
+    // Node 0 reaches only {0,1,2}: row holds exactly those.
+    assert_eq!(out.row(0).len(), 3);
+    assert!(out.row(0).iter().all(|&(v, _)| v <= 2));
+    // Isolated node 9: just itself.
+    assert_eq!(out.row(9), &[(9, 0)]);
+}
+
+#[test]
+fn knearest_handles_duplicate_weights_and_id_tiebreaks() {
+    // All weights equal: selection is purely ID-driven; cross-check the
+    // distributed machinery against the dense reference.
+    let mut b = GraphBuilder::undirected(24);
+    for u in 0..24usize {
+        for v in (u + 1)..24 {
+            if (u + v) % 3 == 0 {
+                b.add_edge(u, v, 7);
+            }
+        }
+    }
+    let g = b.build();
+    let abar = FilteredMatrix::from_graph(&g, 4);
+    let mut clique = clique_for(24);
+    let out = knearest::one_round(&mut clique, &abar, 2);
+    let expect = filtered_power_reference(&abar.to_dense(), 4, 2);
+    assert_eq!(out, expect);
+}
+
+// ---------- skeleton in boundary regimes ----------
+
+#[test]
+fn skeleton_on_star_collapses_to_center_region() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = generators::star(60, 1..=5, &mut rng);
+    let k = 8;
+    let rows: Vec<Vec<(NodeId, Weight)>> =
+        (0..g.n()).map(|u| sssp::k_nearest(&g, u, k)).collect();
+    let tilde = FilteredMatrix::from_rows(g.n(), k, rows);
+    let mut clique = clique_for(g.n());
+    let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
+    // Star: the hub is in everyone's k-nearest set, so the hitting set can
+    // be tiny.
+    assert!(sk.size() < 20, "|V_S| = {}", sk.size());
+    let delta_gs = apsp::exact_apsp(&sk.graph);
+    let eta = extend_estimate(&mut clique, &sk, &tilde, &delta_gs);
+    let stats = eta.stretch_vs(&apsp::exact_apsp(&g));
+    assert!(stats.is_valid_approximation(7.0), "{stats}");
+}
+
+#[test]
+fn skeleton_with_k_equals_n_is_single_center_per_component() {
+    // k = n: every node knows everyone; the hitting set needs only one node.
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::gnp_connected(30, 0.3, 1..=9, &mut rng);
+    let n = g.n();
+    let rows: Vec<Vec<(NodeId, Weight)>> =
+        (0..n).map(|u| sssp::k_nearest(&g, u, n)).collect();
+    let tilde = FilteredMatrix::from_rows(n, n, rows);
+    let mut clique = clique_for(n);
+    let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
+    assert!(sk.size() <= 4, "|V_S| = {}", sk.size());
+}
+
+// ---------- scaling in boundary regimes ----------
+
+#[test]
+fn scaling_single_scale_when_diameter_tiny() {
+    let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+    let scaled = weight_scaling(&g, 3, 4, 0.5);
+    assert_eq!(scaled.len(), 1);
+}
+
+#[test]
+fn scaling_combine_keeps_inf_for_unreachable() {
+    let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 5), (2, 3, 5)]);
+    let exact = apsp::exact_apsp(&g);
+    let scaled = weight_scaling(&g, 10, 2, 0.5);
+    let gis: Vec<DistMatrix> = scaled.graphs.iter().map(apsp::exact_apsp).collect();
+    let eta = combine(&scaled, &gis, &exact);
+    assert!(eta.get(0, 2) >= INF, "hub edges must not leak cross-component distances");
+    assert_eq!(eta.get(0, 1), 5);
+}
+
+#[test]
+fn scaling_handles_maximal_weights() {
+    // Weights near the polynomial cap; saturating arithmetic must hold.
+    let w = 1u64 << 40;
+    let g = Graph::from_edges(3, Direction::Undirected, &[(0, 1, w), (1, 2, w)]);
+    let exact = apsp::exact_apsp(&g);
+    let scaled = weight_scaling(&g, 2 * w, 4, 0.5);
+    let gis: Vec<DistMatrix> = scaled.graphs.iter().map(apsp::exact_apsp).collect();
+    let eta = combine(&scaled, &gis, &exact);
+    assert!(eta.get(0, 2) >= exact.get(0, 2));
+    assert!(eta.get(0, 2) < INF);
+}
+
+// ---------- spanners in boundary regimes ----------
+
+#[test]
+fn spanner_on_tree_keeps_all_edges() {
+    // A tree has no redundant edges; any spanner must keep them all to stay
+    // connected (and Baswana–Sen only discards intra/inter-cluster
+    // duplicates, which a tree doesn't have... verified empirically).
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = generators::caterpillar(30, 20, 1..=9, &mut rng);
+    let s = baswana_sen(&g, 3, &mut rng);
+    let (_, comps) = cc_graph::components::connected_components(&s);
+    assert_eq!(comps, 1);
+    assert_eq!(s.m(), g.m(), "tree spanner must keep every edge");
+}
+
+#[test]
+fn spanner_stretch_on_hub_heavy_graph() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::preferential_attachment(100, 4, 1..=50, &mut rng);
+    let s = baswana_sen(&g, 3, &mut rng);
+    let stretch = cc_apsp::spanner::measure_spanner_stretch(&g, &s);
+    assert!(stretch <= 5.0 + 1e-9, "stretch {stretch}");
+}
+
+// ---------- §3.2 on tricky shapes ----------
+
+#[test]
+fn section_3_2_on_gridlike_diameter() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = generators::torus(10, 10, 1..=8, &mut rng);
+    let mut clique = clique_for(g.n());
+    let (est, bound) = apsp_o_loglog(&mut clique, &g, false, &mut rng);
+    let stats = est.stretch_vs(&apsp::exact_apsp(&g));
+    assert!(stats.is_valid_approximation(bound), "{stats}");
+}
+
+#[test]
+fn section_3_2_rounds_track_iteration_count() {
+    // The k-nearest phase dominates; its iterations are ⌈log₂ β⌉ with
+    // β = O(a log d) — so doubling the weighted diameter adds at most a few
+    // rounds, not a multiplicative factor.
+    let mut rng = StdRng::seed_from_u64(9);
+    let small_d = generators::gnp_connected(128, 0.08, 1..=4, &mut rng);
+    let large_d = generators::gnp_connected(128, 0.08, 1..=4000, &mut rng);
+    let mut c1 = clique_for(128);
+    let mut c2 = clique_for(128);
+    apsp_o_loglog(&mut c1, &small_d, false, &mut rng);
+    apsp_o_loglog(&mut c2, &large_d, false, &mut rng);
+    assert!(
+        c2.rounds() < 3 * c1.rounds(),
+        "diameter ×1000 ⇒ rounds {} vs {}",
+        c2.rounds(),
+        c1.rounds()
+    );
+}
+
+// ---------- randomized cross-validation sweep ----------
+
+#[test]
+fn random_block_compositions_validate() {
+    // Hopset → k-nearest → skeleton → extension, with independently random
+    // parameters, must always produce a valid 7-approximation when fed
+    // exact inputs.
+    let mut rng = StdRng::seed_from_u64(10);
+    for trial in 0..5 {
+        let n = rng.gen_range(30..70);
+        let g = generators::gnp_connected(n, 0.15, 1..=30, &mut rng);
+        let k = rng.gen_range(3..(n as f64).sqrt() as usize + 2);
+        let rows: Vec<Vec<(NodeId, Weight)>> =
+            (0..n).map(|u| sssp::k_nearest(&g, u, k)).collect();
+        let tilde = FilteredMatrix::from_rows(n, k, rows);
+        let mut clique = clique_for(n);
+        let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
+        let delta_gs = apsp::exact_apsp(&sk.graph);
+        let eta = extend_estimate(&mut clique, &sk, &tilde, &delta_gs);
+        let stats = eta.stretch_vs(&apsp::exact_apsp(&g));
+        assert!(stats.is_valid_approximation(7.0), "trial {trial} (n={n}, k={k}): {stats}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Edge cases and model-precondition checks: degenerate graphs, extreme
+//! weights, exotic topologies, directed variants, and the load guard run
+//! over the whole pipeline.
+
+use cc_apsp::pipeline::{approximate_apsp, theorem_1_1, PipelineConfig};
+use cc_apsp::{hopset, knearest};
+use cc_graph::graph::{Direction, Graph};
+use cc_graph::{apsp, generators, sssp, GraphBuilder, INF};
+use clique_sim::{Bandwidth, Clique};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_valid(g: &Graph, seed: u64) {
+    let result = approximate_apsp(g, &PipelineConfig { seed, ..Default::default() });
+    let exact = apsp::exact_apsp(g);
+    let stats = result.estimate.stretch_vs(&exact);
+    assert!(
+        stats.is_valid_approximation(result.stretch_bound),
+        "n={} m={}: {stats}",
+        g.n(),
+        g.m()
+    );
+}
+
+#[test]
+fn single_node_graph() {
+    let g = Graph::empty(1, Direction::Undirected);
+    let result = approximate_apsp(&g, &PipelineConfig::default());
+    assert_eq!(result.estimate.n(), 1);
+    assert_eq!(result.estimate.get(0, 0), 0);
+}
+
+#[test]
+fn two_node_graph() {
+    let g = Graph::from_edges(2, Direction::Undirected, &[(0, 1, 42)]);
+    let result = approximate_apsp(&g, &PipelineConfig::default());
+    assert_eq!(result.estimate.get(0, 1), 42);
+    assert_eq!(result.estimate.get(1, 0), 42);
+}
+
+#[test]
+fn edgeless_graph_stays_all_inf() {
+    let g = Graph::empty(24, Direction::Undirected);
+    let result = approximate_apsp(&g, &PipelineConfig::default());
+    for u in 0..24 {
+        for v in 0..24 {
+            if u != v {
+                assert!(result.estimate.get(u, v) >= INF, "({u},{v})");
+            }
+        }
+    }
+}
+
+#[test]
+fn polynomially_large_weights_do_not_overflow() {
+    // Weights up to n³ (the paper's "polynomially bounded" regime).
+    let n: usize = 48;
+    let w_max = (n as u64).pow(3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = generators::gnp_connected(n, 0.12, w_max / 2..=w_max, &mut rng);
+    assert_valid(&g, 1);
+}
+
+#[test]
+fn unit_weights_work() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::gnp_connected(64, 0.08, 1..=1, &mut rng);
+    assert_valid(&g, 2);
+}
+
+#[test]
+fn star_graph_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::star(80, 1..=50, &mut rng);
+    assert_valid(&g, 3);
+}
+
+#[test]
+fn torus_pipeline() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = generators::torus(8, 10, 1..=20, &mut rng);
+    assert_valid(&g, 4);
+}
+
+#[test]
+fn hypercube_pipeline() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::hypercube(6, 1..=9, &mut rng);
+    assert_valid(&g, 5);
+}
+
+#[test]
+fn caterpillar_pipeline() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = generators::caterpillar(50, 30, 1..=15, &mut rng);
+    assert_valid(&g, 6);
+}
+
+#[test]
+fn communities_pipeline() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::communities(96, 6, 0.4, 0.01, 1..=30, &mut rng);
+    assert_valid(&g, 7);
+}
+
+#[test]
+fn pipeline_respects_generous_load_guard() {
+    // Every routing step of Theorem 1.1 must have O(n)-word per-node loads;
+    // a guard at 64·n·f turns any violation into a panic. This is the
+    // model-precondition check run over the whole composed pipeline.
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = generators::gnp_connected(128, 0.06, 1..=40, &mut rng);
+    let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+    clique.guard_loads(64);
+    let cfg = PipelineConfig { seed: 8, ..Default::default() };
+    let mut arng = StdRng::seed_from_u64(8);
+    let (est, bound) = theorem_1_1(&mut clique, &g, &cfg, &mut arng);
+    let exact = apsp::exact_apsp(&g);
+    assert!(est.stretch_vs(&exact).is_valid_approximation(bound));
+}
+
+#[test]
+fn traffic_stats_cover_pipeline_phases() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = generators::gnp_connected(96, 0.08, 1..=20, &mut rng);
+    let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+    let cfg = PipelineConfig { seed: 9, ..Default::default() };
+    let mut arng = StdRng::seed_from_u64(9);
+    theorem_1_1(&mut clique, &g, &cfg, &mut arng);
+    let traffic = clique.traffic();
+    // The key data-movement steps must appear in the traffic table.
+    for label in ["knearest-bin-transfer", "knearest-responses"] {
+        let t = traffic.get(label).unwrap_or_else(|| panic!("missing label {label}"));
+        assert!(t.invocations >= 1);
+        assert!(t.total_words > 0);
+    }
+    assert!(traffic.total_words() > 0);
+}
+
+#[test]
+fn directed_hopset_and_knearest_compose() {
+    // Lemmas 3.2 and 3.3 are stated for directed graphs; verify the
+    // composition delivers exact directed k-nearest sets.
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut b = GraphBuilder::directed(40);
+    use rand::Rng;
+    for u in 0..40usize {
+        for v in 0..40usize {
+            if u != v && rng.gen_bool(0.12) {
+                b.add_edge(u, v, rng.gen_range(1..30));
+            }
+        }
+    }
+    let g = b.build();
+    let delta = apsp::exact_apsp(&g);
+    let k = 6;
+    let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+    let hs = hopset::build_hopset(&mut clique, &g, &delta, k);
+    assert_eq!(hs.combined.direction(), Direction::Directed);
+    // With exact input, 2 hops suffice to each k-nearest node: i=1, h=2.
+    let rows = knearest::k_nearest_exact(&mut clique, &hs.combined, k, 2, 1);
+    for u in 0..g.n() {
+        let expect = sssp::k_nearest(&g, u, k);
+        assert_eq!(rows.row(u), &expect[..], "node {u}");
+    }
+}
+
+#[test]
+fn parallel_heavy_weight_distribution() {
+    // Weights spread over 2^0..2^24 at once: the weight-scaling machinery
+    // must produce many scales and still validate.
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::wide_weight_gnp(72, 0.15, 24, &mut rng);
+    assert_valid(&g, 11);
+}
+
+#[test]
+fn two_cliques_and_a_bridge() {
+    // A notorious shape for spanner/skeleton constructions: two dense blobs
+    // joined by a single heavy bridge.
+    let mut b = GraphBuilder::undirected(40);
+    let mut rng = StdRng::seed_from_u64(12);
+    use rand::Rng;
+    for u in 0..20usize {
+        for v in (u + 1)..20 {
+            b.add_edge(u, v, rng.gen_range(1..5));
+            b.add_edge(u + 20, v + 20, rng.gen_range(1..5));
+        }
+    }
+    b.add_edge(7, 31, 1000);
+    let g = b.build();
+    assert_valid(&g, 12);
+}
+
+#[test]
+fn repeated_runs_share_no_state() {
+    // Two interleaved runs on different graphs must not contaminate each
+    // other (the simulator owns no globals).
+    let mut rng = StdRng::seed_from_u64(13);
+    let g1 = generators::gnp_connected(48, 0.15, 1..=9, &mut rng);
+    let g2 = generators::star(48, 1..=9, &mut rng);
+    let r1a = approximate_apsp(&g1, &PipelineConfig { seed: 13, ..Default::default() });
+    let _r2 = approximate_apsp(&g2, &PipelineConfig { seed: 13, ..Default::default() });
+    let r1b = approximate_apsp(&g1, &PipelineConfig { seed: 13, ..Default::default() });
+    assert_eq!(r1a.estimate, r1b.estimate);
+    assert_eq!(r1a.rounds, r1b.rounds);
+}

@@ -1,0 +1,210 @@
+//! Direct conformance tests for the paper's numbered claims — the
+//! inequalities the proofs lean on, checked on concrete graphs.
+
+use cc_apsp::knearest::plan_bins;
+use cc_graph::{apsp, generators, sssp, DistMatrix, Graph, NodeId, Weight, INF};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `ℓ(v)` of Section 4.2: the smallest distance such that at least `k`
+/// nodes are within it — i.e. the distance to the k-th nearest node.
+fn ell(exact: &DistMatrix, v: NodeId, k: usize) -> Weight {
+    let mut dists: Vec<Weight> =
+        exact.row(v).iter().copied().filter(|&d| d < INF).collect();
+    dists.sort_unstable();
+    dists.get(k - 1).copied().unwrap_or(*dists.last().unwrap_or(&0))
+}
+
+fn workload(n: usize, seed: u64) -> (Graph, DistMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::gnp_connected(n, 0.12, 1..=40, &mut rng);
+    let exact = apsp::exact_apsp(&g);
+    (g, exact)
+}
+
+/// Claim 4.3: `ℓ(v) − ℓ(u) ≤ d(v, u)` — the triangle-inequality-like
+/// property of the k-th nearest distances.
+#[test]
+fn claim_4_3_ell_is_lipschitz() {
+    for seed in 0..4 {
+        let (g, exact) = workload(50, seed);
+        let k = (g.n() as f64).sqrt() as usize;
+        let ells: Vec<Weight> = (0..g.n()).map(|v| ell(&exact, v, k)).collect();
+        for v in 0..g.n() {
+            for u in 0..g.n() {
+                let d = exact.get(v, u);
+                if d >= INF {
+                    continue;
+                }
+                assert!(
+                    ells[v].saturating_sub(ells[u]) <= d,
+                    "seed={seed}: ℓ({v})={} − ℓ({u})={} > d={d}",
+                    ells[v],
+                    ells[u]
+                );
+            }
+        }
+    }
+}
+
+/// Claim 4.2: with an a-approximation δ, the ball of radius `(ℓ(v)−1)/a`
+/// around `v` is contained in the approximate k-nearest set `Ñ_k(v)`
+/// (the k nodes with smallest δ(v,·)).
+#[test]
+fn claim_4_2_ball_containment() {
+    for seed in 0..4 {
+        let (g, exact) = workload(48, seed + 10);
+        let n = g.n();
+        let k = (n as f64).sqrt() as usize;
+        let a = 3u64;
+        // Deterministically degraded a-approximation.
+        let mut delta = exact.clone();
+        for u in 0..n {
+            for v in 0..n {
+                let d = exact.get(u, v);
+                if u != v && d < INF {
+                    delta.set(u, v, d * (1 + (u * 13 + v * 7) as u64 % a));
+                }
+            }
+        }
+        for v in 0..n {
+            let lv = ell(&exact, v, k);
+            let radius = lv.saturating_sub(1) / a;
+            // Ñ_k(v): k smallest by (δ, id).
+            let mut order: Vec<(Weight, NodeId)> =
+                delta.row(v).iter().copied().enumerate().map(|(u, d)| (d, u)).collect();
+            order.sort_unstable();
+            let tilde: std::collections::HashSet<NodeId> =
+                order.into_iter().take(k).map(|(_, u)| u).collect();
+            for u in 0..n {
+                if exact.get(v, u) <= radius {
+                    assert!(
+                        tilde.contains(&u),
+                        "seed={seed}: B_{{({lv}-1)/{a}}}({v}) ∋ {u} but {u} ∉ Ñ_k({v})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Section 5.3's counting argument: `h·C(p,h) ≤ n` for
+/// `p = ⌊n^(1/h)·h/4⌋`, across the parameter grid the pipelines use.
+#[test]
+fn section_5_combination_count_bound() {
+    for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        for h in 1..=6usize {
+            for k in [2usize, 4, 8, 16, 32] {
+                if let Some(plan) = plan_bins(n, k, h) {
+                    assert!(
+                        plan.combinations.len() <= n,
+                        "n={n} h={h} k={k}: {} combinations",
+                        plan.combinations.len()
+                    );
+                    // Each node's row spans at most two bins (needs bin > k).
+                    assert!(plan.bin_size > k, "n={n} h={h} k={k}");
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 6.4's chain of inequalities, audited end-to-end: for exact tilde
+/// sets (a = 1) and an l-approximate skeleton estimate, the extension is
+/// within `7·l` — tested at l = 1 and l = 2 with synthetic inflation.
+#[test]
+fn lemma_6_4_extension_chain() {
+    use cc_apsp::skeleton::{build_skeleton, extend_estimate, extension_bound};
+    use cc_matrix::filtered::FilteredMatrix;
+    use clique_sim::{Bandwidth, Clique};
+    for (seed, l) in [(1u64, 1u64), (2, 2), (3, 3)] {
+        let (g, exact) = workload(44, seed + 20);
+        let n = g.n();
+        let k = 6;
+        let rows: Vec<Vec<(NodeId, Weight)>> =
+            (0..n).map(|u| sssp::k_nearest(&g, u, k)).collect();
+        let tilde = FilteredMatrix::from_rows(n, k, rows);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut clique = Clique::new(n, Bandwidth::standard(n));
+        let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
+        let exact_gs = apsp::exact_apsp(&sk.graph);
+        let mut delta_gs = exact_gs.clone();
+        for a in 0..sk.size() {
+            for b in 0..sk.size() {
+                let d = exact_gs.get(a, b);
+                if a != b && d < INF {
+                    delta_gs.set(a, b, d * l);
+                }
+            }
+        }
+        let eta = extend_estimate(&mut clique, &sk, &tilde, &delta_gs);
+        let stats = eta.stretch_vs(&exact);
+        assert!(
+            stats.is_valid_approximation(extension_bound(l as f64, 1.0)),
+            "l={l}: {stats}"
+        );
+    }
+}
+
+/// Theorem 2.1's determinism clause: with a deterministic inner algorithm,
+/// the zero-weight wrapper is deterministic end to end.
+#[test]
+fn theorem_2_1_determinism() {
+    use cc_apsp::zeroweight::apsp_with_zero_weights;
+    use cc_graph::GraphBuilder;
+    use clique_sim::{Bandwidth, Clique};
+    let mut b = GraphBuilder::undirected(18);
+    for c in 0..6usize {
+        b.add_edge(3 * c, 3 * c + 1, 0);
+        b.add_edge(3 * c, 3 * c + 2, 0);
+        b.add_edge(3 * c, (3 * (c + 1)) % 18, (c as u64 % 5) + 1);
+    }
+    let g = b.build();
+    let run = || {
+        let mut clique = Clique::new(18, Bandwidth::standard(18));
+        let (est, _) =
+            apsp_with_zero_weights(&mut clique, &g, |_c, cg| (apsp::exact_apsp(cg), 1.0));
+        (est, clique.rounds())
+    };
+    let (e1, r1) = run();
+    let (e2, r2) = run();
+    assert_eq!(e1, e2);
+    assert_eq!(r1, r2);
+}
+
+/// The Lemma 4.2 hop-bound constant, end to end: measured β never exceeds
+/// `2(⌈a·ln d⌉ + 1) + 1` across families and degradation levels (the E4
+/// sweep, asserted rather than printed).
+#[test]
+fn lemma_4_2_hop_bound_sweep() {
+    use cc_apsp::hopset::{build_hopset, measure_hop_bound};
+    use cc_apsp::params::hopset_beta_bound;
+    use clique_sim::{Bandwidth, Clique};
+    for seed in 0..3 {
+        let mut rng = StdRng::seed_from_u64(seed + 40);
+        let g = generators::random_geometric(40, 0.3, 60, &mut rng);
+        let exact = apsp::exact_apsp(&g);
+        let d = sssp::weighted_diameter(&g);
+        for a in [2u64, 5] {
+            let mut delta = exact.clone();
+            for u in 0..g.n() {
+                for v in 0..g.n() {
+                    let dd = exact.get(u, v);
+                    if u != v && dd < INF {
+                        delta.set(u, v, dd * (1 + (u + 2 * v) as u64 % a));
+                    }
+                }
+            }
+            delta.symmetrize_min();
+            let k = (g.n() as f64).sqrt() as usize;
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            let hs = build_hopset(&mut clique, &g, &delta, k);
+            let (beta, preserved) = measure_hop_bound(&g, &hs, k);
+            assert!(preserved, "seed={seed} a={a}");
+            assert!(
+                beta <= hopset_beta_bound(a as f64, d),
+                "seed={seed} a={a}: β={beta} > bound"
+            );
+        }
+    }
+}
