@@ -60,7 +60,11 @@ mod tests {
         let per = product_rounds(64);
         let max_squarings = (log2_ceil(64) + 2) as u64;
         assert!(clique.rounds() >= per);
-        assert!(clique.rounds() <= per * max_squarings, "rounds = {}", clique.rounds());
+        assert!(
+            clique.rounds() <= per * max_squarings,
+            "rounds = {}",
+            clique.rounds()
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn fast() -> bool {
-    std::env::var("FAST").map_or(false, |v| v == "1")
+    std::env::var("FAST").is_ok_and(|v| v == "1")
 }
 
 /// A1 — hitting set: sampled (Lemma 6.2, O(1) rounds) vs greedy set cover
@@ -37,7 +37,10 @@ fn a1_hitting_set() {
         let sampled = hitting_set(&tilde, &mut rng).len();
         let greedy = ablation::greedy_hitting_set(&tilde).len();
         let bound = 4.0 * n as f64 * (k as f64).ln().max(1.0) / k as f64;
-        println!("{:>6} {:>4} {:>10} {:>10} {:>16.0}", n, k, sampled, greedy, bound);
+        println!(
+            "{:>6} {:>4} {:>10} {:>10} {:>16.0}",
+            n, k, sampled, greedy, bound
+        );
     }
 }
 
@@ -78,21 +81,25 @@ fn a2_scaling_variants() {
     let mut both_valid = true;
     for u in 0..n {
         let hh = sssp::bellman_ford_hops(&g, u, h as usize);
-        for v in 0..n {
+        for (v, &hv) in hh.iter().enumerate() {
             let d = exact.get(u, v);
             if u == v || d >= cc_graph::INF {
                 continue;
             }
             for eta in [&eta_star, &eta_cap] {
                 let e = eta.get(u, v);
-                if e < d || (hh[v] == d && (e as f64) > bound * d as f64 + 1e-9) {
+                if e < d || (hv == d && (e as f64) > bound * d as f64 + 1e-9) {
                     both_valid = false;
                 }
             }
         }
     }
-    let star_diam =
-        star.graphs.iter().map(sssp::weighted_diameter).max().unwrap_or(0);
+    let star_diam = star
+        .graphs
+        .iter()
+        .map(sssp::weighted_diameter)
+        .max()
+        .unwrap_or(0);
     println!(
         "{:>6} {:>8} {:>14} {:>14} {:>12} {:>10}",
         n,
@@ -120,7 +127,11 @@ fn a3_k0_sensitivity() {
     let n = if fast() { 96 } else { 256 };
     let w = bench_workload(Family::Gnp, n, 77);
     for k0 in [4usize, 8, 16, (n as f64).sqrt() as usize] {
-        let cfg = PipelineConfig { seed: 3, k0: Some(k0), ..Default::default() };
+        let cfg = PipelineConfig {
+            seed: 3,
+            k0: Some(k0),
+            ..Default::default()
+        };
         let result = approximate_apsp(&w.graph, &cfg);
         let s = stretch(&w, &result.estimate);
         println!(
@@ -146,7 +157,11 @@ fn a4_eps_sensitivity() {
     let n = if fast() { 96 } else { 192 };
     let w = bench_workload(Family::WideWeights, n, 88);
     for eps in [0.05f64, 0.1, 0.5, 1.0] {
-        let cfg = PipelineConfig { seed: 5, eps, ..Default::default() };
+        let cfg = PipelineConfig {
+            seed: 5,
+            eps,
+            ..Default::default()
+        };
         let result = approximate_apsp(&w.graph, &cfg);
         let s = stretch(&w, &result.estimate);
         println!(
@@ -162,7 +177,10 @@ fn a4_eps_sensitivity() {
 }
 
 fn main() {
-    println!("== Design-choice ablations (A1–A4) ==  fast mode: {}", fast());
+    println!(
+        "== Design-choice ablations (A1–A4) ==  fast mode: {}",
+        fast()
+    );
     a1_hitting_set();
     a2_scaling_variants();
     a3_k0_sensitivity();

@@ -54,8 +54,7 @@ fn bench_knearest(c: &mut Criterion) {
 fn bench_skeleton(c: &mut Criterion) {
     let g = workload(256);
     let k = 16;
-    let rows: Vec<Vec<(NodeId, Weight)>> =
-        (0..g.n()).map(|u| sssp::k_nearest(&g, u, k)).collect();
+    let rows: Vec<Vec<(NodeId, Weight)>> = (0..g.n()).map(|u| sssp::k_nearest(&g, u, k)).collect();
     let tilde = FilteredMatrix::from_rows(g.n(), k, rows);
     c.bench_function("skeleton/build_n256_k16", |b| {
         let mut rng = StdRng::seed_from_u64(2);
@@ -71,7 +70,11 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mk = |rng: &mut StdRng, per_row: usize| {
         let rows = (0..n)
-            .map(|_| (0..per_row).map(|_| (rng.gen_range(0..n), rng.gen_range(0..1000u64))).collect())
+            .map(|_| {
+                (0..per_row)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_range(0..1000u64)))
+                    .collect()
+            })
             .collect();
         SparseMatrix::from_rows(n, rows)
     };
@@ -88,7 +91,9 @@ fn bench_routing(c: &mut Criterion) {
     let msgs: Vec<(usize, usize, usize)> = (0..n)
         .flat_map(|u| {
             let mut rng = StdRng::seed_from_u64(u as u64);
-            (0..2 * n).map(move |_| (u, rng.gen_range(0..n), 1usize)).collect::<Vec<_>>()
+            (0..2 * n)
+                .map(move |_| (u, rng.gen_range(0..n), 1usize))
+                .collect::<Vec<_>>()
         })
         .collect();
     let _ = &mut rng;

@@ -2,9 +2,7 @@
 //! EXPERIMENTS.md for archived output with commentary.
 
 use cc_apsp::params::{self, hopset_beta_bound};
-use cc_apsp::pipeline::{
-    apsp_large_bandwidth, apsp_tradeoff, approximate_apsp, PipelineConfig,
-};
+use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, apsp_tradeoff, PipelineConfig};
 use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
 use cc_apsp::spanner::{baswana_sen, measure_spanner_stretch};
 use cc_apsp::zeroweight::apsp_with_zero_weights;
@@ -23,7 +21,7 @@ use crate::{bench_workload, header, okmark, stretch};
 
 /// Scales every experiment down for smoke runs (`FAST=1 cargo bench`).
 pub fn fast() -> bool {
-    std::env::var("FAST").map_or(false, |v| v == "1")
+    std::env::var("FAST").is_ok_and(|v| v == "1")
 }
 
 /// E1 — Theorem 1.1: `(7⁴+ε)`-approximate APSP, round counts ~flat in n.
@@ -35,11 +33,21 @@ pub fn e01_theorem_1_1() {
             "n", "family", "rounds", "max stretch", "mean", "bound", "valid"
         ),
     );
-    let sizes: &[usize] = if fast() { &[64, 128] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] = if fast() {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     for &n in sizes {
         for family in [Family::Gnp, Family::Geometric, Family::PowerLaw] {
             let w = bench_workload(family, n, 100 + n as u64);
-            let result = approximate_apsp(&w.graph, &PipelineConfig { seed: 1, ..Default::default() });
+            let result = approximate_apsp(
+                &w.graph,
+                &PipelineConfig {
+                    seed: 1,
+                    ..Default::default()
+                },
+            );
             let s = stretch(&w, &result.estimate);
             println!(
                 "{:>6} {:>6} {:>8} {:>12.3} {:>12.3} {:>12.1} {:>10}",
@@ -55,7 +63,13 @@ pub fn e01_theorem_1_1() {
     }
     if !fast() {
         let w = bench_workload(Family::Gnp, 1024, 1124);
-        let result = approximate_apsp(&w.graph, &PipelineConfig { seed: 1, ..Default::default() });
+        let result = approximate_apsp(
+            &w.graph,
+            &PipelineConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let s = stretch(&w, &result.estimate);
         println!(
             "{:>6} {:>6} {:>8} {:>12.3} {:>12.3} {:>12.1} {:>10}",
@@ -82,7 +96,14 @@ pub fn e02_tradeoff() {
     let n = if fast() { 96 } else { 256 };
     let w = bench_workload(Family::Gnp, n, 202);
     for t in 0..=4usize {
-        let result = apsp_tradeoff(&w.graph, t, &PipelineConfig { seed: 2, ..Default::default() });
+        let result = apsp_tradeoff(
+            &w.graph,
+            t,
+            &PipelineConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         let s = stretch(&w, &result.estimate);
         println!(
             "{:>3} {:>16.2} {:>14.1} {:>12.3} {:>8}  {}",
@@ -113,9 +134,16 @@ pub fn e03_small_diameter() {
         let g = generators::gnp_connected(n, (8.0 / n as f64).min(0.5), 1..=8, &mut rng);
         let exact = apsp::exact_apsp(&g);
         for wide in [false, true] {
-            let bw = if wide { Bandwidth::polylog(3, n) } else { Bandwidth::standard(n) };
+            let bw = if wide {
+                Bandwidth::polylog(3, n)
+            } else {
+                Bandwidth::standard(n)
+            };
             let mut clique = Clique::new(n, bw);
-            let cfg = SmallDiamConfig { wide_bandwidth: wide, ..Default::default() };
+            let cfg = SmallDiamConfig {
+                wide_bandwidth: wide,
+                ..Default::default()
+            };
             let mut arng = StdRng::seed_from_u64(7);
             let (est, bound) = small_diameter_apsp(&mut clique, &g, &cfg, &mut arng);
             let s = est.stretch_vs(&exact);
@@ -155,7 +183,14 @@ pub fn e04_hopset() {
         "E4 · Lemma 3.2 — √n-nearest β-hopsets from an a-approximation",
         &format!(
             "{:>6} {:>6} {:>4} {:>8} {:>10} {:>12} {:>10} {:>10}",
-            "n", "family", "a", "diam d", "β measured", "bound 2(⌈a·ln d⌉+1)+1", "preserved", "rounds"
+            "n",
+            "family",
+            "a",
+            "diam d",
+            "β measured",
+            "bound 2(⌈a·ln d⌉+1)+1",
+            "preserved",
+            "rounds"
         ),
     );
     let n = if fast() { 64 } else { 144 };
@@ -190,12 +225,26 @@ pub fn e05_knearest() {
         "E5 · Lemmas 5.1/5.2 — k-nearest: i iterations at hop-radius h vs doubling (h=2)",
         &format!(
             "{:>6} {:>4} {:>3} {:>8} {:>12} {:>12} {:>14} {:>16} {:>8}",
-            "n", "k", "h", "hops h^i", "iters(paper)", "iters(2x)", "rounds (paper)", "rounds (doubling)", "exact"
+            "n",
+            "k",
+            "h",
+            "hops h^i",
+            "iters(paper)",
+            "iters(2x)",
+            "rounds (paper)",
+            "rounds (doubling)",
+            "exact"
         ),
     );
     let n = if fast() { 128 } else { 256 };
     let w = bench_workload(Family::Gnp, n, 500);
-    for (k, h, i) in [(4usize, 2usize, 2usize), (8, 2, 3), (6, 3, 2), (4, 4, 1), (4, 3, 2)] {
+    for (k, h, i) in [
+        (4usize, 2usize, 2usize),
+        (8, 2, 3),
+        (6, 3, 2),
+        (4, 4, 1),
+        (4, 3, 2),
+    ] {
         let mut c1 = Clique::new(n, Bandwidth::standard(n));
         let rows = knearest::k_nearest_exact(&mut c1, &w.graph, k, h, i);
         let hops = h.pow(i as u32);
@@ -308,13 +357,17 @@ pub fn e08_scaling() {
         let gis: Vec<DistMatrix> = scaled.graphs.iter().map(apsp::exact_apsp).collect();
         let eta = scaling::combine(&scaled, &gis, &delta);
         let bound = scaling::combined_bound(1.0, eps);
-        let max_diam =
-            scaled.graphs.iter().map(sssp::weighted_diameter).max().unwrap_or(0);
+        let max_diam = scaled
+            .graphs
+            .iter()
+            .map(sssp::weighted_diameter)
+            .max()
+            .unwrap_or(0);
         // Validate η on all pairs (≥ d) and the (1+ε) bound on ≤h-hop pairs.
         let mut ok = true;
         for u in 0..n {
             let hh = sssp::bellman_ford_hops(&g, u, h as usize);
-            for v in 0..n {
+            for (v, &hv) in hh.iter().enumerate() {
                 let d = exact.get(u, v);
                 if u == v || d >= INF {
                     continue;
@@ -323,7 +376,7 @@ pub fn e08_scaling() {
                 if e < d {
                     ok = false;
                 }
-                if hh[v] == d && (e as f64) > bound * d as f64 + 1e-9 {
+                if hv == d && (e as f64) > bound * d as f64 + 1e-9 {
                     ok = false;
                 }
             }
@@ -406,13 +459,20 @@ pub fn e09_figure1() {
     for (i, node) in path.iter().enumerate() {
         if i > 0 {
             let prev = path[i - 1];
-            let kind = if g.edge_weight(prev, *node).is_some() { "→" } else { "⇢" }; // ⇢ = hopset edge
+            let kind = if g.edge_weight(prev, *node).is_some() {
+                "→"
+            } else {
+                "⇢"
+            }; // ⇢ = hopset edge
             print!(" {kind} ");
         }
         print!("{node}");
     }
     println!();
-    println!("(⇢ marks hopset shortcut edges; in G alone the path needs {} hops)", d);
+    println!(
+        "(⇢ marks hopset shortcut edges; in G alone the path needs {} hops)",
+        d
+    );
     println!(
         "hop bound check: {} hops ≤ bound {}",
         path.len() - 1,
@@ -447,7 +507,10 @@ pub fn e10_figure2() {
         }
     }
     let path = lex_path(&w.graph, bu, bv).expect("connected");
-    println!("decomposing shortest path {bu} → {bv} (length {bd}, {} hops)", path.len() - 1);
+    println!(
+        "decomposing shortest path {bu} → {bv} (length {bd}, {} hops)",
+        path.len() - 1
+    );
     // The Section 6.3 decomposition: u_0 = u; t_i = rightmost path node in
     // Ñ_k(u_i); u_{i+1} = successor of t_i.
     let in_tilde = |a: NodeId, b: NodeId| tilde.row(a).iter().any(|&(x, _)| x == b);
@@ -530,7 +593,13 @@ pub fn e11_landscape() {
         okmark(s.is_valid_approximation(bound))
     );
 
-    let result = approximate_apsp(&w.graph, &PipelineConfig { seed: 4, ..Default::default() });
+    let result = approximate_apsp(
+        &w.graph,
+        &PipelineConfig {
+            seed: 4,
+            ..Default::default()
+        },
+    );
     let s = stretch(&w, &result.estimate);
     println!(
         "{:>26} {:>8} {:>14} {:>12.3} {:>8}",
@@ -543,8 +612,15 @@ pub fn e11_landscape() {
 
     let mut c = Clique::new(n, Bandwidth::polylog(4, n));
     let mut rng = StdRng::seed_from_u64(4);
-    let (est, bound) =
-        apsp_large_bandwidth(&mut c, &w.graph, &PipelineConfig { seed: 4, ..Default::default() }, &mut rng);
+    let (est, bound) = apsp_large_bandwidth(
+        &mut c,
+        &w.graph,
+        &PipelineConfig {
+            seed: 4,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let s = stretch(&w, &est);
     println!(
         "{:>26} {:>8} {:>14} {:>12.3} {:>8}",
@@ -615,7 +691,10 @@ pub fn e13_theorem_8_1() {
             let (est, bound) = apsp_large_bandwidth(
                 &mut clique,
                 &w.graph,
-                &PipelineConfig { seed: 13, ..Default::default() },
+                &PipelineConfig {
+                    seed: 13,
+                    ..Default::default()
+                },
                 &mut rng,
             );
             let s = stretch(&w, &est);
@@ -636,7 +715,10 @@ pub fn e13_theorem_8_1() {
 pub fn e14_sparse_matmul() {
     header(
         "E14 · Theorem 6.1 — sparse min-plus product round model",
-        &format!("{:>6} {:>8} {:>8} {:>10} {:>8}", "n", "ρS", "ρT", "ρST", "rounds"),
+        &format!(
+            "{:>6} {:>8} {:>8} {:>10} {:>8}",
+            "n", "ρS", "ρT", "ρST", "rounds"
+        ),
     );
     let n = 1024usize;
     for (rs, rt, rst) in [

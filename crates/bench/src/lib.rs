@@ -26,7 +26,11 @@ pub fn bench_workload(family: Family, n: usize, seed: u64) -> Bench {
     let mut rng = StdRng::seed_from_u64(seed);
     let graph = family.generate(n, n as u64, &mut rng);
     let exact = apsp::exact_apsp(&graph);
-    Bench { family: family.name(), graph, exact }
+    Bench {
+        family: family.name(),
+        graph,
+        exact,
+    }
 }
 
 /// Audits an estimate against the workload.

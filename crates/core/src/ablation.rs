@@ -42,14 +42,16 @@ pub fn greedy_hitting_set(tilde: &FilteredMatrix) -> Vec<NodeId> {
     let mut remaining = n;
     let mut gain: Vec<usize> = membership.iter().map(Vec::len).collect();
     while remaining > 0 {
-        let best = (0..n).max_by_key(|&v| (gain[v], std::cmp::Reverse(v))).expect("n > 0");
+        let best = (0..n)
+            .max_by_key(|&v| (gain[v], std::cmp::Reverse(v)))
+            .expect("n > 0");
         if gain[best] == 0 {
             // Rows left unhit have empty tilde sets; hit them with
             // themselves (mirrors the sampled fix-up).
-            for u in 0..n {
-                if !hit[u] {
+            for (u, h) in hit.iter_mut().enumerate() {
+                if !*h {
                     chosen.push(u);
-                    hit[u] = true;
+                    *h = true;
                 }
             }
             break;
@@ -75,13 +77,12 @@ pub fn greedy_hitting_set(tilde: &FilteredMatrix) -> Vec<NodeId> {
 /// (`Θ(n²)` edges per scale). Kept for cross-validation and the A2
 /// ablation; the pipeline uses the sparse hub-star variant
 /// ([`crate::scaling::weight_scaling`]).
-pub fn weight_scaling_clique_cap(
-    g: &Graph,
-    delta_max: Weight,
-    h: u64,
-    eps: f64,
-) -> ScaledGraphs {
-    assert_eq!(g.direction(), Direction::Undirected, "scaling expects undirected graphs");
+pub fn weight_scaling_clique_cap(g: &Graph, delta_max: Weight, h: u64, eps: f64) -> ScaledGraphs {
+    assert_eq!(
+        g.direction(),
+        Direction::Undirected,
+        "scaling expects undirected graphs"
+    );
     assert!(h >= 1 && eps > 0.0);
     let b_const = (2.0 / eps).ceil() as u64;
     let bh2 = b_const * h * h;
@@ -108,18 +109,19 @@ pub fn weight_scaling_clique_cap(
         }
         graphs.push(b.build());
     }
-    ScaledGraphs { graphs, b_const, h, eps }
+    ScaledGraphs {
+        graphs,
+        b_const,
+        h,
+        eps,
+    }
 }
 
 /// Direct (non-matmul) skeleton edge construction: enumerates every triple
 /// `(u, t, v)` with `t ∈ Ñ_k(u)` and (`{t,v} ∈ E` or `t = v`), and takes
 /// the minimum `δ(c(u),u) + δ(u,t) + w_tv + δ(v,c(v))` per center pair.
 /// Must match `Skeleton::graph` exactly.
-pub fn naive_skeleton_edges(
-    g: &Graph,
-    tilde: &FilteredMatrix,
-    skeleton: &Skeleton,
-) -> Graph {
+pub fn naive_skeleton_edges(g: &Graph, tilde: &FilteredMatrix, skeleton: &Skeleton) -> Graph {
     let n = g.n();
     let mut best: HashMap<(usize, usize), Weight> = HashMap::new();
     let mut relax = |a: usize, b: usize, w: Weight| {
@@ -143,7 +145,11 @@ pub fn naive_skeleton_edges(
             // {t, v} ∈ E case.
             for (v, w_tv) in g.neighbors(t) {
                 let cv = skeleton.index_of[skeleton.assignment[v]].expect("center indexed");
-                relax(cu, cv, wadd(wadd(prefix, w_tv), skeleton.delta_to_center[v]));
+                relax(
+                    cu,
+                    cv,
+                    wadd(wadd(prefix, w_tv), skeleton.delta_to_center[v]),
+                );
             }
         }
     }
@@ -178,7 +184,10 @@ mod tests {
         let s = greedy_hitting_set(&tilde);
         let in_s: std::collections::HashSet<_> = s.iter().copied().collect();
         for u in 0..g.n() {
-            assert!(tilde.row(u).iter().any(|&(v, _)| in_s.contains(&v)), "row {u} unhit");
+            assert!(
+                tilde.row(u).iter().any(|&(v, _)| in_s.contains(&v)),
+                "row {u} unhit"
+            );
         }
     }
 

@@ -19,11 +19,7 @@ pub struct ApspResult {
 
 impl ApspResult {
     /// Packages a result from a finished clique run.
-    pub fn from_run(
-        estimate: DistMatrix,
-        stretch_bound: f64,
-        clique: &clique_sim::Clique,
-    ) -> Self {
+    pub fn from_run(estimate: DistMatrix, stretch_bound: f64, clique: &clique_sim::Clique) -> Self {
         Self {
             estimate,
             stretch_bound,

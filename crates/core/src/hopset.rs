@@ -55,8 +55,13 @@ pub fn build_hopset(clique: &mut Clique, g: &Graph, delta: &DistMatrix, k: usize
         // Step 1 (local): Ñ_k(v) by (δ(v,u), u).
         let tilde_sets: Vec<Vec<NodeId>> = (0..n)
             .map(|v| {
-                let mut order: Vec<(Weight, NodeId)> =
-                    delta.row(v).iter().copied().enumerate().map(|(u, d)| (d, u)).collect();
+                let mut order: Vec<(Weight, NodeId)> = delta
+                    .row(v)
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(u, d)| (d, u))
+                    .collect();
                 order.sort_unstable();
                 order.into_iter().take(k).map(|(_, u)| u).collect()
             })
@@ -134,7 +139,12 @@ pub fn build_hopset(clique: &mut Clique, g: &Graph, delta: &DistMatrix, k: usize
                 b.build()
             }
         };
-        Hopset { hopset, combined, tilde_sets, k }
+        Hopset {
+            hopset,
+            combined,
+            tilde_sets,
+            k,
+        }
     })
 }
 
@@ -219,7 +229,10 @@ mod tests {
             let mut clique = clique_for(&g);
             let h = build_hopset(&mut clique, &g, &delta, k);
             let (beta, preserved) = measure_hop_bound(&g, &h, k);
-            assert!(preserved, "seed={seed}: distances to k-nearest not preserved");
+            assert!(
+                preserved,
+                "seed={seed}: distances to k-nearest not preserved"
+            );
             let bound = hopset_beta_bound(a as f64, weighted_diameter(&g));
             assert!(beta <= bound, "seed={seed}: beta={beta} > bound={bound}");
         }

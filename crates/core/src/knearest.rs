@@ -66,7 +66,11 @@ pub fn plan_bins(n: usize, k: usize, h: usize) -> Option<BinPlan> {
     for first in 0..p {
         enumerate_subsets(p, first, h - 1, 0, &mut rest, &mut combinations);
     }
-    Some(BinPlan { bins: p, bin_size, combinations })
+    Some(BinPlan {
+        bins: p,
+        bin_size,
+        combinations,
+    })
 }
 
 /// `h · C(p, h) = p · C(p-1, h-1)`, capped at `limit+1` to avoid overflow.
@@ -119,7 +123,11 @@ struct BfScratch {
 
 impl BfScratch {
     fn new(n: usize) -> Self {
-        Self { cur: vec![INF; n], next: vec![INF; n], touched: Vec::new() }
+        Self {
+            cur: vec![INF; n],
+            next: vec![INF; n],
+            touched: Vec::new(),
+        }
     }
 
     /// Exact `≤h`-hop distances from `src` over `arcs`; returns the `k`
@@ -157,8 +165,7 @@ impl BfScratch {
                 break;
             }
         }
-        let result =
-            select_k_smallest(self.touched.iter().map(|&t| (t, self.cur[t])), k);
+        let result = select_k_smallest(self.touched.iter().map(|&t| (t, self.cur[t])), k);
         for &t in &self.touched {
             self.cur[t] = INF;
             self.next[t] = INF;
@@ -191,8 +198,9 @@ fn one_round_broadcast(clique: &mut Clique, abar: &FilteredMatrix, h: usize) -> 
     clique.broadcast_all("knearest-fallback-broadcast", &per_node);
     let arcs: Vec<(NodeId, NodeId, Weight)> = abar.arcs().collect();
     let mut scratch = BfScratch::new(n);
-    let rows: Vec<Vec<(NodeId, Weight)>> =
-        (0..n).map(|u| scratch.k_nearest_h_hops(&arcs, u, h, k)).collect();
+    let rows: Vec<Vec<(NodeId, Weight)>> = (0..n)
+        .map(|u| scratch.k_nearest_h_hops(&arcs, u, h, k))
+        .collect();
     FilteredMatrix::from_rows(n, k, rows)
 }
 
@@ -463,7 +471,12 @@ mod tests {
         assert_eq!(out.n(), n);
         // Check ledger: each routing event charged O(1) rounds for n-load.
         for ev in clique.ledger().events() {
-            assert!(ev.rounds <= 16, "event {} charged {} rounds", ev.label, ev.rounds);
+            assert!(
+                ev.rounds <= 16,
+                "event {} charged {} rounds",
+                ev.label,
+                ev.rounds
+            );
         }
     }
 

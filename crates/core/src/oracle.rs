@@ -40,7 +40,11 @@ impl DistanceOracle {
     ///
     /// Panics if dimensions differ.
     pub fn new(graph: Graph, estimate: DistMatrix) -> Self {
-        assert_eq!(graph.n(), estimate.n(), "oracle estimate dimension mismatch");
+        assert_eq!(
+            graph.n(),
+            estimate.n(),
+            "oracle estimate dimension mismatch"
+        );
         Self { graph, estimate }
     }
 
@@ -113,14 +117,18 @@ impl DistanceOracle {
                     continue;
                 }
                 counter += 1;
-                if counter % stride != 0 {
+                if !counter.is_multiple_of(stride) {
                     continue;
                 }
                 attempted += 1;
                 if let Some(path) = self.route(u, v) {
                     let length: Weight = path
                         .windows(2)
-                        .map(|p| self.graph.edge_weight(p[0], p[1]).expect("route uses real edges"))
+                        .map(|p| {
+                            self.graph
+                                .edge_weight(p[0], p[1])
+                                .expect("route uses real edges")
+                        })
                         .sum();
                     delivered += 1;
                     let ratio = length as f64 / exact.get(u, v) as f64;
@@ -132,7 +140,11 @@ impl DistanceOracle {
         RoutingQuality {
             attempted,
             delivered,
-            mean_route_stretch: if delivered > 0 { sum / delivered as f64 } else { 0.0 },
+            mean_route_stretch: if delivered > 0 {
+                sum / delivered as f64
+            } else {
+                0.0
+            },
             max_route_stretch: max,
         }
     }
@@ -167,7 +179,10 @@ mod tests {
         let exact = apsp::exact_apsp(&g);
         let result = crate::pipeline::approximate_apsp(
             &g,
-            &crate::pipeline::PipelineConfig { seed: 2, ..Default::default() },
+            &crate::pipeline::PipelineConfig {
+                seed: 2,
+                ..Default::default()
+            },
         );
         let oracle = DistanceOracle::new(g, result.estimate);
         let q = oracle.routing_quality(&exact, 5);

@@ -120,7 +120,10 @@ mod tests {
         for n in [64usize, 256, 1024] {
             let k = theorem_1_1_k0(n);
             let (h, i) = direct_knearest_h_i(n, k);
-            assert!((n as f64).powf(1.0 / h as f64) + 1e-9 >= k as f64, "n={n} k={k} h={h}");
+            assert!(
+                (n as f64).powf(1.0 / h as f64) + 1e-9 >= k as f64,
+                "n={n} k={k} h={h}"
+            );
             assert!(h.pow(i as u32) >= k);
         }
     }

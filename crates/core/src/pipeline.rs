@@ -63,7 +63,12 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { eps: 0.1, seed: 0xC11C, max_reductions: None, k0: None }
+        Self {
+            eps: 0.1,
+            seed: 0xC11C,
+            max_reductions: None,
+            k0: None,
+        }
     }
 }
 
@@ -116,7 +121,10 @@ pub fn apsp_large_bandwidth(
         let per_instance = Bandwidth::words((available / scale_count.max(1)).max(1));
         let mut seeds: Vec<u64> = Vec::new();
         for i in 0..scale_count {
-            seeds.push(cfg.seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1)));
+            seeds.push(
+                cfg.seed
+                    .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1)),
+            );
         }
         let results = clique.parallel("scaled-instances", scale_count, per_instance, |sub, i| {
             let mut inst_rng = StdRng::seed_from_u64(seeds[i]);
@@ -133,12 +141,7 @@ pub fn apsp_large_bandwidth(
         // Step 6: skeleton from η's approximate √n-nearest sets (full
         // Lemma 6.1 with a = a_eta), exact APSP on the broadcast skeleton.
         let tilde_rows: Vec<Vec<(usize, u64)>> = (0..n)
-            .map(|u| {
-                select_k_smallest(
-                    eta.row(u).iter().copied().enumerate(),
-                    sqrt_n,
-                )
-            })
+            .map(|u| select_k_smallest(eta.row(u).iter().copied().enumerate(), sqrt_n))
             .collect();
         let tilde = FilteredMatrix::from_rows(n, sqrt_n, tilde_rows);
         let sk = build_skeleton(clique, &combined, &tilde, rng);
@@ -165,7 +168,10 @@ pub fn theorem_1_1(
         }
         // Step 1: exact k₀-nearest sets directly on G (Lemma 5.2; every
         // k-nearest node is within k hops, so h^i ≥ k₀ suffices).
-        let k0 = cfg.k0.unwrap_or_else(|| params::theorem_1_1_k0(n)).clamp(2, n);
+        let k0 = cfg
+            .k0
+            .unwrap_or_else(|| params::theorem_1_1_k0(n))
+            .clamp(2, n);
         let (h, i) = params::direct_knearest_h_i(n, k0);
         let rows = knearest::k_nearest_exact(clique, g, k0, h, i);
 
@@ -218,7 +224,10 @@ pub fn approximate_apsp(g: &Graph, cfg: &PipelineConfig) -> ApspResult {
 /// ([`params::tradeoff_bound`]); the returned
 /// [`ApspResult::stretch_bound`] is the run's actual composed guarantee.
 pub fn apsp_tradeoff(g: &Graph, t: usize, cfg: &PipelineConfig) -> ApspResult {
-    let cfg = PipelineConfig { max_reductions: Some(t), ..cfg.clone() };
+    let cfg = PipelineConfig {
+        max_reductions: Some(t),
+        ..cfg.clone()
+    };
     approximate_apsp(g, &cfg)
 }
 
@@ -236,7 +245,10 @@ mod tests {
             let mut clique = Clique::new(g.n(), Bandwidth::polylog(4, g.n()));
             let cfg = PipelineConfig::default();
             let (est, bound) = apsp_large_bandwidth(&mut clique, &g, &cfg, &mut rng);
-            assert!(bound <= 343.0 * (1.0 + cfg.eps).powi(3) + 1e-6, "bound = {bound}");
+            assert!(
+                bound <= 343.0 * (1.0 + cfg.eps).powi(3) + 1e-6,
+                "bound = {bound}"
+            );
             let exact = apsp::exact_apsp(&g);
             let stats = est.stretch_vs(&exact);
             assert!(stats.is_valid_approximation(bound), "seed={seed}: {stats}");
@@ -248,7 +260,10 @@ mod tests {
         for seed in [3u64, 7] {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = generators::gnp_connected(80, 0.09, 1..=30, &mut rng);
-            let cfg = PipelineConfig { seed, ..Default::default() };
+            let cfg = PipelineConfig {
+                seed,
+                ..Default::default()
+            };
             let result = approximate_apsp(&g, &cfg);
             assert!(
                 result.stretch_bound <= 2401.0 * (1.0 + cfg.eps).powi(3) + 1e-6,
@@ -257,7 +272,10 @@ mod tests {
             );
             let exact = apsp::exact_apsp(&g);
             let stats = result.estimate.stretch_vs(&exact);
-            assert!(stats.is_valid_approximation(result.stretch_bound), "seed={seed}: {stats}");
+            assert!(
+                stats.is_valid_approximation(result.stretch_bound),
+                "seed={seed}: {stats}"
+            );
         }
     }
 
@@ -265,22 +283,37 @@ mod tests {
     fn theorem_1_1_works_on_wide_weights() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::wide_weight_gnp(64, 0.12, 14, &mut rng);
-        let result = approximate_apsp(&g, &PipelineConfig { seed: 5, ..Default::default() });
+        let result = approximate_apsp(
+            &g,
+            &PipelineConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let exact = apsp::exact_apsp(&g);
         let stats = result.estimate.stretch_vs(&exact);
-        assert!(stats.is_valid_approximation(result.stretch_bound), "{stats}");
+        assert!(
+            stats.is_valid_approximation(result.stretch_bound),
+            "{stats}"
+        );
     }
 
     #[test]
     fn tradeoff_larger_t_never_worse_bound() {
         let mut rng = StdRng::seed_from_u64(9);
         let g = generators::gnp_connected(50, 0.15, 1..=20, &mut rng);
-        let cfg = PipelineConfig { seed: 9, ..Default::default() };
+        let cfg = PipelineConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let exact = apsp::exact_apsp(&g);
         for t in [1usize, 2] {
             let result = apsp_tradeoff(&g, t, &cfg);
             let stats = result.estimate.stretch_vs(&exact);
-            assert!(stats.is_valid_approximation(result.stretch_bound), "t={t}: {stats}");
+            assert!(
+                stats.is_valid_approximation(result.stretch_bound),
+                "t={t}: {stats}"
+            );
         }
     }
 
@@ -310,7 +343,10 @@ mod tests {
         let result = approximate_apsp(&g, &PipelineConfig::default());
         let exact = apsp::exact_apsp(&g);
         let stats = result.estimate.stretch_vs(&exact);
-        assert!(stats.is_valid_approximation(result.stretch_bound), "{stats}");
+        assert!(
+            stats.is_valid_approximation(result.stretch_bound),
+            "{stats}"
+        );
         // Cross-blob pairs must stay infinite (no phantom paths).
         assert!(result.estimate.get(0, 25) >= cc_graph::INF);
     }
@@ -319,7 +355,10 @@ mod tests {
     fn deterministic_per_seed() {
         let mut rng = StdRng::seed_from_u64(4);
         let g = generators::gnp_connected(40, 0.15, 1..=15, &mut rng);
-        let cfg = PipelineConfig { seed: 77, ..Default::default() };
+        let cfg = PipelineConfig {
+            seed: 77,
+            ..Default::default()
+        };
         let r1 = approximate_apsp(&g, &cfg);
         let r2 = approximate_apsp(&g, &cfg);
         assert_eq!(r1.estimate, r2.estimate);

@@ -115,11 +115,19 @@ mod tests {
             let g = generators::gnp_connected(70, 0.1, 1..=30, &mut rng);
             let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
             let boot = spanner_apsp_estimate(&mut clique, &g, bootstrap_k(g.n()), &mut rng);
-            let out =
-                reduce_once(&mut clique, &g, &boot.estimate, boot.stretch_bound, &mut rng);
+            let out = reduce_once(
+                &mut clique,
+                &g,
+                &boot.estimate,
+                boot.stretch_bound,
+                &mut rng,
+            );
             let exact = apsp::exact_apsp(&g);
             let stats = out.estimate.stretch_vs(&exact);
-            assert!(stats.is_valid_approximation(out.bound), "seed={seed}: {stats}");
+            assert!(
+                stats.is_valid_approximation(out.bound),
+                "seed={seed}: {stats}"
+            );
             // The new guarantee must be within the Lemma 3.1 promise
             // whenever the promise is meaningful (15√a ≥ 7, always true).
             assert!(out.bound <= reduction_bound(boot.stretch_bound).max(out.bound));
@@ -132,7 +140,13 @@ mod tests {
         let g = generators::random_geometric(60, 0.35, 100, &mut rng);
         let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
         let boot = spanner_apsp_estimate(&mut clique, &g, 2, &mut rng);
-        let out = reduce_once(&mut clique, &g, &boot.estimate, boot.stretch_bound, &mut rng);
+        let out = reduce_once(
+            &mut clique,
+            &g,
+            &boot.estimate,
+            boot.stretch_bound,
+            &mut rng,
+        );
         let exact = apsp::exact_apsp(&g);
         let stats = out.estimate.stretch_vs(&exact);
         assert_eq!(stats.underestimates, 0);
@@ -146,7 +160,13 @@ mod tests {
         let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
         let boot = spanner_apsp_estimate(&mut clique, &g, bootstrap_k(g.n()), &mut rng);
         let before = clique.rounds();
-        let out = reduce_once(&mut clique, &g, &boot.estimate, boot.stretch_bound, &mut rng);
+        let out = reduce_once(
+            &mut clique,
+            &g,
+            &boot.estimate,
+            boot.stretch_bound,
+            &mut rng,
+        );
         let spent = clique.rounds() - before;
         // O(1)-flavored: a constant base (hopset, skeleton, broadcasts — the
         // broadcasts dominate at this small n where m/n is large) plus O(1)

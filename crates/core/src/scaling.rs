@@ -85,7 +85,11 @@ impl ScaledGraphs {
 ///
 /// Panics if `g` is directed, `h == 0`, or `eps <= 0`.
 pub fn weight_scaling(g: &Graph, delta_max: Weight, h: u64, eps: f64) -> ScaledGraphs {
-    assert_eq!(g.direction(), Direction::Undirected, "scaling expects undirected graphs");
+    assert_eq!(
+        g.direction(),
+        Direction::Undirected,
+        "scaling expects undirected graphs"
+    );
     assert!(h >= 1, "hop bound must be positive");
     assert!(eps > 0.0, "ε must be positive");
     let b_const = (2.0 / eps).ceil() as u64;
@@ -120,7 +124,12 @@ pub fn weight_scaling(g: &Graph, delta_max: Weight, h: u64, eps: f64) -> ScaledG
         }
         graphs.push(b.build());
     }
-    ScaledGraphs { graphs, b_const, h, eps }
+    ScaledGraphs {
+        graphs,
+        b_const,
+        h,
+        eps,
+    }
 }
 
 /// Combines per-scale estimates into the η of Lemma 8.1:
@@ -130,11 +139,7 @@ pub fn weight_scaling(g: &Graph, delta_max: Weight, h: u64, eps: f64) -> ScaledG
 /// Guarantees (Lemma 8.1): `η ≥ d_G` everywhere; and
 /// `η ≤ (1+ε)·l·d_G` for every pair joined by a shortest path of at most
 /// `h` hops, where `l` is the guarantee of the `delta_gis`.
-pub fn combine(
-    scaled: &ScaledGraphs,
-    delta_gis: &[DistMatrix],
-    delta: &DistMatrix,
-) -> DistMatrix {
+pub fn combine(scaled: &ScaledGraphs, delta_gis: &[DistMatrix], delta: &DistMatrix) -> DistMatrix {
     assert_eq!(delta_gis.len(), scaled.len(), "need one estimate per scale");
     let n = delta.n();
     let mut eta = DistMatrix::infinite(n);
@@ -235,7 +240,7 @@ mod tests {
             let bound = combined_bound(1.0, eps);
             for u in 0..g.n() {
                 let hhop = bellman_ford_hops(&g, u, h as usize);
-                for v in 0..g.n() {
+                for (v, &hv) in hhop.iter().enumerate() {
                     if u == v {
                         continue;
                     }
@@ -247,7 +252,7 @@ mod tests {
                     assert!(e >= d, "seed={seed} ({u},{v}): η {e} < d {d}");
                     // Pairs whose shortest path has ≤ h hops get the (1+ε)l
                     // guarantee.
-                    if hhop[v] == d {
+                    if hv == d {
                         assert!(
                             (e as f64) <= bound * d as f64 + 1e-9,
                             "seed={seed} ({u},{v}): η {e} > {bound}·{d}"

@@ -64,9 +64,9 @@ pub fn hitting_set(tilde: &FilteredMatrix, rng: &mut StdRng) -> Vec<NodeId> {
     let mut best: Option<Vec<NodeId>> = None;
     for _ in 0..trials {
         let mut in_s = vec![false; n];
-        for v in 0..n {
+        for slot in in_s.iter_mut() {
             if prob > 0.0 && rng.gen_bool(prob) {
-                in_s[v] = true;
+                *slot = true;
             }
         }
         // Fix-up: every node whose Ñ_k set is unhit joins S itself.
@@ -76,7 +76,7 @@ pub fn hitting_set(tilde: &FilteredMatrix, rng: &mut StdRng) -> Vec<NodeId> {
             }
         }
         let s: Vec<NodeId> = (0..n).filter(|&v| in_s[v]).collect();
-        if best.as_ref().map_or(true, |b| s.len() < b.len()) {
+        if best.as_ref().is_none_or(|b| s.len() < b.len()) {
             best = Some(s);
         }
     }
@@ -331,7 +331,10 @@ mod tests {
         for u in 0..g.n() {
             let c = sk.assignment[u];
             assert!(sk.index_of[c].is_some(), "c({u}) not in S");
-            assert!(tilde.row(u).iter().any(|&(v, _)| v == c), "c({u}) ∉ Ñ_k({u})");
+            assert!(
+                tilde.row(u).iter().any(|&(v, _)| v == c),
+                "c({u}) ∉ Ñ_k({u})"
+            );
         }
         // Skeleton nodes center on themselves.
         for &s in &sk.centers {
@@ -400,7 +403,10 @@ mod tests {
         let exact = apsp::exact_apsp(&g);
         let stats = eta.stretch_vs(&exact);
         assert_eq!(stats.underestimates, 0);
-        assert!(stats.is_valid_approximation(extension_bound(3.0, 1.0)), "{stats}");
+        assert!(
+            stats.is_valid_approximation(extension_bound(3.0, 1.0)),
+            "{stats}"
+        );
     }
 
     #[test]

@@ -16,16 +16,16 @@ use cc_graph::{apsp, DistMatrix};
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 
-use crate::params::{
-    hopset_beta_bound, iterations_for_hops, REDUCTION_PROFITABLE_ABOVE,
-};
+use crate::params::{hopset_beta_bound, iterations_for_hops, REDUCTION_PROFITABLE_ABOVE};
 use crate::reduction::{estimate_diameter, reduce_once};
 use crate::skeleton::{build_skeleton, extend_estimate, extension_bound};
-use crate::spanner::{baswana_sen, bootstrap_k, spanner_apsp_estimate, SPANNER_CONSTRUCTION_ROUNDS};
+use crate::spanner::{
+    baswana_sen, bootstrap_k, spanner_apsp_estimate, SPANNER_CONSTRUCTION_ROUNDS,
+};
 use crate::{hopset, knearest};
 
 /// Configuration for [`small_diameter_apsp`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SmallDiamConfig {
     /// Reduction policy: `None` = iterate while profitable then run the
     /// final stage (Theorem 7.1); `Some(t)` = apply exactly `t` reductions
@@ -37,12 +37,6 @@ pub struct SmallDiamConfig {
     /// 7- instead of 21-approximation). The broadcast is charged honestly
     /// against the clique's actual bandwidth either way.
     pub wide_bandwidth: bool,
-}
-
-impl Default for SmallDiamConfig {
-    fn default() -> Self {
-        Self { forced_reductions: None, wide_bandwidth: false }
-    }
 }
 
 /// Corollary 7.1: an APSP estimate for a *small* graph `gs` (a skeleton
@@ -61,8 +55,7 @@ pub fn small_graph_apsp(
 ) -> (DistMatrix, f64) {
     clique.phase("skeleton-apsp", |clique| {
         let ns = gs.n().max(1);
-        let spanner_size_estimate =
-            (b as f64) * (ns as f64).powf(1.0 + 1.0 / b as f64);
+        let spanner_size_estimate = (b as f64) * (ns as f64).powf(1.0 + 1.0 / b as f64);
         if b <= 1 || (gs.m() as f64) <= spanner_size_estimate {
             // Broadcast the graph itself; every node computes exact APSP.
             clique.broadcast_volume("broadcast-skeleton-graph", 3 * gs.m());
@@ -124,7 +117,14 @@ pub fn apsp_o_loglog(
 ) -> (DistMatrix, f64) {
     clique.phase("section-3.2", |clique| {
         let boot = spanner_apsp_estimate(clique, g, bootstrap_k(g.n()), rng);
-        sqrt_n_stage(clique, g, &boot.estimate, boot.stretch_bound, wide_bandwidth, rng)
+        sqrt_n_stage(
+            clique,
+            g,
+            &boot.estimate,
+            boot.stretch_bound,
+            wide_bandwidth,
+            rng,
+        )
     })
 }
 
@@ -205,7 +205,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let g = generators::gnp_connected(60, 0.12, 1..=15, &mut rng);
         let mut clique = Clique::new(g.n(), Bandwidth::polylog(3, g.n()));
-        let cfg = SmallDiamConfig { wide_bandwidth: true, ..Default::default() };
+        let cfg = SmallDiamConfig {
+            wide_bandwidth: true,
+            ..Default::default()
+        };
         let (est, bound) = small_diameter_apsp(&mut clique, &g, &cfg, &mut rng);
         assert!(bound <= 7.0 + 1e-9);
         let exact = apsp::exact_apsp(&g);
@@ -218,7 +221,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let g = generators::gnp_connected(50, 0.15, 1..=10, &mut rng);
         let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
-        let cfg = SmallDiamConfig { forced_reductions: Some(2), ..Default::default() };
+        let cfg = SmallDiamConfig {
+            forced_reductions: Some(2),
+            ..Default::default()
+        };
         let (est, bound) = small_diameter_apsp(&mut clique, &g, &cfg, &mut rng);
         let exact = apsp::exact_apsp(&g);
         let stats = est.stretch_vs(&exact);

@@ -35,7 +35,11 @@ pub const SPANNER_CONSTRUCTION_ROUNDS: u64 = 3;
 ///
 /// Panics if `g` is directed or `k == 0`.
 pub fn baswana_sen(g: &Graph, k: usize, rng: &mut StdRng) -> Graph {
-    assert_eq!(g.direction(), Direction::Undirected, "spanners need undirected graphs");
+    assert_eq!(
+        g.direction(),
+        Direction::Undirected,
+        "spanners need undirected graphs"
+    );
     assert!(k >= 1, "stretch parameter k must be >= 1");
     let n = g.n();
     let mut spanner = GraphBuilder::undirected(n);
@@ -47,9 +51,9 @@ pub fn baswana_sen(g: &Graph, k: usize, rng: &mut StdRng) -> Graph {
         // Sample clusters (by center).
         let mut center_sampled = vec![false; n];
         let mut any_center = false;
-        for c in 0..n {
+        for slot in center_sampled.iter_mut() {
             if rng.gen_bool(sample_prob) {
-                center_sampled[c] = true;
+                *slot = true;
                 any_center = true;
             }
         }
@@ -78,7 +82,7 @@ pub fn baswana_sen(g: &Graph, k: usize, rng: &mut StdRng) -> Graph {
                 }
                 if center_sampled[cu] {
                     let cand = (w, u, cu);
-                    if best_sampled.map_or(true, |b| (cand.0, cand.1) < (b.0, b.1)) {
+                    if best_sampled.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
                         best_sampled = Some(cand);
                     }
                 }
@@ -163,7 +167,11 @@ pub fn spanner_apsp_estimate(
         clique.broadcast_all("broadcast-spanner", &per_node);
         // Local computation at every node: APSP of the broadcast spanner.
         let estimate = apsp::exact_apsp(&spanner);
-        SpannerEstimate { estimate, spanner, stretch_bound: (2 * k - 1) as f64 }
+        SpannerEstimate {
+            estimate,
+            spanner,
+            stretch_bound: (2 * k - 1) as f64,
+        }
     })
 }
 
@@ -212,7 +220,11 @@ mod tests {
         let g = generators::gnp_connected(60, 0.2, 1..=20, &mut r);
         let s = baswana_sen(&g, 3, &mut r);
         for (u, v, w) in s.edges() {
-            assert_eq!(g.edge_weight(u, v), Some(w), "spanner edge ({u},{v}) not in G at weight {w}");
+            assert_eq!(
+                g.edge_weight(u, v),
+                Some(w),
+                "spanner edge ({u},{v}) not in G at weight {w}"
+            );
         }
     }
 

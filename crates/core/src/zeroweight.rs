@@ -44,7 +44,11 @@ pub fn apsp_with_zero_weights(
     g: &Graph,
     inner: impl FnOnce(&mut Clique, &Graph) -> (DistMatrix, f64),
 ) -> (DistMatrix, f64) {
-    assert_eq!(g.direction(), Direction::Undirected, "Theorem 2.1 is for undirected graphs");
+    assert_eq!(
+        g.direction(),
+        Direction::Undirected,
+        "Theorem 2.1 is for undirected graphs"
+    );
     if g.has_positive_weights() {
         return inner(clique, g);
     }
@@ -107,7 +111,9 @@ pub fn apsp_with_zero_weights(
         let inboxes = clique.route("compressed-edges", msgs);
         let mut b = GraphBuilder::undirected(leaders.len());
         for (t, inbox) in inboxes.iter().enumerate() {
-            let Some(it) = index_of_leader[t] else { continue };
+            let Some(it) = index_of_leader[t] else {
+                continue;
+            };
             for m in inbox {
                 let (s, w) = m.payload;
                 if let Some(is) = index_of_leader[s as usize] {
@@ -179,7 +185,11 @@ mod tests {
         // Random positive inter-cluster edges + a connecting cycle.
         for c in 0..clusters {
             let next = (c + 1) % clusters;
-            b.add_edge(c * size + rng.gen_range(0..size), next * size, rng.gen_range(1..20));
+            b.add_edge(
+                c * size + rng.gen_range(0..size),
+                next * size,
+                rng.gen_range(1..20),
+            );
         }
         for _ in 0..clusters * 2 {
             let u = rng.gen_range(0..n);

@@ -51,7 +51,14 @@ mod tests {
         let g = Graph::from_edges(
             5,
             Direction::Undirected,
-            &[(0, 1, 3), (1, 2, 1), (2, 3, 7), (3, 4, 2), (0, 4, 20), (1, 3, 5)],
+            &[
+                (0, 1, 3),
+                (1, 2, 1),
+                (2, 3, 7),
+                (3, 4, 2),
+                (0, 4, 20),
+                (1, 3, 5),
+            ],
         );
         assert_eq!(exact_apsp(&g), floyd_warshall(&g));
     }

@@ -35,13 +35,13 @@ fn relabel(uf: &mut UnionFind, n: usize) -> (Vec<usize>, usize) {
     let mut label = vec![usize::MAX; n];
     let mut comp = vec![0usize; n];
     let mut count = 0;
-    for v in 0..n {
+    for (v, c) in comp.iter_mut().enumerate() {
         let r = uf.find(v);
         if label[r] == usize::MAX {
             label[r] = count;
             count += 1;
         }
-        comp[v] = label[r];
+        *c = label[r];
     }
     (comp, count)
 }

@@ -23,10 +23,19 @@ impl std::fmt::Debug for DistMatrix {
             let row: Vec<String> = (0..show)
                 .map(|v| {
                     let d = self.get(u, v);
-                    if d >= INF { "∞".into() } else { d.to_string() }
+                    if d >= INF {
+                        "∞".into()
+                    } else {
+                        d.to_string()
+                    }
                 })
                 .collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.n > show { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.n > show { ", …" } else { "" }
+            )?;
         }
         Ok(())
     }
@@ -35,7 +44,10 @@ impl std::fmt::Debug for DistMatrix {
 impl DistMatrix {
     /// A matrix with zero diagonal and `INF` everywhere else.
     pub fn infinite(n: usize) -> Self {
-        let mut m = Self { n, data: vec![INF; n * n] };
+        let mut m = Self {
+            n,
+            data: vec![INF; n * n],
+        };
         for v in 0..n {
             m.set(v, v, 0);
         }

@@ -42,12 +42,7 @@ pub fn gnp(n: usize, p: f64, weights: RangeInclusive<Weight>, rng: &mut StdRng) 
 
 /// [`gnp`], then patched to be connected by linking components with random
 /// extra edges (weights from the same range).
-pub fn gnp_connected(
-    n: usize,
-    p: f64,
-    weights: RangeInclusive<Weight>,
-    rng: &mut StdRng,
-) -> Graph {
+pub fn gnp_connected(n: usize, p: f64, weights: RangeInclusive<Weight>, rng: &mut StdRng) -> Graph {
     let g = gnp(n, p, weights.clone(), rng);
     connect_components(&g, weights, rng)
 }
@@ -56,7 +51,9 @@ pub fn gnp_connected(
 /// between pairs within `radius`, weight = rounded scaled Euclidean distance
 /// (at least 1). Patched to be connected.
 pub fn random_geometric(n: usize, radius: f64, scale: Weight, rng: &mut StdRng) -> Graph {
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut b = GraphBuilder::undirected(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -195,8 +192,16 @@ pub fn torus(rows: usize, cols: usize, weights: RangeInclusive<Weight>, rng: &mu
     }
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols), rng.gen_range(weights.clone()));
-            b.add_edge(id(r, c), id((r + 1) % rows, c), rng.gen_range(weights.clone()));
+            b.add_edge(
+                id(r, c),
+                id(r, (c + 1) % cols),
+                rng.gen_range(weights.clone()),
+            );
+            b.add_edge(
+                id(r, c),
+                id((r + 1) % rows, c),
+                rng.gen_range(weights.clone()),
+            );
         }
     }
     b.build()
@@ -351,7 +356,12 @@ impl Family {
             Family::PowerLaw => preferential_attachment(n, 3, 1..=w_max, rng),
             Family::Grid => {
                 let side = (n as f64).sqrt().round() as usize;
-                grid(side.max(1), n.div_euclid(side.max(1)).max(1), 1..=w_max, rng)
+                grid(
+                    side.max(1),
+                    n.div_euclid(side.max(1)).max(1),
+                    1..=w_max,
+                    rng,
+                )
             }
             Family::PathChords => path_with_chords(n, n / 8, 1..=w_max, rng),
             Family::WideWeights => {

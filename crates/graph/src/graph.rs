@@ -44,12 +44,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts an undirected graph on `n` nodes.
     pub fn undirected(n: usize) -> Self {
-        Self { n, direction: Direction::Undirected, edges: Vec::new() }
+        Self {
+            n,
+            direction: Direction::Undirected,
+            edges: Vec::new(),
+        }
     }
 
     /// Starts a directed graph on `n` nodes.
     pub fn directed(n: usize) -> Self {
-        Self { n, direction: Direction::Directed, edges: Vec::new() }
+        Self {
+            n,
+            direction: Direction::Directed,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an edge. Self-loops are silently ignored.
@@ -58,7 +66,11 @@ impl GraphBuilder {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> &mut Self {
-        assert!(u < self.n && v < self.n, "edge ({u}, {v}) out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u}, {v}) out of range for n={}",
+            self.n
+        );
         if u != v {
             self.edges.push((u, v, w));
         }
@@ -74,7 +86,12 @@ impl GraphBuilder {
     /// weight.
     pub fn build(&self) -> Graph {
         let mut all: Vec<(NodeId, NodeId, Weight)> = Vec::with_capacity(
-            self.edges.len() * if self.direction == Direction::Undirected { 2 } else { 1 },
+            self.edges.len()
+                * if self.direction == Direction::Undirected {
+                    2
+                } else {
+                    1
+                },
         );
         for &(u, v, w) in &self.edges {
             all.push((u, v, w));
@@ -95,7 +112,13 @@ impl GraphBuilder {
         }
         let targets: Vec<NodeId> = all.iter().map(|e| e.1).collect();
         let weights: Vec<Weight> = all.iter().map(|e| e.2).collect();
-        Graph { n: self.n, direction: self.direction, offsets, targets, weights }
+        Graph {
+            n: self.n,
+            direction: self.direction,
+            offsets,
+            targets,
+            weights,
+        }
     }
 }
 
@@ -168,7 +191,10 @@ impl Graph {
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
         let lo = self.offsets[u];
         let hi = self.offsets[u + 1];
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Weight of edge `(u, v)` if present.
@@ -226,7 +252,10 @@ impl Graph {
     /// Panics if node counts differ.
     pub fn union(&self, extra: &Graph) -> Graph {
         assert_eq!(self.n, extra.n, "graph union requires equal node counts");
-        assert_eq!(self.direction, extra.direction, "graph union requires equal directedness");
+        assert_eq!(
+            self.direction, extra.direction,
+            "graph union requires equal directedness"
+        );
         let mut b = match self.direction {
             Direction::Undirected => GraphBuilder::undirected(self.n),
             Direction::Directed => GraphBuilder::directed(self.n),
@@ -296,11 +325,7 @@ mod tests {
 
     #[test]
     fn lightest_out_edges_orders_by_weight_then_id() {
-        let g = Graph::from_edges(
-            4,
-            Direction::Directed,
-            &[(0, 3, 5), (0, 1, 5), (0, 2, 1)],
-        );
+        let g = Graph::from_edges(4, Direction::Directed, &[(0, 3, 5), (0, 1, 5), (0, 2, 1)]);
         assert_eq!(g.lightest_out_edges(0, 2), vec![(2, 1), (1, 5)]);
         assert_eq!(g.lightest_out_edges(0, 10).len(), 3);
     }

@@ -73,7 +73,11 @@ pub fn shortest_paths_with_parents(g: &Graph, source: NodeId) -> PathTree {
             }
         }
     }
-    PathTree { source, best, parent }
+    PathTree {
+        source,
+        best,
+        parent,
+    }
 }
 
 /// The **hop diameter under shortest paths**: the maximum, over connected

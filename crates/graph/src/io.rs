@@ -79,16 +79,18 @@ pub fn read_edge_list(
                     return Err(ParseGraphError::Malformed(idx + 1, line));
                 }
             }
-            (Some(u), Some(v), Some(w), None) => {
-                match (u.parse(), v.parse(), w.parse()) {
-                    (Ok(u), Ok(v), Ok(w)) => edges.push((u, v, w)),
-                    _ => return Err(ParseGraphError::Malformed(idx + 1, line)),
-                }
-            }
+            (Some(u), Some(v), Some(w), None) => match (u.parse(), v.parse(), w.parse()) {
+                (Ok(u), Ok(v), Ok(w)) => edges.push((u, v, w)),
+                _ => return Err(ParseGraphError::Malformed(idx + 1, line)),
+            },
             _ => return Err(ParseGraphError::Malformed(idx + 1, line)),
         }
     }
-    let max_id = edges.iter().map(|&(u, v, _)| u.max(v) + 1).max().unwrap_or(0);
+    let max_id = edges
+        .iter()
+        .map(|&(u, v, _)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0);
     let n = declared_n.unwrap_or(max_id).max(max_id);
     Ok(Graph::from_edges(n, direction, &edges))
 }
@@ -170,11 +172,7 @@ mod tests {
 
     #[test]
     fn round_trips() {
-        let g = Graph::from_edges(
-            5,
-            Direction::Undirected,
-            &[(0, 1, 7), (2, 4, 1), (1, 3, 9)],
-        );
+        let g = Graph::from_edges(5, Direction::Undirected, &[(0, 1, 7), (2, 4, 1), (1, 3, 9)]);
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let back = read_edge_list(Cursor::new(buf), Direction::Undirected).unwrap();

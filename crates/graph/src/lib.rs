@@ -3,7 +3,7 @@
 //! Weighted graph substrate for the Congested Clique APSP reproduction.
 //!
 //! This crate provides everything the distributed algorithms in
-//! [`cc-apsp`](https://example.com) need from a graph library, built from
+//! [`cc-apsp`](../cc_apsp/index.html) need from a graph library, built from
 //! scratch:
 //!
 //! * [`Graph`] — a compact CSR (compressed sparse row) weighted graph, either

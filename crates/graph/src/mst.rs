@@ -39,18 +39,16 @@ pub fn boruvka(g: &Graph) -> SpanningForest {
             }
             let cand = (w, u.min(v), u.max(v));
             for r in [ru, rv] {
-                if best[r].map_or(true, |b| cand < b) {
+                if best[r].is_none_or(|b| cand < b) {
                     best[r] = Some(cand);
                 }
             }
         }
         let mut merged_any = false;
-        for r in 0..n {
-            if let Some((w, u, v)) = best[r] {
-                if uf.union(u, v) {
-                    chosen.push((u, v, w));
-                    merged_any = true;
-                }
+        for &(w, u, v) in best.iter().flatten() {
+            if uf.union(u, v) {
+                chosen.push((u, v, w));
+                merged_any = true;
             }
         }
         if !merged_any {
@@ -59,7 +57,11 @@ pub fn boruvka(g: &Graph) -> SpanningForest {
         phases += 1;
     }
     let total = chosen.iter().map(|e| e.2).sum();
-    SpanningForest { edges: chosen, total_weight: total, phases }
+    SpanningForest {
+        edges: chosen,
+        total_weight: total,
+        phases,
+    }
 }
 
 /// Kruskal's algorithm (reference implementation for testing Borůvka).
@@ -74,7 +76,11 @@ pub fn kruskal(g: &Graph) -> SpanningForest {
         }
     }
     let total = chosen.iter().map(|e| e.2).sum();
-    SpanningForest { edges: chosen, total_weight: total, phases: 1 }
+    SpanningForest {
+        edges: chosen,
+        total_weight: total,
+        phases: 1,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +103,11 @@ mod tests {
                 }
             }
             let g = Graph::from_edges(n, Direction::Undirected, &edges);
-            assert_eq!(boruvka(&g).total_weight, kruskal(&g).total_weight, "trial {trial}");
+            assert_eq!(
+                boruvka(&g).total_weight,
+                kruskal(&g).total_weight,
+                "trial {trial}"
+            );
         }
     }
 

@@ -99,8 +99,13 @@ pub fn k_nearest(g: &Graph, src: NodeId, k: usize) -> Vec<(NodeId, Weight)> {
 /// Selects the `k` nearest entries from a distance vector, ties broken by ID,
 /// excluding unreachable nodes.
 pub fn k_nearest_from_dists(dist: &[Weight], k: usize) -> Vec<(NodeId, Weight)> {
-    let mut order: Vec<(Weight, NodeId)> =
-        dist.iter().copied().enumerate().filter(|&(_, d)| d < INF).map(|(v, d)| (d, v)).collect();
+    let mut order: Vec<(Weight, NodeId)> = dist
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, d)| d < INF)
+        .map(|(v, d)| (d, v))
+        .collect();
     order.sort_unstable();
     order.truncate(k);
     order.into_iter().map(|(d, v)| (v, d)).collect()
@@ -118,8 +123,7 @@ pub fn bellman_ford_hops(g: &Graph, src: NodeId, h: usize) -> Vec<Weight> {
     for _ in 0..h {
         let mut next = dist.clone();
         let mut changed = false;
-        for u in 0..g.n() {
-            let du = dist[u];
+        for (u, &du) in dist.iter().enumerate() {
             if du >= INF {
                 continue;
             }
@@ -200,7 +204,11 @@ pub fn dijkstra_arcs(n: usize, arcs: &[(NodeId, NodeId, Weight)], src: NodeId) -
 
 /// Eccentricity of `src`: max finite distance from `src`.
 pub fn eccentricity(g: &Graph, src: NodeId) -> Weight {
-    dijkstra(g, src).into_iter().filter(|&d| d < INF).max().unwrap_or(0)
+    dijkstra(g, src)
+        .into_iter()
+        .filter(|&d| d < INF)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Weighted diameter (max over a sample of sources if `sample` is set, else
@@ -239,11 +247,7 @@ mod tests {
     fn dijkstra_with_hops_prefers_fewer_edges_among_shortest() {
         // Two shortest paths of length 4 from 0 to 3: 0-1-3 (2 hops) via
         // weights 2+2, and 0-3 direct with weight 4 (1 hop).
-        let g = Graph::from_edges(
-            4,
-            Direction::Undirected,
-            &[(0, 1, 2), (1, 3, 2), (0, 3, 4)],
-        );
+        let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 2), (1, 3, 2), (0, 3, 4)]);
         let best = dijkstra_with_hops(&g, 0);
         assert_eq!(best[3], (4, 1));
     }
@@ -278,7 +282,10 @@ mod tests {
         let arcs: Vec<_> = g.all_arcs().collect();
         for s in 0..g.n() {
             assert_eq!(dijkstra_arcs(g.n(), &arcs, s), dijkstra(&g, s));
-            assert_eq!(bellman_ford_hops_arcs(g.n(), &arcs, s, 2), bellman_ford_hops(&g, s, 2));
+            assert_eq!(
+                bellman_ford_hops_arcs(g.n(), &arcs, s, 2),
+                bellman_ford_hops(&g, s, 2)
+            );
         }
     }
 

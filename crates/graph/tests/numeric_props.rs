@@ -1,0 +1,96 @@
+//! Property tests for the numeric helpers every algorithm builds on:
+//! saturating semiring addition ([`cc_graph::wadd`]), the integer log
+//! ([`cc_graph::log2_ceil`]), and the stretch audit
+//! ([`cc_graph::DistMatrix::stretch_vs`]).
+
+use cc_graph::{log2_ceil, wadd, DistMatrix, Weight, INF};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// `wadd` never wraps, even when both operands sit just below `INF`,
+    /// and `INF` absorbs regardless of the other operand.
+    #[test]
+    fn wadd_never_wraps_near_inf(a in 0u64..=u64::MAX, near in 0u64..1_000_000) {
+        // Near-INF operands from both sides of the sentinel.
+        let lo = INF - near.min(INF);
+        let hi = INF.saturating_add(near);
+        for &x in &[a, lo, hi] {
+            for &y in &[lo, hi, INF] {
+                let s = wadd(x, y);
+                // Saturation: the result is a real sum or exactly INF —
+                // never a wrapped-around small value.
+                prop_assert!(s == INF || (s >= x && s >= y), "wadd({x}, {y}) = {s}");
+            }
+        }
+        // Two finite operands below INF sum exactly (INF = u64::MAX / 4
+        // guarantees headroom).
+        let f1 = a % INF;
+        let f2 = lo.min(INF - 1);
+        let s = wadd(f1, f2);
+        prop_assert!(s == INF || s == f1 + f2);
+        prop_assert!(wadd(f1, f2) >= f1.min(INF));
+    }
+
+    /// `log2_ceil` agrees with the `f64::log2` ceiling (clamped to `n ≥ 2`,
+    /// minimum 1, as documented) across 1..=2^20.
+    #[test]
+    fn log2_ceil_matches_f64(n in 1usize..=(1 << 20)) {
+        let expect = ((n.max(2) as f64).log2().ceil() as u32).max(1);
+        prop_assert_eq!(log2_ceil(n), expect, "n = {}", n);
+        // Defining property: 2^(l-1) < n.max(2) ≤ 2^l.
+        let l = log2_ceil(n);
+        prop_assert!(n.max(2) <= 1usize << l);
+        prop_assert!(n.max(2) > 1usize << (l - 1));
+    }
+
+    /// Auditing any distance matrix against itself reports zero
+    /// underestimates, zero missing pairs, and stretch exactly 1 whenever
+    /// any finite off-diagonal pair exists.
+    #[test]
+    fn stretch_vs_self_has_zero_underestimates(
+        n in 1usize..12,
+        weights in proptest::collection::vec(0u64..500, 144),
+        inf_mask in proptest::collection::vec(any::<bool>(), 144),
+    ) {
+        let data: Vec<Weight> = (0..n * n)
+            .map(|i| {
+                let (u, v) = (i / n, i % n);
+                if u == v {
+                    0
+                } else if inf_mask[i % inf_mask.len()] {
+                    INF
+                } else {
+                    weights[i % weights.len()]
+                }
+            })
+            .collect();
+        let m = DistMatrix::from_raw(n, data);
+        let stats = m.stretch_vs(&m);
+        prop_assert_eq!(stats.underestimates, 0);
+        prop_assert_eq!(stats.missing, 0);
+        if stats.pairs > 0 {
+            prop_assert!((stats.max_stretch - 1.0).abs() < 1e-12);
+            prop_assert!((stats.mean_stretch - 1.0).abs() < 1e-12);
+        }
+        prop_assert!(stats.is_valid_approximation(1.0));
+    }
+}
+
+/// Exhaustive boundary check around the `INF` sentinel (the exact values
+/// where wrapping would occur if `wadd` used plain `+`).
+#[test]
+fn wadd_boundary_cases() {
+    assert_eq!(wadd(0, 0), 0);
+    assert_eq!(wadd(INF - 1, 0), INF - 1);
+    assert_eq!(wadd(INF - 1, 1), INF);
+    assert_eq!(wadd(INF, 0), INF);
+    assert_eq!(wadd(u64::MAX, u64::MAX), INF);
+    assert_eq!(wadd(u64::MAX, 1), INF);
+    // Two finite operands sum exactly; a sum that crosses INF lands in the
+    // "infinite" band (>= INF) without wrapping — INF = u64::MAX / 4 leaves
+    // two bits of headroom.
+    assert_eq!(wadd(INF - 1, INF - 1), 2 * (INF - 1));
+    assert!(wadd(INF - 1, INF - 1) >= INF);
+}

@@ -28,8 +28,7 @@ pub fn distance_product(a: &DistMatrix, b: &DistMatrix) -> DistMatrix {
     for i in 0..n {
         let arow = a.row(i);
         let crow = c.row_mut(i);
-        for k in 0..n {
-            let aik = arow[k];
+        for (k, &aik) in arow.iter().enumerate() {
             if aik >= INF {
                 continue;
             }
@@ -117,8 +116,8 @@ mod tests {
             let ah = power(&a, h);
             for s in 0..g.n() {
                 let bf = bellman_ford_hops(&g, s, h as usize);
-                for t in 0..g.n() {
-                    assert_eq!(ah.get(s, t), bf[t], "h={h} s={s} t={t}");
+                for (t, &d) in bf.iter().enumerate() {
+                    assert_eq!(ah.get(s, t), d, "h={h} s={s} t={t}");
                 }
             }
         }
@@ -138,8 +137,15 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let n = 8;
         let mk = |rng: &mut rand::rngs::StdRng| {
-            let data: Vec<u64> =
-                (0..n * n).map(|_| if rng.gen_bool(0.3) { INF } else { rng.gen_range(0..100) }).collect();
+            let data: Vec<u64> = (0..n * n)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        INF
+                    } else {
+                        rng.gen_range(0..100)
+                    }
+                })
+                .collect();
             DistMatrix::from_raw(n, data)
         };
         for _ in 0..10 {

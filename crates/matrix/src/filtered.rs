@@ -29,7 +29,11 @@ impl FilteredMatrix {
         let rows = (0..n)
             .map(|u| {
                 select_k_smallest(
-                    a.row(u).iter().copied().enumerate().filter(|&(_, w)| w < INF),
+                    a.row(u)
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .filter(|&(_, w)| w < INF),
                     k,
                 )
             })
@@ -55,7 +59,10 @@ impl FilteredMatrix {
     /// truncated to `k`).
     pub fn from_rows(n: usize, k: usize, rows: Vec<Vec<(NodeId, Weight)>>) -> Self {
         assert_eq!(rows.len(), n);
-        let rows = rows.into_iter().map(|r| select_k_smallest(r.into_iter(), k)).collect();
+        let rows = rows
+            .into_iter()
+            .map(|r| select_k_smallest(r.into_iter(), k))
+            .collect();
         Self { n, k, rows }
     }
 
@@ -81,7 +88,10 @@ impl FilteredMatrix {
 
     /// All stored entries as arcs `(row, col, val)`, rows in order.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(u, row)| row.iter().map(move |&(v, w)| (u, v, w)))
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(u, row)| row.iter().map(move |&(v, w)| (u, v, w)))
     }
 
     /// Densifies (missing entries become `∞`; note the dense result does not
@@ -163,7 +173,10 @@ mod tests {
     #[test]
     fn select_k_smallest_dedups_and_tiebreaks() {
         let entries = vec![(3, 5), (1, 5), (3, 2), (2, 7)];
-        assert_eq!(select_k_smallest(entries.into_iter(), 2), vec![(3, 2), (1, 5)]);
+        assert_eq!(
+            select_k_smallest(entries.into_iter(), 2),
+            vec![(3, 2), (1, 5)]
+        );
     }
 
     #[test]
@@ -176,7 +189,10 @@ mod tests {
     fn from_dense_matches_from_graph() {
         let g = random_digraph(15, 0.3, 7);
         let a = adjacency_matrix(&g);
-        assert_eq!(FilteredMatrix::from_dense(&a, 4), FilteredMatrix::from_graph(&g, 4));
+        assert_eq!(
+            FilteredMatrix::from_dense(&a, 4),
+            FilteredMatrix::from_graph(&g, 4)
+        );
     }
 
     /// Lemma 5.5: `filter(Ā^i) = filter(A^i)` — filtering the graph first and

@@ -23,7 +23,10 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// An all-`∞` matrix.
     pub fn zero(n: usize) -> Self {
-        Self { n, rows: vec![Vec::new(); n] }
+        Self {
+            n,
+            rows: vec![Vec::new(); n],
+        }
     }
 
     /// Builds from rows; duplicate columns collapse to minimum value and
@@ -54,7 +57,10 @@ impl SparseMatrix {
 
     /// Entry `(u, v)`, `∞` if absent.
     pub fn get(&self, u: NodeId, v: NodeId) -> Weight {
-        self.rows[u].iter().find(|&&(c, _)| c == v).map_or(INF, |&(_, w)| w)
+        self.rows[u]
+            .iter()
+            .find(|&&(c, _)| c == v)
+            .map_or(INF, |&(_, w)| w)
     }
 
     /// Sets entry `(u, v)` to `min(current, w)`.
@@ -115,7 +121,11 @@ pub struct SparseProduct {
 /// # Panics
 ///
 /// Panics if dimensions differ.
-pub fn sparse_product(s: &SparseMatrix, t: &SparseMatrix, rho_out_hint: Option<f64>) -> SparseProduct {
+pub fn sparse_product(
+    s: &SparseMatrix,
+    t: &SparseMatrix,
+    rho_out_hint: Option<f64>,
+) -> SparseProduct {
     assert_eq!(s.n(), t.n(), "sparse product dimension mismatch");
     let n = s.n();
     let mut out = SparseMatrix::zero(n);
@@ -146,7 +156,11 @@ pub fn sparse_product(s: &SparseMatrix, t: &SparseMatrix, rho_out_hint: Option<f
     let rho_t = t.density();
     let rho_out = out.density().max(rho_out_hint.unwrap_or(0.0));
     let rounds = cdkl_rounds(n, rho_s, rho_t, rho_out);
-    SparseProduct { matrix: out, densities: (rho_s, rho_t, rho_out), rounds }
+    SparseProduct {
+        matrix: out,
+        densities: (rho_s, rho_t, rho_out),
+        rounds,
+    }
 }
 
 /// The Theorem 6.1 round charge:
@@ -167,7 +181,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let rows = (0..n)
             .map(|_| {
-                (0..per_row).map(|_| (rng.gen_range(0..n), rng.gen_range(0..100u64))).collect()
+                (0..per_row)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_range(0..100u64)))
+                    .collect()
             })
             .collect();
         SparseMatrix::from_rows(n, rows)
@@ -196,7 +212,10 @@ mod tests {
 
     #[test]
     fn density_counts_average_entries() {
-        let s = SparseMatrix::from_rows(4, vec![vec![(0, 1)], vec![], vec![(1, 2), (2, 3)], vec![(3, 1)]]);
+        let s = SparseMatrix::from_rows(
+            4,
+            vec![vec![(0, 1)], vec![], vec![(1, 2), (2, 3)], vec![(3, 1)]],
+        );
         assert_eq!(s.nnz(), 4);
         assert!((s.density() - 1.0).abs() < 1e-12);
     }

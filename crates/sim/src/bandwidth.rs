@@ -34,7 +34,9 @@ impl Bandwidth {
     pub fn polylog(power: u32, n: usize) -> Self {
         assert!(power >= 1, "bandwidth exponent must be >= 1");
         let log_n = log2_ceil(n) as usize;
-        Self { words: log_n.pow(power - 1).max(1) }
+        Self {
+            words: log_n.pow(power - 1).max(1),
+        }
     }
 
     /// An explicit number of words per message.

@@ -29,7 +29,13 @@ impl Clique {
     /// Panics if `n == 0`.
     pub fn new(n: usize, bandwidth: Bandwidth) -> Self {
         assert!(n >= 1, "clique needs at least one node");
-        Self { n, bandwidth, ledger: RoundLedger::new(), stats: TrafficStats::new(), load_guard: None }
+        Self {
+            n,
+            bandwidth,
+            ledger: RoundLedger::new(),
+            stats: TrafficStats::new(),
+            load_guard: None,
+        }
     }
 
     /// Installs a load guard: any single routing instance whose max per-node
@@ -114,7 +120,10 @@ impl Clique {
         let mut total = 0usize;
         let count = msgs.len();
         for m in &msgs {
-            assert!(m.src < self.n && m.dst < self.n, "message endpoint out of range");
+            assert!(
+                m.src < self.n && m.dst < self.n,
+                "message endpoint out of range"
+            );
             let w = m.payload.words();
             send[m.src] += w;
             recv[m.dst] += w;
@@ -171,7 +180,13 @@ impl Clique {
         let rounds = self.rounds_for_load(load);
         self.ledger.charge(label, rounds);
         self.stats.record(label, total_words, load, rounds);
-        RouteReport { max_send_words: max_send, max_recv_words: max_recv, total_words, messages, rounds }
+        RouteReport {
+            max_send_words: max_send,
+            max_recv_words: max_recv,
+            total_words,
+            messages,
+            rounds,
+        }
     }
 
     /// One node sends the same `words`-word blob to every node (e.g.
@@ -258,9 +273,16 @@ mod tests {
     #[test]
     fn route_delivers_all_messages_in_order() {
         let mut c = clique(4);
-        let msgs = vec![Msg::new(2, 0, 20u64), Msg::new(1, 0, 10u64), Msg::new(3, 1, 31u64)];
+        let msgs = vec![
+            Msg::new(2, 0, 20u64),
+            Msg::new(1, 0, 10u64),
+            Msg::new(3, 1, 31u64),
+        ];
         let inboxes = c.route("t", msgs);
-        assert_eq!(inboxes[0].iter().map(|m| m.payload).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(
+            inboxes[0].iter().map(|m| m.payload).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
         assert_eq!(inboxes[1][0].payload, 31);
         assert!(inboxes[2].is_empty());
     }
@@ -279,8 +301,9 @@ mod tests {
     fn balanced_all_to_all_is_cheap() {
         let n = 16;
         let mut c = clique(n);
-        let msgs: Vec<Msg<u64>> =
-            (0..n).flat_map(|u| (0..n).map(move |v| Msg::new(u, v, 1u64))).collect();
+        let msgs: Vec<Msg<u64>> = (0..n)
+            .flat_map(|u| (0..n).map(move |v| Msg::new(u, v, 1u64)))
+            .collect();
         c.route("t", msgs);
         assert_eq!(c.rounds(), ROUTE_CONSTANT);
     }
@@ -344,7 +367,9 @@ mod tests {
     fn charge_route_by_loads_matches_route() {
         let n = 4;
         let mut c1 = clique(n);
-        let msgs: Vec<Msg<u64>> = (0..8).map(|i| Msg::new(i % n, (i + 1) % n, i as u64)).collect();
+        let msgs: Vec<Msg<u64>> = (0..8)
+            .map(|i| Msg::new(i % n, (i + 1) % n, i as u64))
+            .collect();
         let mut send = vec![0usize; n];
         let mut recv = vec![0usize; n];
         for m in &msgs {
@@ -392,8 +417,9 @@ mod tests {
     fn load_guard_allows_balanced_instances() {
         let mut c = clique(8);
         c.guard_loads(2);
-        let msgs: Vec<Msg<u64>> =
-            (0..8).flat_map(|u| (0..8).map(move |v| Msg::new(u, v, 1u64))).collect();
+        let msgs: Vec<Msg<u64>> = (0..8)
+            .flat_map(|u| (0..8).map(move |v| Msg::new(u, v, 1u64)))
+            .collect();
         c.route("balanced", msgs); // load = n = 8 ≤ 2·n·f
         assert_eq!(c.rounds(), ROUTE_CONSTANT);
     }

@@ -61,7 +61,11 @@ impl RoundLedger {
     /// Charges `rounds` under the current phase.
     pub fn charge(&mut self, label: &str, rounds: u64) {
         self.total += rounds;
-        self.events.push(Event { phase: self.phase_path(), label: label.to_string(), rounds });
+        self.events.push(Event {
+            phase: self.phase_path(),
+            label: label.to_string(),
+            rounds,
+        });
     }
 
     /// Pushes a phase name; charges until the matching [`Self::pop_phase`]
@@ -94,14 +98,25 @@ impl RoundLedger {
             let key: String = if depth == 0 {
                 String::new()
             } else {
-                ev.phase.split('/').filter(|s| !s.is_empty()).take(depth).collect::<Vec<_>>().join("/")
+                ev.phase
+                    .split('/')
+                    .filter(|s| !s.is_empty())
+                    .take(depth)
+                    .collect::<Vec<_>>()
+                    .join("/")
             };
             if !totals.contains_key(&key) {
                 order.push(key.clone());
             }
             *totals.entry(key).or_insert(0) += ev.rounds;
         }
-        order.into_iter().map(|k| { let t = totals[&k]; (k, t) }).collect()
+        order
+            .into_iter()
+            .map(|k| {
+                let t = totals[&k];
+                (k, t)
+            })
+            .collect()
     }
 
     /// Absorbs another ledger's events (used by parallel groups to keep child

@@ -96,8 +96,9 @@ mod tests {
         // Every node sends one word to every node: L = n. The relay schedule
         // should finish in O(1) rounds.
         let n = 16;
-        let msgs: Vec<_> =
-            (0..n).flat_map(|u| (0..n).map(move |v| (u, v, 1usize))).collect();
+        let msgs: Vec<_> = (0..n)
+            .flat_map(|u| (0..n).map(move |v| (u, v, 1usize)))
+            .collect();
         let s = schedule_route(n, 1, &msgs);
         assert!(s.total_rounds <= 4, "rounds = {}", s.total_rounds);
     }

@@ -55,7 +55,9 @@ impl TrafficStats {
 
     /// All `(label, traffic)` rows in first-seen order.
     pub fn rows(&self) -> impl Iterator<Item = (&str, LabelTraffic)> + '_ {
-        self.order.iter().map(move |l| (l.as_str(), self.by_label[l]))
+        self.order
+            .iter()
+            .map(move |l| (l.as_str(), self.by_label[l]))
     }
 
     /// Total words moved across all labels.
@@ -65,7 +67,11 @@ impl TrafficStats {
 
     /// The largest single-node load observed anywhere.
     pub fn worst_node_load(&self) -> usize {
-        self.by_label.values().map(|t| t.max_node_load).max().unwrap_or(0)
+        self.by_label
+            .values()
+            .map(|t| t.max_node_load)
+            .max()
+            .unwrap_or(0)
     }
 }
 

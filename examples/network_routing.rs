@@ -25,7 +25,13 @@ fn main() {
     let g = generators::random_geometric(n, 0.18, 100, &mut rng);
     println!("geometric network: n = {}, m = {} links", g.n(), g.m());
 
-    let result = approximate_apsp(&g, &PipelineConfig { seed: 7, ..Default::default() });
+    let result = approximate_apsp(
+        &g,
+        &PipelineConfig {
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let exact = apsp::exact_apsp(&g);
     let stats = result.estimate.stretch_vs(&exact);
     println!(
@@ -66,6 +72,11 @@ fn main() {
 
     // One concrete route.
     if let Some(path) = oracle.route(0, n - 1) {
-        println!("\nroute 0 → {}: {} hops via {:?}", n - 1, path.len() - 1, path);
+        println!(
+            "\nroute 0 → {}: {} hops via {:?}",
+            n - 1,
+            path.len() - 1,
+            path
+        );
     }
 }

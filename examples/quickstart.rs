@@ -19,7 +19,12 @@ fn main() {
     let n = 256;
     let mut rng = StdRng::seed_from_u64(42);
     let g = generators::gnp_connected(n, 8.0 / n as f64, 1..=100, &mut rng);
-    println!("graph: n = {}, m = {}, max weight = {}", g.n(), g.m(), g.max_weight());
+    println!(
+        "graph: n = {}, m = {}, max weight = {}",
+        g.n(),
+        g.m(),
+        g.max_weight()
+    );
 
     let cfg = PipelineConfig::default();
     let result = approximate_apsp(&g, &cfg);
@@ -36,10 +41,19 @@ fn main() {
     // Audit against ground truth (the luxury of a simulator).
     let exact = apsp::exact_apsp(&g);
     let stats = result.estimate.stretch_vs(&exact);
-    println!("\nmeasured stretch: max {:.3}, mean {:.3}, p99 {:.3}", stats.max_stretch, stats.mean_stretch, stats.p99_stretch);
-    println!("underestimates: {}   missing: {}", stats.underestimates, stats.missing);
+    println!(
+        "\nmeasured stretch: max {:.3}, mean {:.3}, p99 {:.3}",
+        stats.max_stretch, stats.mean_stretch, stats.p99_stretch
+    );
+    println!(
+        "underestimates: {}   missing: {}",
+        stats.underestimates, stats.missing
+    );
     assert!(stats.is_valid_approximation(result.stretch_bound));
-    println!("\nestimate is a valid {:.1}-approximation ✓", result.stretch_bound);
+    println!(
+        "\nestimate is a valid {:.1}-approximation ✓",
+        result.stretch_bound
+    );
 
     // Spot-check a few pairs.
     println!("\nsample pairs (u, v): exact vs estimate");

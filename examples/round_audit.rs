@@ -18,13 +18,24 @@ fn main() {
     let n = 256;
     let mut rng = StdRng::seed_from_u64(11);
     let g = generators::random_geometric(n, 0.16, 128, &mut rng);
-    println!("auditing Theorem 1.1 on geometric n = {}, m = {}\n", g.n(), g.m());
+    println!(
+        "auditing Theorem 1.1 on geometric n = {}, m = {}\n",
+        g.n(),
+        g.m()
+    );
 
     let mut clique = Clique::new(n, Bandwidth::standard(n));
-    let cfg = PipelineConfig { seed: 11, ..Default::default() };
+    let cfg = PipelineConfig {
+        seed: 11,
+        ..Default::default()
+    };
     let (_est, bound) = theorem_1_1(&mut clique, &g, &cfg, &mut rng);
 
-    println!("total rounds: {}   (guarantee {:.0}×)\n", clique.rounds(), bound);
+    println!(
+        "total rounds: {}   (guarantee {:.0}×)\n",
+        clique.rounds(),
+        bound
+    );
     println!("== breakdown, depth 2 ==");
     for (phase, rounds) in clique.ledger().breakdown_depth(2) {
         let name = if phase.is_empty() { "(top)" } else { &phase };

@@ -28,7 +28,14 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
     for t in 0..=4usize {
-        let result = apsp_tradeoff(&g, t, &PipelineConfig { seed: 3, ..Default::default() });
+        let result = apsp_tradeoff(
+            &g,
+            t,
+            &PipelineConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let stats = result.estimate.stretch_vs(&exact);
         assert!(stats.is_valid_approximation(result.stretch_bound));
         println!(

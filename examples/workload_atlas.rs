@@ -33,7 +33,11 @@ fn main() {
         let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
         let (est, bound) = apsp_o_loglog(&mut clique, &g, false, &mut rng);
         let stats = est.stretch_vs(&exact);
-        assert!(stats.is_valid_approximation(bound), "{}: {stats}", family.name());
+        assert!(
+            stats.is_valid_approximation(bound),
+            "{}: {stats}",
+            family.name()
+        );
         println!(
             "{:>6} {:>6} {:>9} {:>8} {:>8.0} {:>12.3} {:>12.3}",
             family.name(),

@@ -39,11 +39,20 @@ fn main() {
         }
     }
     let g = b.build();
-    println!("datacenter: {racks} racks × {per_rack} nodes = {n}, m = {}", g.m());
-    println!("zero-weight edges: {}", g.edges().iter().filter(|e| e.2 == 0).count());
+    println!(
+        "datacenter: {racks} racks × {per_rack} nodes = {n}, m = {}",
+        g.m()
+    );
+    println!(
+        "zero-weight edges: {}",
+        g.edges().iter().filter(|e| e.2 == 0).count()
+    );
 
     let mut clique = Clique::new(n, Bandwidth::standard(n));
-    let cfg = PipelineConfig { seed: 13, ..Default::default() };
+    let cfg = PipelineConfig {
+        seed: 13,
+        ..Default::default()
+    };
     let (est, bound) = apsp_with_zero_weights(&mut clique, &g, |inner_clique, compressed| {
         println!(
             "compressed graph: {} clusters, {} inter-cluster edges",
@@ -56,8 +65,18 @@ fn main() {
 
     let exact = apsp::exact_apsp(&g);
     let stats = est.stretch_vs(&exact);
-    println!("\nrounds (incl. reduction + expansion): {}", clique.rounds());
-    println!("stretch: max {:.2} mean {:.2} (bound {:.0})", stats.max_stretch, stats.mean_stretch, bound);
+    println!(
+        "\nrounds (incl. reduction + expansion): {}",
+        clique.rounds()
+    );
+    println!(
+        "stretch: max {:.2} mean {:.2} (bound {:.0})",
+        stats.max_stretch, stats.mean_stretch, bound
+    );
     assert!(stats.is_valid_approximation(bound));
-    println!("zero-distance pairs answered exactly: d(0,1) = {} → δ = {}", exact.get(0, 1), est.get(0, 1));
+    println!(
+        "zero-distance pairs answered exactly: d(0,1) = {} → δ = {}",
+        exact.get(0, 1),
+        est.get(0, 1)
+    );
 }

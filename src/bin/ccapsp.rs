@@ -11,7 +11,7 @@
 //! (Theorem 8.1 on CC\[log⁴n\]), `smalldiam` (Theorem 7.1), `spanner`
 //! (the O(log n) baseline), `exact` (min-plus squaring baseline).
 
-use cc_apsp::pipeline::{apsp_large_bandwidth, approximate_apsp, PipelineConfig};
+use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
 use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
 use cc_baselines::{exact as exact_baseline, spanner_only};
 use cc_graph::generators::Family;
@@ -43,7 +43,9 @@ fn main() -> ExitCode {
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
-    let [family, n, seed, out] = args else { return usage() };
+    let [family, n, seed, out] = args else {
+        return usage();
+    };
     let Some(family) = Family::ALL.iter().find(|f| f.name() == family) else {
         eprintln!("unknown family {family:?}");
         return usage();
@@ -87,18 +89,28 @@ fn cmd_info(args: &[String]) -> ExitCode {
 }
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     let g = match load(path) {
         Ok(g) => g,
         Err(code) => return code,
     };
     let algo = flag(args, "--algo").unwrap_or("thm11");
-    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let cfg = PipelineConfig { seed, ..Default::default() };
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let cfg = PipelineConfig {
+        seed,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.n();
 
@@ -140,7 +152,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if n <= 2048 {
         let exact = apsp::exact_apsp(&g);
         let stats = estimate.stretch_vs(&exact);
-        println!("measured       max {:.3} / mean {:.3} / p99 {:.3}", stats.max_stretch, stats.mean_stretch, stats.p99_stretch);
+        println!(
+            "measured       max {:.3} / mean {:.3} / p99 {:.3}",
+            stats.max_stretch, stats.mean_stretch, stats.p99_stretch
+        );
         println!("valid          {}", stats.is_valid_approximation(bound));
     }
     ExitCode::SUCCESS

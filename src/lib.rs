@@ -31,7 +31,11 @@ pub fn workload(family: Family, n: usize, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let graph = family.generate(n, n as u64, &mut rng);
     let exact = apsp::exact_apsp(&graph);
-    Workload { family: family.name(), graph, exact }
+    Workload {
+        family: family.name(),
+        graph,
+        exact,
+    }
 }
 
 /// Audits an estimate against a workload's ground truth.

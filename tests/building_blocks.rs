@@ -104,8 +104,7 @@ fn skeleton_on_star_collapses_to_center_region() {
     let mut rng = StdRng::seed_from_u64(4);
     let g = generators::star(60, 1..=5, &mut rng);
     let k = 8;
-    let rows: Vec<Vec<(NodeId, Weight)>> =
-        (0..g.n()).map(|u| sssp::k_nearest(&g, u, k)).collect();
+    let rows: Vec<Vec<(NodeId, Weight)>> = (0..g.n()).map(|u| sssp::k_nearest(&g, u, k)).collect();
     let tilde = FilteredMatrix::from_rows(g.n(), k, rows);
     let mut clique = clique_for(g.n());
     let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
@@ -124,8 +123,7 @@ fn skeleton_with_k_equals_n_is_single_center_per_component() {
     let mut rng = StdRng::seed_from_u64(5);
     let g = generators::gnp_connected(30, 0.3, 1..=9, &mut rng);
     let n = g.n();
-    let rows: Vec<Vec<(NodeId, Weight)>> =
-        (0..n).map(|u| sssp::k_nearest(&g, u, n)).collect();
+    let rows: Vec<Vec<(NodeId, Weight)>> = (0..n).map(|u| sssp::k_nearest(&g, u, n)).collect();
     let tilde = FilteredMatrix::from_rows(n, n, rows);
     let mut clique = clique_for(n);
     let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
@@ -148,7 +146,10 @@ fn scaling_combine_keeps_inf_for_unreachable() {
     let scaled = weight_scaling(&g, 10, 2, 0.5);
     let gis: Vec<DistMatrix> = scaled.graphs.iter().map(apsp::exact_apsp).collect();
     let eta = combine(&scaled, &gis, &exact);
-    assert!(eta.get(0, 2) >= INF, "hub edges must not leak cross-component distances");
+    assert!(
+        eta.get(0, 2) >= INF,
+        "hub edges must not leak cross-component distances"
+    );
     assert_eq!(eta.get(0, 1), 5);
 }
 
@@ -233,14 +234,16 @@ fn random_block_compositions_validate() {
         let n = rng.gen_range(30..70);
         let g = generators::gnp_connected(n, 0.15, 1..=30, &mut rng);
         let k = rng.gen_range(3..(n as f64).sqrt() as usize + 2);
-        let rows: Vec<Vec<(NodeId, Weight)>> =
-            (0..n).map(|u| sssp::k_nearest(&g, u, k)).collect();
+        let rows: Vec<Vec<(NodeId, Weight)>> = (0..n).map(|u| sssp::k_nearest(&g, u, k)).collect();
         let tilde = FilteredMatrix::from_rows(n, k, rows);
         let mut clique = clique_for(n);
         let sk = build_skeleton(&mut clique, &g, &tilde, &mut rng);
         let delta_gs = apsp::exact_apsp(&sk.graph);
         let eta = extend_estimate(&mut clique, &sk, &tilde, &delta_gs);
         let stats = eta.stretch_vs(&apsp::exact_apsp(&g));
-        assert!(stats.is_valid_approximation(7.0), "trial {trial} (n={n}, k={k}): {stats}");
+        assert!(
+            stats.is_valid_approximation(7.0),
+            "trial {trial} (n={n}, k={k}): {stats}"
+        );
     }
 }

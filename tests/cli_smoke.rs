@@ -1,0 +1,136 @@
+//! End-to-end smoke tests for the `ccapsp` binary: every invocation the
+//! crate-level doc comment advertises must exit 0, and `gen → info → run`
+//! must round-trip through a file on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ccapsp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccapsp"))
+        .args(args)
+        .output()
+        .expect("failed to spawn ccapsp")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A unique scratch path per test, cleaned up by the returned guard.
+struct TempEdges(PathBuf);
+
+impl TempEdges {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ccapsp_smoke_{}_{}.edges", tag, std::process::id()));
+        TempEdges(p)
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TempEdges {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn gen_info_run_round_trip() {
+    let edges = TempEdges::new("round_trip");
+
+    let gen = ccapsp(&["gen", "gnp", "40", "7", edges.as_str()]);
+    assert!(gen.status.success(), "gen failed: {gen:?}");
+    assert!(
+        stdout(&gen).contains("40 nodes"),
+        "gen output: {}",
+        stdout(&gen)
+    );
+
+    let info = ccapsp(&["info", edges.as_str()]);
+    assert!(info.status.success(), "info failed: {info:?}");
+    let info_out = stdout(&info);
+    assert!(
+        info_out.contains("nodes          40"),
+        "info output: {info_out}"
+    );
+    assert!(
+        info_out.contains("components     1"),
+        "info output: {info_out}"
+    );
+
+    let run = ccapsp(&["run", edges.as_str(), "--algo", "thm11", "--seed", "3"]);
+    assert!(run.status.success(), "run failed: {run:?}");
+    let run_out = stdout(&run);
+    assert!(
+        run_out.contains("algorithm      thm11"),
+        "run output: {run_out}"
+    );
+    assert!(
+        run_out.contains("valid          true"),
+        "run output: {run_out}"
+    );
+}
+
+#[test]
+fn every_documented_algo_exits_zero() {
+    let edges = TempEdges::new("algos");
+    assert!(ccapsp(&["gen", "gnp", "32", "1", edges.as_str()])
+        .status
+        .success());
+    for algo in ["thm11", "thm81", "smalldiam", "spanner", "exact"] {
+        let run = ccapsp(&["run", edges.as_str(), "--algo", algo]);
+        assert!(run.status.success(), "--algo {algo} failed: {run:?}");
+        assert!(
+            stdout(&run).contains("valid          true"),
+            "--algo {algo} produced an invalid estimate: {}",
+            stdout(&run)
+        );
+    }
+}
+
+#[test]
+fn every_documented_family_generates() {
+    for family in ["gnp", "geo", "ba", "grid", "pathz", "wide"] {
+        let edges = TempEdges::new(&format!("family_{family}"));
+        let gen = ccapsp(&["gen", family, "24", "5", edges.as_str()]);
+        assert!(gen.status.success(), "gen {family} failed: {gen:?}");
+        let info = ccapsp(&["info", edges.as_str()]);
+        assert!(info.status.success(), "info on {family} failed: {info:?}");
+    }
+}
+
+#[test]
+fn bad_invocations_exit_nonzero_with_usage() {
+    // No arguments at all.
+    let none = ccapsp(&[]);
+    assert_eq!(none.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&none.stderr).contains("usage:"));
+
+    // Unknown subcommand, unknown family, unknown algorithm.
+    assert_eq!(ccapsp(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        ccapsp(&["gen", "nope", "8", "1", "/tmp/x.edges"])
+            .status
+            .code(),
+        Some(2)
+    );
+    let edges = TempEdges::new("bad_algo");
+    assert!(ccapsp(&["gen", "gnp", "16", "1", edges.as_str()])
+        .status
+        .success());
+    assert_eq!(
+        ccapsp(&["run", edges.as_str(), "--algo", "nope"])
+            .status
+            .code(),
+        Some(2)
+    );
+
+    // Missing file is a runtime failure (1), not a usage error (2).
+    assert_eq!(
+        ccapsp(&["info", "/nonexistent/graph.edges"]).status.code(),
+        Some(1)
+    );
+}

@@ -11,7 +11,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn assert_valid(g: &Graph, seed: u64) {
-    let result = approximate_apsp(g, &PipelineConfig { seed, ..Default::default() });
+    let result = approximate_apsp(
+        g,
+        &PipelineConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     let exact = apsp::exact_apsp(g);
     let stats = result.estimate.stretch_vs(&exact);
     assert!(
@@ -112,7 +118,10 @@ fn pipeline_respects_generous_load_guard() {
     let g = generators::gnp_connected(128, 0.06, 1..=40, &mut rng);
     let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
     clique.guard_loads(64);
-    let cfg = PipelineConfig { seed: 8, ..Default::default() };
+    let cfg = PipelineConfig {
+        seed: 8,
+        ..Default::default()
+    };
     let mut arng = StdRng::seed_from_u64(8);
     let (est, bound) = theorem_1_1(&mut clique, &g, &cfg, &mut arng);
     let exact = apsp::exact_apsp(&g);
@@ -124,13 +133,18 @@ fn traffic_stats_cover_pipeline_phases() {
     let mut rng = StdRng::seed_from_u64(9);
     let g = generators::gnp_connected(96, 0.08, 1..=20, &mut rng);
     let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
-    let cfg = PipelineConfig { seed: 9, ..Default::default() };
+    let cfg = PipelineConfig {
+        seed: 9,
+        ..Default::default()
+    };
     let mut arng = StdRng::seed_from_u64(9);
     theorem_1_1(&mut clique, &g, &cfg, &mut arng);
     let traffic = clique.traffic();
     // The key data-movement steps must appear in the traffic table.
     for label in ["knearest-bin-transfer", "knearest-responses"] {
-        let t = traffic.get(label).unwrap_or_else(|| panic!("missing label {label}"));
+        let t = traffic
+            .get(label)
+            .unwrap_or_else(|| panic!("missing label {label}"));
         assert!(t.invocations >= 1);
         assert!(t.total_words > 0);
     }
@@ -199,9 +213,27 @@ fn repeated_runs_share_no_state() {
     let mut rng = StdRng::seed_from_u64(13);
     let g1 = generators::gnp_connected(48, 0.15, 1..=9, &mut rng);
     let g2 = generators::star(48, 1..=9, &mut rng);
-    let r1a = approximate_apsp(&g1, &PipelineConfig { seed: 13, ..Default::default() });
-    let _r2 = approximate_apsp(&g2, &PipelineConfig { seed: 13, ..Default::default() });
-    let r1b = approximate_apsp(&g1, &PipelineConfig { seed: 13, ..Default::default() });
+    let r1a = approximate_apsp(
+        &g1,
+        &PipelineConfig {
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    let _r2 = approximate_apsp(
+        &g2,
+        &PipelineConfig {
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    let r1b = approximate_apsp(
+        &g1,
+        &PipelineConfig {
+            seed: 13,
+            ..Default::default()
+        },
+    );
     assert_eq!(r1a.estimate, r1b.estimate);
     assert_eq!(r1a.rounds, r1b.rounds);
 }

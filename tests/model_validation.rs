@@ -107,7 +107,9 @@ fn parallel_group_bandwidth_overcommit_factors() {
     c.parallel("fits", 4, Bandwidth::words(1), |c, _| c.charge("w", 10));
     assert_eq!(c.rounds(), 10);
     let mut c2 = Clique::new(8, Bandwidth::words(4));
-    c2.parallel("overcommitted", 12, Bandwidth::words(1), |c, _| c.charge("w", 10));
+    c2.parallel("overcommitted", 12, Bandwidth::words(1), |c, _| {
+        c.charge("w", 10)
+    });
     assert_eq!(c2.rounds(), 30); // ceil(12/4) = 3×
 }
 

@@ -18,7 +18,13 @@ use rand::{Rng, SeedableRng};
 fn theorem_1_1_valid_on_every_family() {
     for family in Family::ALL {
         let w = workload(family, 96, 1234);
-        let result = approximate_apsp(&w.graph, &PipelineConfig { seed: 9, ..Default::default() });
+        let result = approximate_apsp(
+            &w.graph,
+            &PipelineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         let stats = audit(&w, &result.estimate);
         assert!(
             stats.is_valid_approximation(result.stretch_bound),
@@ -40,19 +46,29 @@ fn theorem_8_1_valid_on_wide_bandwidth_clique() {
         let stats = audit(&w, &est);
         assert!(stats.is_valid_approximation(bound), "{}: {stats}", w.family);
         // Theorem 8.1's guarantee: 7³-flavored.
-        assert!(bound <= 343.0 * (1.0 + cfg.eps).powi(3), "{}: bound {bound}", w.family);
+        assert!(
+            bound <= 343.0 * (1.0 + cfg.eps).powi(3),
+            "{}: bound {bound}",
+            w.family
+        );
     }
 }
 
 #[test]
 fn tradeoff_rounds_grow_with_t() {
     let w = workload(Family::Gnp, 96, 777);
-    let cfg = PipelineConfig { seed: 2, ..Default::default() };
+    let cfg = PipelineConfig {
+        seed: 2,
+        ..Default::default()
+    };
     let mut prev_rounds = 0;
     for t in [1usize, 2, 3] {
         let result = apsp_tradeoff(&w.graph, t, &cfg);
         let stats = audit(&w, &result.estimate);
-        assert!(stats.is_valid_approximation(result.stretch_bound), "t={t}: {stats}");
+        assert!(
+            stats.is_valid_approximation(result.stretch_bound),
+            "t={t}: {stats}"
+        );
         assert!(
             result.rounds >= prev_rounds,
             "rounds must not shrink with t: t={t}, {} < {prev_rounds}",
@@ -86,7 +102,10 @@ fn zero_weight_wrapper_composes_with_pipeline() {
     }
     let g = b.build();
     let mut clique = Clique::new(n, Bandwidth::standard(n));
-    let cfg = PipelineConfig { seed: 3, ..Default::default() };
+    let cfg = PipelineConfig {
+        seed: 3,
+        ..Default::default()
+    };
     let (est, bound) = apsp_with_zero_weights(&mut clique, &g, |c, compressed| {
         let mut inner_rng = StdRng::seed_from_u64(3);
         theorem_1_1(c, compressed, &cfg, &mut inner_rng)
@@ -112,18 +131,31 @@ fn landscape_shape_who_wins() {
     let mut rng = StdRng::seed_from_u64(1);
     let (_, spanner_bound) = spanner_only_apsp(&mut c_spanner, &w.graph, &mut rng);
 
-    let ours = approximate_apsp(&w.graph, &PipelineConfig { seed: 1, ..Default::default() });
+    let ours = approximate_apsp(
+        &w.graph,
+        &PipelineConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
 
     // Guarantee ordering: exact (1) < ours (O(1)) — and the spanner bound is
     // the weakest *asymptotically*; at n = 128 the log n bound is small, so
     // assert only the structural facts.
     assert!(spanner_bound >= 3.0);
-    assert!(c_spanner.rounds() < ours.rounds, "spanner baseline should be cheapest");
+    assert!(
+        c_spanner.rounds() < ours.rounds,
+        "spanner baseline should be cheapest"
+    );
     assert!(ours.stretch_bound > 1.0);
     // The exact baseline pays Θ(n^(1/3)) per product and needs at least a
     // few squarings to reach the fixpoint.
     let per = cc_baselines::exact::product_rounds(n);
-    assert!(c_exact.rounds() >= 3 * per, "exact rounds = {}", c_exact.rounds());
+    assert!(
+        c_exact.rounds() >= 3 * per,
+        "exact rounds = {}",
+        c_exact.rounds()
+    );
 }
 
 #[test]
@@ -134,9 +166,18 @@ fn rounds_flatten_as_n_grows() {
     let mut rounds = Vec::new();
     for n in [64usize, 128, 256] {
         let w = workload(Family::Gnp, n, n as u64);
-        let result = approximate_apsp(&w.graph, &PipelineConfig { seed: 8, ..Default::default() });
+        let result = approximate_apsp(
+            &w.graph,
+            &PipelineConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        );
         let stats = audit(&w, &result.estimate);
-        assert!(stats.is_valid_approximation(result.stretch_bound), "n={n}: {stats}");
+        assert!(
+            stats.is_valid_approximation(result.stretch_bound),
+            "n={n}: {stats}"
+        );
         rounds.push(result.rounds as f64);
     }
     // n quadrupled; rounds must grow by far less than 4×.
@@ -149,6 +190,12 @@ fn rounds_flatten_as_n_grows() {
 #[test]
 fn estimates_are_symmetric_on_undirected_inputs() {
     let w = workload(Family::Geometric, 72, 55);
-    let result = approximate_apsp(&w.graph, &PipelineConfig { seed: 4, ..Default::default() });
+    let result = approximate_apsp(
+        &w.graph,
+        &PipelineConfig {
+            seed: 4,
+            ..Default::default()
+        },
+    );
     assert!(result.estimate.is_symmetric());
 }

@@ -9,10 +9,12 @@ use rand::SeedableRng;
 /// `ℓ(v)` of Section 4.2: the smallest distance such that at least `k`
 /// nodes are within it — i.e. the distance to the k-th nearest node.
 fn ell(exact: &DistMatrix, v: NodeId, k: usize) -> Weight {
-    let mut dists: Vec<Weight> =
-        exact.row(v).iter().copied().filter(|&d| d < INF).collect();
+    let mut dists: Vec<Weight> = exact.row(v).iter().copied().filter(|&d| d < INF).collect();
     dists.sort_unstable();
-    dists.get(k - 1).copied().unwrap_or(*dists.last().unwrap_or(&0))
+    dists
+        .get(k - 1)
+        .copied()
+        .unwrap_or(*dists.last().unwrap_or(&0))
 }
 
 fn workload(n: usize, seed: u64) -> (Graph, DistMatrix) {
@@ -71,8 +73,13 @@ fn claim_4_2_ball_containment() {
             let lv = ell(&exact, v, k);
             let radius = lv.saturating_sub(1) / a;
             // Ñ_k(v): k smallest by (δ, id).
-            let mut order: Vec<(Weight, NodeId)> =
-                delta.row(v).iter().copied().enumerate().map(|(u, d)| (d, u)).collect();
+            let mut order: Vec<(Weight, NodeId)> = delta
+                .row(v)
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(u, d)| (d, u))
+                .collect();
             order.sort_unstable();
             let tilde: std::collections::HashSet<NodeId> =
                 order.into_iter().take(k).map(|(_, u)| u).collect();
@@ -121,8 +128,7 @@ fn lemma_6_4_extension_chain() {
         let (g, exact) = workload(44, seed + 20);
         let n = g.n();
         let k = 6;
-        let rows: Vec<Vec<(NodeId, Weight)>> =
-            (0..n).map(|u| sssp::k_nearest(&g, u, k)).collect();
+        let rows: Vec<Vec<(NodeId, Weight)>> = (0..n).map(|u| sssp::k_nearest(&g, u, k)).collect();
         let tilde = FilteredMatrix::from_rows(n, k, rows);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut clique = Clique::new(n, Bandwidth::standard(n));

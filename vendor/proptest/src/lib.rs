@@ -1,0 +1,364 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of proptest's API the workspace's tests use:
+//! [`Strategy`] over integer ranges, tuples, [`Just`], [`collection::vec`],
+//! and [`any`]; the combinators `prop_map` / `prop_flat_map`; and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros driven by a
+//! [`ProptestConfig`]. Two deliberate simplifications versus upstream:
+//!
+//! 1. **No shrinking.** A failing case panics with the case's seed; re-run
+//!    with `PROPTEST_SEED=<seed>` to reproduce exactly that input.
+//! 2. **Deterministic by default.** Cases derive from a fixed base seed, so
+//!    CI runs are reproducible; set `PROPTEST_SEED` to explore a different
+//!    stream.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::RngCore as TestRngCore;
+
+/// The per-case random source handed to strategies.
+pub type TestRng = StdRng;
+
+/// Run-loop configuration, mirroring the upstream struct-update idiom
+/// (`ProptestConfig { cases: 24, ..ProptestConfig::default() }`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for upstream compatibility; failures are reported by seed
+    /// (`PROPTEST_SEED`), never persisted to disk.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms produced values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each produced value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F2);
+
+/// Types with a canonical "anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    /// Builds a [`VecStrategy`]: each case draws a length from `size`, then
+    /// that many elements from `element`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The base seed for a named test's case stream: `PROPTEST_SEED` if set,
+/// else a stable hash of the test name.
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    // FNV-1a, so each test gets its own stream without global state.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the RNG for one case of a property run.
+pub fn case_rng(base: u64, case: u32) -> TestRng {
+    StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $( $(#[$attr:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::base_seed(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::case_rng(base, case);
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    let run = || { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_compose(n in 2usize..10, pair in (1u64..5, 1u64..5)) {
+            prop_assert!((2..10).contains(&n));
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(
+            (n, v) in (1usize..8).prop_flat_map(|n| (Just(n), collection::vec(0usize..n.max(1), n)))
+        ) {
+            prop_assert_eq!(v.len(), n);
+            for x in v {
+                prop_assert!(x < n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_without_env_seed() {
+        let base = crate::base_seed("some::test");
+        let mut a = crate::case_rng(base, 3);
+        let mut b = crate::case_rng(base, 3);
+        let s = 0u64..1000;
+        assert_eq!(
+            crate::Strategy::sample(&s, &mut a),
+            crate::Strategy::sample(&s, &mut b)
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Vendored, dependency-free stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen`, `gen_range`, and `gen_bool`. The generator is xoshiro256++ (public
+//! domain, Blackman & Vigna) initialised through SplitMix64, so streams are
+//! deterministic per seed — which is all the workloads and tests rely on.
+//! The bit streams differ from upstream `rand`'s ChaCha12-based `StdRng`;
+//! nothing in this workspace asserts on specific drawn values.
+
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the type,
+    /// `bool` fair).
+    fn gen<T: distributions::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`). Generic over the
+    /// output type like upstream, so `gen_range(1..30)` infers the element
+    /// type from context.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        distributions::unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Distribution plumbing behind [`Rng::gen`] and [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// Converts the next word to a uniform `f64` in `[0, 1)` (53 bits).
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Types samplable by [`Rng::gen`](super::Rng::gen).
+    pub trait Standard: Sized {
+        /// Draws one value from the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges samplable by [`Rng::gen_range`](super::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps a word to `[0, span)` by 128-bit widening multiply (unbiased
+    /// enough for simulation workloads; avoids modulo skew).
+    pub(crate) fn bounded(word: u64, span: u64) -> u64 {
+        ((word as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(bounded(rng.next_u64(), span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            self.start + unit_f64(rng) * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            lo + unit_f64(rng) * (hi - lo)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Unlike upstream `rand`, this is *not* cryptographic — it only promises
+    /// a fixed, high-quality stream per seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(
+            (0..4).map(|_| a.gen::<u64>()).collect::<Vec<_>>(),
+            (0..4).map(|_| c.gen::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=5u64);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
