@@ -9,6 +9,7 @@
 
 use cc_graph::{DistMatrix, Graph};
 use cc_matrix::dense;
+use cc_par::ExecPolicy;
 use clique_sim::Clique;
 
 /// Rounds charged per dense min-plus product: `⌈n^(1/3)⌉` (\[CKK+19\]'s
@@ -17,14 +18,21 @@ pub fn product_rounds(n: usize) -> u64 {
     (n as f64).cbrt().ceil() as u64
 }
 
-/// Exact APSP by repeated squaring, with round charges per squaring.
+/// Exact APSP by repeated squaring, with round charges per squaring, under
+/// the `CC_THREADS` execution default.
 /// Returns the exact distance matrix.
 pub fn exact_apsp_squaring(clique: &mut Clique, g: &Graph) -> DistMatrix {
+    exact_apsp_squaring_with(clique, g, ExecPolicy::from_env())
+}
+
+/// [`exact_apsp_squaring`] under an explicit [`ExecPolicy`] for the local
+/// min-plus squarings.
+pub fn exact_apsp_squaring_with(clique: &mut Clique, g: &Graph, exec: ExecPolicy) -> DistMatrix {
     clique.phase("exact-squaring", |clique| {
         let mut cur = dense::adjacency_matrix(g);
         let per_product = product_rounds(g.n());
         loop {
-            let next = dense::distance_product(&cur, &cur);
+            let next = dense::distance_product_with(&cur, &cur, exec);
             clique.charge("minplus-square (CKK+19 n^(1/3))", per_product);
             if next == cur {
                 return next;

@@ -6,14 +6,25 @@
 //! the paper; its approximation is stuck at `Ω(log n)` because of the
 //! spanner size/stretch tradeoff (Section 1.1).
 
-use cc_apsp::spanner::{bootstrap_k, spanner_apsp_estimate};
+use cc_apsp::spanner::{bootstrap_k, spanner_apsp_estimate_with};
 use cc_graph::{DistMatrix, Graph};
+use cc_par::ExecPolicy;
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 
 /// Runs the spanner-only baseline; returns `(estimate, stretch bound)`.
 pub fn spanner_only_apsp(clique: &mut Clique, g: &Graph, rng: &mut StdRng) -> (DistMatrix, f64) {
-    let est = spanner_apsp_estimate(clique, g, bootstrap_k(g.n()), rng);
+    spanner_only_apsp_with(clique, g, rng, ExecPolicy::from_env())
+}
+
+/// [`spanner_only_apsp`] under an explicit [`ExecPolicy`].
+pub fn spanner_only_apsp_with(
+    clique: &mut Clique,
+    g: &Graph,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+) -> (DistMatrix, f64) {
+    let est = spanner_apsp_estimate_with(clique, g, bootstrap_k(g.n()), rng, exec);
     (est.estimate, est.stretch_bound)
 }
 

@@ -1,0 +1,119 @@
+//! `perf` — thread-scaling wall-clock benchmark emitting `BENCH_kernels.json`.
+//!
+//! Times the parallel hot kernels (per-source Dijkstra APSP, dense min-plus
+//! product, the full Theorem 1.1 pipeline) at thread counts 1/2/4 and writes
+//! the records machine-readably (see [`cc_bench::report`]) so the perf
+//! trajectory is tracked from this PR onward.
+//!
+//! ```sh
+//! cargo bench -p cc-bench --bench perf            # full sizes
+//! FAST=1 cargo bench -p cc-bench --bench perf     # smoke sizes
+//! ```
+//!
+//! Every record is produced from the *same* inputs; the kernels' outputs are
+//! cross-checked against the sequential run, so a scheduling bug that broke
+//! determinism would fail the bench rather than skew the numbers.
+
+use cc_apsp::pipeline::{approximate_apsp, PipelineConfig};
+use cc_bench::experiments::fast;
+use cc_bench::report::{time_best_of, write_report, BenchRecord};
+use cc_graph::generators::Family;
+use cc_graph::{apsp, DistMatrix};
+use cc_matrix::dense::{adjacency_matrix, distance_product_with};
+use cc_par::ExecPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Written at the workspace root regardless of cargo's bench CWD.
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn workload(n: usize, seed: u64) -> cc_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Family::Gnp.generate(n, n as u64, &mut rng)
+}
+
+fn main() {
+    let reps = if fast() { 2 } else { 3 };
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // Kernel 1: exact APSP (per-source Dijkstra row blocks).
+    let n_apsp = if fast() { 192 } else { 512 };
+    let g = workload(n_apsp, 7);
+    let mut reference: Option<DistMatrix> = None;
+    for threads in THREADS {
+        let exec = ExecPolicy::with_threads(threads);
+        let (wall_ms, out) = time_best_of(reps, || apsp::exact_apsp_with(&g, exec));
+        match &reference {
+            None => reference = Some(out),
+            Some(seq) => assert_eq!(&out, seq, "exact_apsp diverged at {threads} threads"),
+        }
+        println!("exact_apsp        n={n_apsp:>4} threads={threads}  {wall_ms:>9.2} ms");
+        records.push(BenchRecord {
+            experiment: "exact_apsp".into(),
+            n: n_apsp,
+            threads,
+            wall_ms,
+            rounds: 0,
+        });
+    }
+
+    // Kernel 2: dense min-plus product (row-blocked O(n³)).
+    let n_prod = if fast() { 160 } else { 384 };
+    let a = adjacency_matrix(&workload(n_prod, 8));
+    let b = adjacency_matrix(&workload(n_prod, 9));
+    let mut reference: Option<DistMatrix> = None;
+    for threads in THREADS {
+        let exec = ExecPolicy::with_threads(threads);
+        let (wall_ms, out) = time_best_of(reps, || distance_product_with(&a, &b, exec));
+        match &reference {
+            None => reference = Some(out),
+            Some(seq) => assert_eq!(&out, seq, "distance_product diverged at {threads} threads"),
+        }
+        println!("distance_product  n={n_prod:>4} threads={threads}  {wall_ms:>9.2} ms");
+        records.push(BenchRecord {
+            experiment: "distance_product".into(),
+            n: n_prod,
+            threads,
+            wall_ms,
+            rounds: 0,
+        });
+    }
+
+    // Kernel 3: the full Theorem 1.1 pipeline (rounds come from the run).
+    let n_pipe = if fast() { 96 } else { 192 };
+    let g = workload(n_pipe, 10);
+    let mut reference = None;
+    for threads in THREADS {
+        let cfg = PipelineConfig {
+            seed: 3,
+            exec: ExecPolicy::with_threads(threads),
+            ..Default::default()
+        };
+        let (wall_ms, result) = time_best_of(reps, || approximate_apsp(&g, &cfg));
+        match &reference {
+            None => reference = Some((result.estimate.clone(), result.rounds)),
+            Some((est, rounds)) => {
+                assert_eq!(
+                    &result.estimate, est,
+                    "pipeline diverged at {threads} threads"
+                );
+                assert_eq!(result.rounds, *rounds);
+            }
+        }
+        println!(
+            "theorem_1_1       n={n_pipe:>4} threads={threads}  {wall_ms:>9.2} ms  rounds={}",
+            result.rounds
+        );
+        records.push(BenchRecord {
+            experiment: "theorem_1_1".into(),
+            n: n_pipe,
+            threads,
+            wall_ms,
+            rounds: result.rounds,
+        });
+    }
+
+    write_report(OUT_PATH, &records).expect("write BENCH_kernels.json");
+    println!("\nwrote {OUT_PATH} ({} records)", records.len());
+}

@@ -6,6 +6,7 @@
 //! them all under `cargo bench`; EXPERIMENTS.md archives the output.
 
 pub mod experiments;
+pub mod report;
 
 use cc_graph::{apsp, generators::Family, DistMatrix, Graph, StretchStats};
 use rand::rngs::StdRng;

@@ -1,0 +1,139 @@
+//! Machine-readable benchmark reports.
+//!
+//! The `perf` bench target times the hot kernels at several thread counts
+//! and writes the records as `BENCH_kernels.json`, so the performance
+//! trajectory (wall-clock × threads × simulated rounds) can be tracked
+//! across PRs by tooling instead of by eyeballing criterion logs. The JSON
+//! is emitted by a tiny hand-rolled serializer — the workspace has no
+//! network access for a real serde dependency.
+
+use std::io::Write;
+use std::time::Instant;
+
+/// One timed experiment at one thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment id, e.g. `"exact_apsp"`.
+    pub experiment: String,
+    /// Problem size (nodes).
+    pub n: usize,
+    /// Thread count the kernel executed with (1 = sequential).
+    pub threads: usize,
+    /// Best-of-`reps` wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Simulated Congested Clique rounds, when the experiment runs on a
+    /// [`clique_sim::Clique`] (0 for purely local kernels).
+    pub rounds: u64,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":{},\"n\":{},\"threads\":{},\"wall_ms\":{:.3},\"rounds\":{}}}",
+            json_string(&self.experiment),
+            self.n,
+            self.threads,
+            self.wall_ms,
+            self.rounds
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the full report document.
+pub fn render_report(records: &[BenchRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"cc-apsp-bench/v1\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Writes the report to `path`.
+pub fn write_report(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_report(records).as_bytes())
+}
+
+/// Times `f` as best-of-`reps` wall-clock milliseconds, returning the last
+/// repetition's output alongside (so callers can pull rounds out of it and
+/// the optimizer cannot drop the work).
+pub fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(reps >= 1, "need at least one repetition");
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_valid_shaped_json() {
+        let records = vec![
+            BenchRecord {
+                experiment: "exact_apsp".into(),
+                n: 512,
+                threads: 4,
+                wall_ms: 12.5,
+                rounds: 0,
+            },
+            BenchRecord {
+                experiment: "pipe\"line".into(),
+                n: 128,
+                threads: 1,
+                wall_ms: 3.25,
+                rounds: 42,
+            },
+        ];
+        let doc = render_report(&records);
+        assert!(doc.contains("\"schema\": \"cc-apsp-bench/v1\""));
+        assert!(doc.contains("\"experiment\":\"exact_apsp\""));
+        assert!(doc.contains("\"wall_ms\":12.500"));
+        assert!(doc.contains("\"rounds\":42"));
+        assert!(doc.contains("pipe\\\"line"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn time_best_of_returns_min_and_output() {
+        let mut calls = 0;
+        let (ms, out) = time_best_of(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(out, 3);
+        assert!(ms >= 0.0);
+    }
+}

@@ -29,6 +29,7 @@
 
 use cc_graph::graph::Graph;
 use cc_graph::{apsp, DistMatrix};
+use cc_par::ExecPolicy;
 use clique_sim::{Bandwidth, Clique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,9 +38,9 @@ use crate::estimate::ApspResult;
 use crate::params::{self, hopset_beta_bound};
 use crate::reduction::estimate_diameter;
 use crate::scaling::{combine, combined_bound, weight_scaling};
-use crate::skeleton::{build_skeleton, extend_estimate, extension_bound};
+use crate::skeleton::{build_skeleton_with, extend_estimate, extension_bound};
 use crate::smalldiam::{small_diameter_apsp, SmallDiamConfig};
-use crate::spanner::{bootstrap_k, spanner_apsp_estimate};
+use crate::spanner::{bootstrap_k, spanner_apsp_estimate_with};
 use crate::{hopset, knearest};
 use cc_matrix::filtered::{select_k_smallest, FilteredMatrix};
 
@@ -59,6 +60,12 @@ pub struct PipelineConfig {
     /// Override for Theorem 1.1's bandwidth-reduction parameter `k₀`
     /// (default: [`params::theorem_1_1_k0`]).
     pub k0: Option<usize>,
+    /// Local execution policy for the hot kernels (per-scale Theorem 7.1
+    /// instances, per-source Dijkstras, row-blocked products). Affects
+    /// wall-clock time only: every output — estimate, bounds, rounds,
+    /// ledger — is bit-identical across policies. Defaults to the
+    /// `CC_THREADS` environment default ([`ExecPolicy::from_env`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -68,6 +75,7 @@ impl Default for PipelineConfig {
             seed: 0xC11C,
             max_reductions: None,
             k0: None,
+            exec: ExecPolicy::from_env(),
         }
     }
 }
@@ -90,10 +98,10 @@ pub fn apsp_large_bandwidth(
             // Degenerate clique: broadcast everything (still O(1) rounds at
             // this size) and solve exactly.
             clique.broadcast_volume("broadcast-tiny-graph", 3 * g.m());
-            return (apsp::exact_apsp(g), 1.0);
+            return (apsp::exact_apsp_with(g, cfg.exec), 1.0);
         }
         // Step 1: bootstrap.
-        let boot = spanner_apsp_estimate(clique, g, bootstrap_k(n), rng);
+        let boot = spanner_apsp_estimate_with(clique, g, bootstrap_k(n), rng, cfg.exec);
         let delta0 = boot.estimate;
         let a0 = boot.stretch_bound;
 
@@ -101,10 +109,11 @@ pub fn apsp_large_bandwidth(
         let sqrt_n = ((n as f64).sqrt().floor() as usize).max(2);
         let hs = hopset::build_hopset(clique, g, &delta0, sqrt_n);
         let combined = hs.combined;
-        let beta = hopset_beta_bound(a0, estimate_diameter(&delta0)) as u64;
+        let diam0 = estimate_diameter(&delta0);
+        let beta = hopset_beta_bound(a0, diam0) as u64;
 
         // Step 3: weight scaling with h = β (δ₀ is an a₀ ≤ β approximation).
-        let scaled = weight_scaling(&combined, estimate_diameter(&delta0), beta, cfg.eps);
+        let scaled = weight_scaling(&combined, diam0, beta, cfg.eps);
 
         // Step 4: Theorem 7.1 on each scale, in parallel. Each instance gets
         // an equal share of the clique's actual bandwidth (when the clique is
@@ -115,6 +124,7 @@ pub fn apsp_large_bandwidth(
         let sd_cfg = SmallDiamConfig {
             forced_reductions: cfg.max_reductions,
             wide_bandwidth: true,
+            exec: cfg.exec,
         };
         let scale_count = scaled.len();
         let available = clique.bandwidth().words_per_message();
@@ -126,10 +136,19 @@ pub fn apsp_large_bandwidth(
                     .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1)),
             );
         }
-        let results = clique.parallel("scaled-instances", scale_count, per_instance, |sub, i| {
-            let mut inst_rng = StdRng::seed_from_u64(seeds[i]);
-            small_diameter_apsp(sub, &scaled.graphs[i], &sd_cfg, &mut inst_rng)
-        });
+        // The instances are also *locally* independent, so `cfg.exec` runs
+        // them on worker threads; the sub-ledger merge in scale order keeps
+        // the overcommit charging identical to a sequential run.
+        let results = clique.parallel_exec(
+            "scaled-instances",
+            scale_count,
+            per_instance,
+            cfg.exec,
+            |sub, i| {
+                let mut inst_rng = StdRng::seed_from_u64(seeds[i]);
+                small_diameter_apsp(sub, &scaled.graphs[i], &sd_cfg, &mut inst_rng)
+            },
+        );
         let l_scale = results.iter().map(|(_, b)| *b).fold(1.0f64, f64::max);
         let delta_gis: Vec<DistMatrix> = results.into_iter().map(|(m, _)| m).collect();
 
@@ -140,13 +159,13 @@ pub fn apsp_large_bandwidth(
 
         // Step 6: skeleton from η's approximate √n-nearest sets (full
         // Lemma 6.1 with a = a_eta), exact APSP on the broadcast skeleton.
-        let tilde_rows: Vec<Vec<(usize, u64)>> = (0..n)
-            .map(|u| select_k_smallest(eta.row(u).iter().copied().enumerate(), sqrt_n))
-            .collect();
+        let tilde_rows: Vec<Vec<(usize, u64)>> = cfg.exec.map_collect(n, |u| {
+            select_k_smallest(eta.row(u).iter().copied().enumerate(), sqrt_n)
+        });
         let tilde = FilteredMatrix::from_rows(n, sqrt_n, tilde_rows);
-        let sk = build_skeleton(clique, &combined, &tilde, rng);
+        let sk = build_skeleton_with(clique, &combined, &tilde, rng, cfg.exec);
         clique.broadcast_volume("broadcast-final-skeleton", 3 * sk.graph.m());
-        let delta_gs = apsp::exact_apsp(&sk.graph);
+        let delta_gs = apsp::exact_apsp_with(&sk.graph, cfg.exec);
         let eta_final = extend_estimate(clique, &sk, &tilde, &delta_gs);
         (eta_final, extension_bound(1.0, a_eta))
     })
@@ -164,7 +183,7 @@ pub fn theorem_1_1(
     clique.phase("theorem-1.1", |clique| {
         if n <= 8 {
             clique.broadcast_volume("broadcast-tiny-graph", 3 * g.m());
-            return (apsp::exact_apsp(g), 1.0);
+            return (apsp::exact_apsp_with(g, cfg.exec), 1.0);
         }
         // Step 1: exact k₀-nearest sets directly on G (Lemma 5.2; every
         // k-nearest node is within k hops, so h^i ≥ k₀ suffices).
@@ -176,7 +195,7 @@ pub fn theorem_1_1(
         let rows = knearest::k_nearest_exact(clique, g, k0, h, i);
 
         // Step 2: bandwidth-reduction skeleton (Lemma 3.4, a = 1).
-        let sk = build_skeleton(clique, g, &rows, rng);
+        let sk = build_skeleton_with(clique, g, &rows, rng, cfg.exec);
         let ns = sk.size();
 
         // Step 3: simulate the Theorem 8.1 algorithm for the skeleton graph
@@ -187,7 +206,7 @@ pub fn theorem_1_1(
         // `rounds_for_load(ns·f)` rounds.
         let (delta_gs, l) = if ns <= 8 {
             clique.broadcast_volume("broadcast-tiny-skeleton", 3 * sk.graph.m());
-            (apsp::exact_apsp(&sk.graph), 1.0)
+            (apsp::exact_apsp_with(&sk.graph, cfg.exec), 1.0)
         } else {
             let f_child = (n / ns).max(1);
             let mut child = Clique::new(ns, Bandwidth::words(f_child));

@@ -13,12 +13,13 @@
 //!    `7·(2b−1) ≤ 15√a`.
 
 use cc_graph::{DistMatrix, Graph, Weight, INF};
+use cc_par::ExecPolicy;
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 
 use crate::params::{hopset_beta_bound, iterations_for_hops, reduction_h_k};
-use crate::skeleton::{build_skeleton, extend_estimate, extension_bound};
-use crate::smalldiam::small_graph_apsp;
+use crate::skeleton::{build_skeleton_with, extend_estimate, extension_bound};
+use crate::smalldiam::small_graph_apsp_with;
 use crate::{hopset, knearest};
 
 /// The result of one factor-reduction step.
@@ -63,6 +64,19 @@ pub fn reduce_once(
     a_bound: f64,
     rng: &mut StdRng,
 ) -> ReductionOutcome {
+    reduce_once_with(clique, g, delta, a_bound, rng, ExecPolicy::from_env())
+}
+
+/// [`reduce_once`] under an explicit [`ExecPolicy`] for the local kernels
+/// (skeleton product, skeleton APSP).
+pub fn reduce_once_with(
+    clique: &mut Clique,
+    g: &Graph,
+    delta: &DistMatrix,
+    a_bound: f64,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+) -> ReductionOutcome {
     let n = g.n();
     clique.phase("factor-reduction", |clique| {
         // Step 1: hopset with k = √n.
@@ -76,12 +90,12 @@ pub fn reduce_once(
         let rows = knearest::k_nearest_exact(clique, &hs.combined, k, h, iterations);
 
         // Step 3: skeleton from exact k-nearest sets (a = 1).
-        let sk = build_skeleton(clique, g, &rows, rng);
+        let sk = build_skeleton_with(clique, g, &rows, rng, exec);
 
         // Step 4: APSP on the skeleton via a spanner with b ≈ √a
         // (Corollary 7.1), then extend.
         let b = (a_bound.sqrt().round() as usize).max(1);
-        let (delta_gs, l) = small_graph_apsp(clique, &sk.graph, b, rng);
+        let (delta_gs, l) = small_graph_apsp_with(clique, &sk.graph, b, rng, exec);
         let estimate = extend_estimate(clique, &sk, &rows, &delta_gs);
         ReductionOutcome {
             estimate,

@@ -20,7 +20,8 @@
 use cc_graph::graph::{Graph, GraphBuilder};
 use cc_graph::{log2_ceil, wadd, DistMatrix, NodeId, Weight, INF};
 use cc_matrix::filtered::FilteredMatrix;
-use cc_matrix::sparse::{sparse_product, SparseMatrix};
+use cc_matrix::sparse::{sparse_product_with, SparseMatrix};
+use cc_par::ExecPolicy;
 use clique_sim::{Clique, Msg};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -98,6 +99,22 @@ pub fn build_skeleton(
     g: &Graph,
     tilde: &FilteredMatrix,
     rng: &mut StdRng,
+) -> Skeleton {
+    build_skeleton_with(clique, g, tilde, rng, ExecPolicy::from_env())
+}
+
+/// [`build_skeleton`] under an explicit [`ExecPolicy`] (the step-3c sparse
+/// min-plus product is row-partitioned across workers).
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch.
+pub fn build_skeleton_with(
+    clique: &mut Clique,
+    g: &Graph,
+    tilde: &FilteredMatrix,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
 ) -> Skeleton {
     let n = g.n();
     assert_eq!(tilde.n(), n, "tilde-set dimension mismatch");
@@ -192,7 +209,7 @@ pub fn build_skeleton(
         // min-plus multiplication (Theorem 6.1 round model). ρX ≤ k,
         // ρY ≤ |S|, ρXY ≤ |S|²/n.
         let rho_hint = (centers.len() as f64).powi(2) / n as f64;
-        let product = sparse_product(&x_mat, &y_mat, Some(rho_hint));
+        let product = sparse_product_with(&x_mat, &y_mat, Some(rho_hint), exec);
         clique.charge("skeleton-matmul (Thm 6.1)", product.rounds);
 
         let mut gs = GraphBuilder::undirected(centers.len());

@@ -13,14 +13,16 @@
 
 use cc_graph::graph::Graph;
 use cc_graph::{apsp, DistMatrix};
+use cc_par::ExecPolicy;
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 
 use crate::params::{hopset_beta_bound, iterations_for_hops, REDUCTION_PROFITABLE_ABOVE};
-use crate::reduction::{estimate_diameter, reduce_once};
-use crate::skeleton::{build_skeleton, extend_estimate, extension_bound};
+use crate::reduction::{estimate_diameter, reduce_once_with};
+use crate::skeleton::{build_skeleton_with, extend_estimate, extension_bound};
 use crate::spanner::{
-    baswana_sen, bootstrap_k, spanner_apsp_estimate, SPANNER_CONSTRUCTION_ROUNDS,
+    baswana_sen, bootstrap_k, spanner_apsp_estimate, spanner_apsp_estimate_with,
+    SPANNER_CONSTRUCTION_ROUNDS,
 };
 use crate::{hopset, knearest};
 
@@ -37,6 +39,11 @@ pub struct SmallDiamConfig {
     /// 7- instead of 21-approximation). The broadcast is charged honestly
     /// against the clique's actual bandwidth either way.
     pub wide_bandwidth: bool,
+    /// Local execution policy for the kernels inside this instance
+    /// (spanner APSP, skeleton products). Wall-clock only; outputs are
+    /// bit-identical across policies. Defaults to the `CC_THREADS`
+    /// environment default.
+    pub exec: ExecPolicy,
 }
 
 /// Corollary 7.1: an APSP estimate for a *small* graph `gs` (a skeleton
@@ -53,18 +60,30 @@ pub fn small_graph_apsp(
     b: usize,
     rng: &mut StdRng,
 ) -> (DistMatrix, f64) {
+    small_graph_apsp_with(clique, gs, b, rng, ExecPolicy::from_env())
+}
+
+/// [`small_graph_apsp`] under an explicit [`ExecPolicy`] for the local APSP
+/// of the broadcast graph/spanner.
+pub fn small_graph_apsp_with(
+    clique: &mut Clique,
+    gs: &Graph,
+    b: usize,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+) -> (DistMatrix, f64) {
     clique.phase("skeleton-apsp", |clique| {
         let ns = gs.n().max(1);
         let spanner_size_estimate = (b as f64) * (ns as f64).powf(1.0 + 1.0 / b as f64);
         if b <= 1 || (gs.m() as f64) <= spanner_size_estimate {
             // Broadcast the graph itself; every node computes exact APSP.
             clique.broadcast_volume("broadcast-skeleton-graph", 3 * gs.m());
-            (apsp::exact_apsp(gs), 1.0)
+            (apsp::exact_apsp_with(gs, exec), 1.0)
         } else {
             let spanner = baswana_sen(gs, b, rng);
             clique.charge("cz22-construct(cited O(1))", SPANNER_CONSTRUCTION_ROUNDS);
             clique.broadcast_volume("broadcast-skeleton-spanner", 3 * spanner.m());
-            (apsp::exact_apsp(&spanner), (2 * b - 1) as f64)
+            (apsp::exact_apsp_with(&spanner, exec), (2 * b - 1) as f64)
         }
     })
 }
@@ -81,6 +100,7 @@ fn sqrt_n_stage(
     a: f64,
     wide_bandwidth: bool,
     rng: &mut StdRng,
+    exec: ExecPolicy,
 ) -> (DistMatrix, f64) {
     let n = g.n();
     let sqrt_n = ((n as f64).sqrt().floor() as usize).max(2);
@@ -88,13 +108,13 @@ fn sqrt_n_stage(
     let beta = hopset_beta_bound(a, estimate_diameter(delta));
     let iterations = iterations_for_hops(2, beta);
     let rows = knearest::k_nearest_exact(clique, &hs.combined, sqrt_n, 2, iterations);
-    let sk = build_skeleton(clique, g, &rows, rng);
+    let sk = build_skeleton_with(clique, g, &rows, rng, exec);
     let (delta_gs, l) = if wide_bandwidth {
         // CC[log³n]: broadcast the entire skeleton graph.
         clique.broadcast_volume("broadcast-skeleton-graph", 3 * sk.graph.m());
-        (apsp::exact_apsp(&sk.graph), 1.0)
+        (apsp::exact_apsp_with(&sk.graph, exec), 1.0)
     } else {
-        small_graph_apsp(clique, &sk.graph, 2, rng)
+        small_graph_apsp_with(clique, &sk.graph, 2, rng, exec)
     };
     let eta = extend_estimate(clique, &sk, &rows, &delta_gs);
     (eta, extension_bound(l, 1.0))
@@ -116,6 +136,7 @@ pub fn apsp_o_loglog(
     rng: &mut StdRng,
 ) -> (DistMatrix, f64) {
     clique.phase("section-3.2", |clique| {
+        let exec = ExecPolicy::from_env();
         let boot = spanner_apsp_estimate(clique, g, bootstrap_k(g.n()), rng);
         sqrt_n_stage(
             clique,
@@ -124,6 +145,7 @@ pub fn apsp_o_loglog(
             boot.stretch_bound,
             wide_bandwidth,
             rng,
+            exec,
         )
     })
 }
@@ -142,7 +164,7 @@ pub fn small_diameter_apsp(
     let n = g.n();
     clique.phase("theorem-7.1", |clique| {
         // Bootstrap: O(log n)-approximation (Corollary 7.2).
-        let boot = spanner_apsp_estimate(clique, g, bootstrap_k(n), rng);
+        let boot = spanner_apsp_estimate_with(clique, g, bootstrap_k(n), rng, cfg.exec);
         let mut delta = boot.estimate;
         let mut a = boot.stretch_bound;
 
@@ -153,7 +175,7 @@ pub fn small_diameter_apsp(
         // finite n, where a starts below the profitability threshold, this
         // keeps forced runs monotone.)
         let step = |clique: &mut Clique, delta: &mut DistMatrix, a: &mut f64, rng: &mut StdRng| {
-            let out = reduce_once(clique, g, delta, *a, rng);
+            let out = reduce_once_with(clique, g, delta, *a, rng, cfg.exec);
             let mut est = out.estimate;
             est.entrywise_min(delta);
             *delta = est;
@@ -174,7 +196,7 @@ pub fn small_diameter_apsp(
         }
 
         // Final stage: exact √n-nearest, skeleton, and skeleton APSP.
-        sqrt_n_stage(clique, g, &delta, a, cfg.wide_bandwidth, rng)
+        sqrt_n_stage(clique, g, &delta, a, cfg.wide_bandwidth, rng, cfg.exec)
     })
 }
 

@@ -15,6 +15,7 @@
 
 use cc_graph::graph::{Direction, Graph, GraphBuilder};
 use cc_graph::{apsp, DistMatrix, NodeId, Weight, INF};
+use cc_par::ExecPolicy;
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -155,6 +156,18 @@ pub fn spanner_apsp_estimate(
     k: usize,
     rng: &mut StdRng,
 ) -> SpannerEstimate {
+    spanner_apsp_estimate_with(clique, g, k, rng, ExecPolicy::from_env())
+}
+
+/// [`spanner_apsp_estimate`] under an explicit [`ExecPolicy`] (the local
+/// spanner-APSP computation runs parallel per-source Dijkstras).
+pub fn spanner_apsp_estimate_with(
+    clique: &mut Clique,
+    g: &Graph,
+    k: usize,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+) -> SpannerEstimate {
     clique.phase("spanner-bootstrap", |clique| {
         let spanner = baswana_sen(g, k, rng);
         clique.charge("cz22-construct(cited O(1))", SPANNER_CONSTRUCTION_ROUNDS);
@@ -166,7 +179,7 @@ pub fn spanner_apsp_estimate(
         }
         clique.broadcast_all("broadcast-spanner", &per_node);
         // Local computation at every node: APSP of the broadcast spanner.
-        let estimate = apsp::exact_apsp(&spanner);
+        let estimate = apsp::exact_apsp_with(&spanner, exec);
         SpannerEstimate {
             estimate,
             spanner,

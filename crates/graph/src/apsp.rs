@@ -2,20 +2,32 @@
 
 use crate::sssp::dijkstra;
 use crate::{wadd, DistMatrix, Graph, INF};
+use cc_par::ExecPolicy;
 
-/// Exact APSP via Dijkstra from every source.
+/// Exact APSP via Dijkstra from every source, under the `CC_THREADS`
+/// execution default ([`ExecPolicy::from_env`]); see [`exact_apsp_with`].
 ///
 /// This is the ground truth all experiments compare against. Runs in
 /// `O(n · m log n)` time centrally (it is *not* a Congested Clique algorithm;
 /// the simulated baselines live in `cc-baselines`).
 pub fn exact_apsp(g: &Graph) -> DistMatrix {
+    exact_apsp_with(g, ExecPolicy::from_env())
+}
+
+/// [`exact_apsp`] under an explicit [`ExecPolicy`]: the per-source Dijkstras
+/// are independent, so rows are computed in parallel row blocks. Output is
+/// bit-identical for every policy.
+pub fn exact_apsp_with(g: &Graph, exec: ExecPolicy) -> DistMatrix {
     let n = g.n();
-    let mut m = DistMatrix::infinite(n);
-    for s in 0..n {
-        let d = dijkstra(g, s);
-        m.row_mut(s).copy_from_slice(&d);
-    }
-    m
+    let rows_per_block = exec.row_block_len(n, 1);
+    let mut data = vec![INF; n * n];
+    exec.for_each_chunk_mut(&mut data, rows_per_block * n.max(1), |block, chunk| {
+        for (off, row) in chunk.chunks_mut(n).enumerate() {
+            let s = block * rows_per_block + off;
+            row.copy_from_slice(&dijkstra(g, s));
+        }
+    });
+    DistMatrix::from_raw(n, data)
 }
 
 /// Exact APSP via Floyd–Warshall. `O(n³)`; used to cross-check

@@ -7,6 +7,7 @@
 //! `d(u,v) ≤ δ(u,v) ≤ α·d(u,v)` for all pairs (Section 2.1).
 
 use crate::{NodeId, Weight, INF};
+use cc_par::ExecPolicy;
 
 /// Dense `n × n` distance (or estimate) matrix, row-major.
 #[derive(Clone, PartialEq, Eq)]
@@ -140,6 +141,11 @@ impl DistMatrix {
     pub fn stretch_vs(&self, exact: &DistMatrix) -> StretchStats {
         StretchStats::audit(self, exact)
     }
+
+    /// [`DistMatrix::stretch_vs`] under an explicit [`ExecPolicy`].
+    pub fn stretch_vs_with(&self, exact: &DistMatrix, exec: ExecPolicy) -> StretchStats {
+        StretchStats::audit_with(self, exact, exec)
+    }
 }
 
 /// The result of auditing a distance estimate δ against exact distances d.
@@ -169,33 +175,58 @@ pub struct StretchStats {
 }
 
 impl StretchStats {
-    /// Computes stretch statistics of `estimate` against `exact`.
+    /// Computes stretch statistics of `estimate` against `exact`, under the
+    /// `CC_THREADS` execution default; see [`StretchStats::audit_with`].
     ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     pub fn audit(estimate: &DistMatrix, exact: &DistMatrix) -> StretchStats {
+        Self::audit_with(estimate, exact, ExecPolicy::from_env())
+    }
+
+    /// [`StretchStats::audit`] under an explicit [`ExecPolicy`]: rows are
+    /// audited in parallel shards and the per-shard tallies merged in row
+    /// order, so the result is identical for every policy (the ratio list is
+    /// sorted before any float accumulation, which also fixes the summation
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn audit_with(estimate: &DistMatrix, exact: &DistMatrix, exec: ExecPolicy) -> StretchStats {
         assert_eq!(estimate.n(), exact.n(), "estimate/exact dimension mismatch");
         let n = exact.n();
+        let shard_tallies: Vec<(Vec<f64>, usize, usize)> = exec.map_shards_collect(n, |rows| {
+            let mut ratios: Vec<f64> = Vec::new();
+            let mut under = 0usize;
+            let mut missing = 0usize;
+            for u in rows {
+                for v in 0..n {
+                    let d = exact.get(u, v);
+                    if u == v || d == 0 || d >= INF {
+                        continue;
+                    }
+                    let e = estimate.get(u, v);
+                    if e >= INF {
+                        missing += 1;
+                        continue;
+                    }
+                    if e < d {
+                        under += 1;
+                    }
+                    ratios.push(e as f64 / d as f64);
+                }
+            }
+            vec![(ratios, under, missing)]
+        });
         let mut ratios: Vec<f64> = Vec::new();
         let mut under = 0usize;
         let mut missing = 0usize;
-        for u in 0..n {
-            for v in 0..n {
-                let d = exact.get(u, v);
-                if u == v || d == 0 || d >= INF {
-                    continue;
-                }
-                let e = estimate.get(u, v);
-                if e >= INF {
-                    missing += 1;
-                    continue;
-                }
-                if e < d {
-                    under += 1;
-                }
-                ratios.push(e as f64 / d as f64);
-            }
+        for (shard_ratios, shard_under, shard_missing) in shard_tallies {
+            ratios.extend(shard_ratios);
+            under += shard_under;
+            missing += shard_missing;
         }
         ratios.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         let pairs = ratios.len() + missing;

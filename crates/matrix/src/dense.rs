@@ -1,6 +1,7 @@
 //! Dense min-plus products and exponentiation.
 
 use cc_graph::{wadd, DistMatrix, Graph, INF};
+use cc_par::ExecPolicy;
 
 /// The weighted adjacency matrix of `g` over the tropical semiring:
 /// `A[u,v] = w(u,v)` for edges, `A[v,v] = 0`, `∞` elsewhere.
@@ -12,7 +13,8 @@ pub fn adjacency_matrix(g: &Graph) -> DistMatrix {
     a
 }
 
-/// The distance product `A ⋆ B`: `(A ⋆ B)[i,j] = min_k (A[i,k] + B[k,j])`.
+/// The distance product `A ⋆ B`: `(A ⋆ B)[i,j] = min_k (A[i,k] + B[k,j])`,
+/// under the `CC_THREADS` execution default; see [`distance_product_with`].
 ///
 /// `O(n³)` centrally. (The *distributed* cost model for products lives in
 /// [`crate::sparse`]; dense products are used as reference semantics and for
@@ -22,45 +24,73 @@ pub fn adjacency_matrix(g: &Graph) -> DistMatrix {
 ///
 /// Panics if dimensions differ.
 pub fn distance_product(a: &DistMatrix, b: &DistMatrix) -> DistMatrix {
+    distance_product_with(a, b, ExecPolicy::from_env())
+}
+
+/// [`distance_product`] under an explicit [`ExecPolicy`]: output rows depend
+/// only on `A`'s row and all of `B`, so the product is computed in disjoint
+/// row blocks. Output is bit-identical for every policy.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn distance_product_with(a: &DistMatrix, b: &DistMatrix, exec: ExecPolicy) -> DistMatrix {
     assert_eq!(a.n(), b.n(), "distance product dimension mismatch");
     let n = a.n();
-    let mut c = DistMatrix::from_raw(n, vec![INF; n * n]);
-    for i in 0..n {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (k, &aik) in arow.iter().enumerate() {
-            if aik >= INF {
-                continue;
-            }
-            let brow = b.row(k);
-            for j in 0..n {
-                let cand = wadd(aik, brow[j]);
-                if cand < crow[j] {
-                    crow[j] = cand;
+    let rows_per_block = exec.row_block_len(n, 1);
+    let mut data = vec![INF; n * n];
+    exec.for_each_chunk_mut(&mut data, rows_per_block * n.max(1), |block, chunk| {
+        for (off, crow) in chunk.chunks_mut(n).enumerate() {
+            let i = block * rows_per_block + off;
+            let arow = a.row(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik >= INF {
+                    continue;
+                }
+                let brow = b.row(k);
+                for j in 0..n {
+                    let cand = wadd(aik, brow[j]);
+                    if cand < crow[j] {
+                        crow[j] = cand;
+                    }
                 }
             }
         }
-    }
-    c
+    });
+    DistMatrix::from_raw(n, data)
 }
 
 /// `A^h` over the tropical semiring by binary exponentiation
-/// (`O(n³ log h)`). `A^0` is the identity (zero diagonal, `∞` elsewhere).
+/// (`O(n³ log h)`), under the `CC_THREADS` execution default. `A^0` is the
+/// identity (zero diagonal, `∞` elsewhere).
 pub fn power(a: &DistMatrix, h: u64) -> DistMatrix {
+    power_with(a, h, ExecPolicy::from_env())
+}
+
+/// [`power`] under an explicit [`ExecPolicy`].
+///
+/// Two classic wasted products are skipped: the accumulator starts as the
+/// bit-position's `A^(2^i)` itself instead of multiplying into the identity
+/// (the identity is neutral, so `I ⋆ B = B` can be a clone), and the base is
+/// never squared once the remaining exponent bits are exhausted.
+pub fn power_with(a: &DistMatrix, h: u64, exec: ExecPolicy) -> DistMatrix {
     let n = a.n();
-    let mut result = DistMatrix::infinite(n); // tropical identity
+    let mut result: Option<DistMatrix> = None; // `None` = the tropical identity
     let mut base = a.clone();
     let mut h = h;
     while h > 0 {
         if h & 1 == 1 {
-            result = distance_product(&result, &base);
+            result = Some(match result {
+                None => base.clone(),
+                Some(r) => distance_product_with(&r, &base, exec),
+            });
         }
         h >>= 1;
         if h > 0 {
-            base = distance_product(&base, &base);
+            base = distance_product_with(&base, &base, exec);
         }
     }
-    result
+    result.unwrap_or_else(|| DistMatrix::infinite(n))
 }
 
 /// Exact APSP by repeated squaring until fixpoint; returns the distance

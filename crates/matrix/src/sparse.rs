@@ -11,6 +11,7 @@
 //! permits: "assuming that ρST is known beforehand").
 
 use cc_graph::{wadd, NodeId, Weight, INF};
+use cc_par::ExecPolicy;
 
 /// A sparse tropical matrix: per-row `(col, val)` entries, unordered values
 /// but deduplicated columns (minimum kept).
@@ -112,7 +113,8 @@ pub struct SparseProduct {
     pub rounds: u64,
 }
 
-/// Computes `S ⋆ T` and the CDKL21 round charge.
+/// Computes `S ⋆ T` and the CDKL21 round charge, under the `CC_THREADS`
+/// execution default; see [`sparse_product_with`].
 ///
 /// `rho_out_hint`, if given, is the caller's analytic upper bound on the
 /// output density (the theorem requires ρST to be known beforehand); the
@@ -126,32 +128,54 @@ pub fn sparse_product(
     t: &SparseMatrix,
     rho_out_hint: Option<f64>,
 ) -> SparseProduct {
+    sparse_product_with(s, t, rho_out_hint, ExecPolicy::from_env())
+}
+
+/// [`sparse_product`] under an explicit [`ExecPolicy`]: output rows are
+/// independent, so the row range is partitioned into shards, each with its
+/// own dense scratch row, and the per-shard row vectors are concatenated in
+/// row order. Output is bit-identical for every policy.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn sparse_product_with(
+    s: &SparseMatrix,
+    t: &SparseMatrix,
+    rho_out_hint: Option<f64>,
+    exec: ExecPolicy,
+) -> SparseProduct {
     assert_eq!(s.n(), t.n(), "sparse product dimension mismatch");
     let n = s.n();
-    let mut out = SparseMatrix::zero(n);
-    // Row-by-row accumulation with a dense scratch row (reset per row).
-    let mut scratch = vec![INF; n];
-    let mut touched: Vec<NodeId> = Vec::new();
-    for i in 0..n {
-        for &(k, sik) in s.row(i) {
-            for &(j, tkj) in t.row(k) {
-                let cand = wadd(sik, tkj);
-                if cand < scratch[j] {
-                    if scratch[j] == INF {
-                        touched.push(j);
+    // Row-by-row accumulation with one dense scratch row per shard (reset
+    // after each row).
+    let rows: Vec<Vec<(NodeId, Weight)>> = exec.map_shards_collect(n, |shard| {
+        let mut scratch = vec![INF; n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut shard_rows = Vec::with_capacity(shard.len());
+        for i in shard {
+            for &(k, sik) in s.row(i) {
+                for &(j, tkj) in t.row(k) {
+                    let cand = wadd(sik, tkj);
+                    if cand < scratch[j] {
+                        if scratch[j] == INF {
+                            touched.push(j);
+                        }
+                        scratch[j] = cand;
                     }
-                    scratch[j] = cand;
                 }
             }
+            let mut row: Vec<(NodeId, Weight)> = touched.iter().map(|&j| (j, scratch[j])).collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            for &j in &touched {
+                scratch[j] = INF;
+            }
+            touched.clear();
+            shard_rows.push(row);
         }
-        let mut row: Vec<(NodeId, Weight)> = touched.iter().map(|&j| (j, scratch[j])).collect();
-        row.sort_unstable_by_key(|&(c, _)| c);
-        for &j in &touched {
-            scratch[j] = INF;
-        }
-        touched.clear();
-        out.rows[i] = row;
-    }
+        shard_rows
+    });
+    let out = SparseMatrix { n, rows };
     let rho_s = s.density();
     let rho_t = t.density();
     let rho_out = out.density().max(rho_out_hint.unwrap_or(0.0));

@@ -5,6 +5,7 @@ use crate::ledger::{RoundLedger, RouteReport};
 use crate::message::{Msg, Words};
 use crate::stats::TrafficStats;
 use crate::{NodeId, ROUTE_CONSTANT};
+use cc_par::ExecPolicy;
 
 /// A simulated `n`-node Congested Clique with bandwidth accounting.
 ///
@@ -230,6 +231,13 @@ impl Clique {
     /// parallel bandwidth than the links provide (this is how Section 8.2's
     /// "O(log n) instances need an extra O(log n) bandwidth factor"
     /// materializes when run in the standard model).
+    ///
+    /// Each instance runs on its own sub-clique (same `n`, `per_instance`
+    /// bandwidth, inherited load guard); the sub-ledgers and traffic tables
+    /// are merged back **in instance order**, so the parent's accounting is
+    /// a pure function of the instances' outputs. [`Clique::parallel_exec`]
+    /// is the same primitive with the instances actually executed on worker
+    /// threads.
     pub fn parallel<T>(
         &mut self,
         label: &str,
@@ -237,25 +245,76 @@ impl Clique {
         per_instance: Bandwidth,
         mut f: impl FnMut(&mut Clique, usize) -> T,
     ) -> Vec<T> {
+        let runs: Vec<(RoundLedger, TrafficStats, T)> = (0..count)
+            .map(|i| {
+                let mut sub = self.sub_instance(per_instance);
+                let out = f(&mut sub, i);
+                (sub.ledger, sub.stats, out)
+            })
+            .collect();
+        self.merge_parallel_runs(label, per_instance, runs)
+    }
+
+    /// [`Clique::parallel`] with the instances executed under `exec`: truly
+    /// concurrent when the policy is `Par(k)`. Because the sub-ledgers are
+    /// merged deterministically in instance order, the parent's rounds,
+    /// ledger events, and traffic tables are **identical** to a
+    /// [`ExecPolicy::Seq`] run — the thread count never changes any
+    /// simulated quantity.
+    pub fn parallel_exec<T: Send>(
+        &mut self,
+        label: &str,
+        count: usize,
+        per_instance: Bandwidth,
+        exec: ExecPolicy,
+        f: impl Fn(&mut Clique, usize) -> T + Sync,
+    ) -> Vec<T> {
+        // Copies (not &self) so the closure can be Sync across workers.
+        let n = self.n;
+        let load_guard = self.load_guard;
+        let runs: Vec<(RoundLedger, TrafficStats, T)> = exec.map_collect(count, |i| {
+            let mut sub = Self::sub_instance_from(n, per_instance, load_guard);
+            let out = f(&mut sub, i);
+            (sub.ledger, sub.stats, out)
+        });
+        self.merge_parallel_runs(label, per_instance, runs)
+    }
+
+    /// A fresh clique representing one instance of a parallel group: same
+    /// node set, the instance's bandwidth share, inherited load guard.
+    fn sub_instance(&self, per_instance: Bandwidth) -> Clique {
+        Self::sub_instance_from(self.n, per_instance, self.load_guard)
+    }
+
+    /// [`Clique::sub_instance`] from the parent's copied-out fields; the
+    /// single place sub-instance construction lives, so the sequential and
+    /// threaded parallel primitives cannot drift apart.
+    fn sub_instance_from(n: usize, per_instance: Bandwidth, load_guard: Option<usize>) -> Clique {
+        let mut sub = Clique::new(n, per_instance);
+        sub.load_guard = load_guard;
+        sub
+    }
+
+    /// Folds parallel instances' ledgers/stats back into this clique in
+    /// instance order and applies the group's overcommit charge.
+    fn merge_parallel_runs<T>(
+        &mut self,
+        label: &str,
+        per_instance: Bandwidth,
+        runs: Vec<(RoundLedger, TrafficStats, T)>,
+    ) -> Vec<T> {
+        let count = runs.len();
         let mut results = Vec::with_capacity(count);
-        let mut children: Vec<RoundLedger> = Vec::with_capacity(count);
-        let saved_bw = self.bandwidth;
         let mut max_rounds = 0u64;
-        for i in 0..count {
-            let saved_ledger = std::mem::take(&mut self.ledger);
-            self.bandwidth = per_instance;
-            let out = f(self, i);
-            self.bandwidth = saved_bw;
-            let child = std::mem::replace(&mut self.ledger, saved_ledger);
-            max_rounds = max_rounds.max(child.total());
-            children.push(child);
+        for (i, (ledger, stats, out)) in runs.into_iter().enumerate() {
+            max_rounds = max_rounds.max(ledger.total());
+            self.ledger
+                .absorb_as_info(&ledger, &format!("{label}[{i}]"));
+            self.stats.absorb(&stats);
             results.push(out);
         }
-        for (i, child) in children.iter().enumerate() {
-            self.ledger.absorb_as_info(child, &format!("{label}[{i}]"));
-        }
         let needed = count * per_instance.words_per_message();
-        let available = saved_bw.words_per_message();
+        let available = self.bandwidth.words_per_message();
         let overcommit = (needed.div_ceil(available).max(1)) as u64;
         self.ledger.charge(label, max_rounds * overcommit);
         results
@@ -352,6 +411,34 @@ mod tests {
         });
         // max instance cost = 3; overcommit = ceil(3*1/1) = 3 → 9.
         assert_eq!(c.rounds(), 9);
+    }
+
+    #[test]
+    fn parallel_exec_accounting_is_thread_count_invariant() {
+        let run = |exec: ExecPolicy| {
+            let mut c = clique(6);
+            c.guard_loads(8);
+            let outs = c.parallel_exec("par", 5, Bandwidth::words(1), exec, |sub, i| {
+                sub.charge("work", (i as u64) + 1);
+                sub.broadcast_from("blob", 0, 4 * (i + 1));
+                i * 10
+            });
+            (outs, c.rounds(), c.ledger().events().to_vec())
+        };
+        let seq = run(ExecPolicy::Seq);
+        for threads in [2usize, 4] {
+            let par = run(ExecPolicy::Par(threads));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // And the sequential FnMut primitive agrees with parallel_exec(Seq).
+        let mut c = clique(6);
+        c.guard_loads(8);
+        let outs = c.parallel("par", 5, Bandwidth::words(1), |sub, i| {
+            sub.charge("work", (i as u64) + 1);
+            sub.broadcast_from("blob", 0, 4 * (i + 1));
+            i * 10
+        });
+        assert_eq!((outs, c.rounds(), c.ledger().events().to_vec()), seq);
     }
 
     #[test]

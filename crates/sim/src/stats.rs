@@ -35,17 +35,32 @@ impl TrafficStats {
 
     /// Records one primitive invocation.
     pub fn record(&mut self, label: &str, total_words: usize, max_node_load: usize, rounds: u64) {
-        let entry = match self.by_label.get_mut(label) {
-            Some(e) => e,
-            None => {
-                self.order.push(label.to_string());
-                self.by_label.entry(label.to_string()).or_default()
-            }
-        };
+        let entry = self.entry_mut(label);
         entry.invocations += 1;
         entry.total_words += total_words;
         entry.max_node_load = entry.max_node_load.max(max_node_load);
         entry.rounds += rounds;
+    }
+
+    /// Merges another stats table into this one (label by label, in
+    /// `other`'s first-seen order). Used when parallel sub-computations run
+    /// on their own [`crate::Clique`] instances and their traffic is folded
+    /// back into the parent deterministically.
+    pub fn absorb(&mut self, other: &TrafficStats) {
+        for (label, t) in other.rows() {
+            let entry = self.entry_mut(label);
+            entry.invocations += t.invocations;
+            entry.total_words += t.total_words;
+            entry.max_node_load = entry.max_node_load.max(t.max_node_load);
+            entry.rounds += t.rounds;
+        }
+    }
+
+    fn entry_mut(&mut self, label: &str) -> &mut LabelTraffic {
+        if !self.by_label.contains_key(label) {
+            self.order.push(label.to_string());
+        }
+        self.by_label.entry(label.to_string()).or_default()
     }
 
     /// Traffic for a label, if any was recorded.

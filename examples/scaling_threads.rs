@@ -1,0 +1,89 @@
+//! Thread-scaling demo: wall-clock speedup of the two embarrassingly
+//! parallel hot kernels — per-source Dijkstra APSP and the dense min-plus
+//! product — at 1/2/4/8 threads on a generated workload.
+//!
+//! ```sh
+//! cargo run --release --example scaling_threads          # n = 512
+//! FAST=1 cargo run --release --example scaling_threads   # n = 160 smoke run
+//! ```
+//!
+//! Results are asserted bit-identical across thread counts before any
+//! timing is reported: the speedup is free of semantic drift by
+//! construction. Expect near-linear scaling up to the machine's core count
+//! and flat lines beyond it (or everywhere, on a single-core machine).
+
+use cc_graph::generators::Family;
+use cc_graph::{apsp, DistMatrix};
+use cc_matrix::dense::{adjacency_matrix, distance_product_with};
+use cc_par::ExecPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = Some(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn report_row(threads: usize, wall_ms: f64, base_ms: f64) {
+    println!(
+        "  {threads:>7} {wall_ms:>10.2} {:>9.2}x",
+        base_ms / wall_ms.max(1e-9)
+    );
+}
+
+fn main() {
+    let fast = std::env::var("FAST").is_ok_and(|v| v == "1");
+    let n = if fast { 160 } else { 512 };
+    let reps = if fast { 2 } else { 3 };
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = Family::Gnp.generate(n, n as u64, &mut rng);
+    println!(
+        "thread scaling on G(n={n}) with {} edges (cores available: {})",
+        g.m(),
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+
+    println!("\nexact_apsp (per-source Dijkstra, row blocks)");
+    println!("  {:>7} {:>10} {:>10}", "threads", "ms", "speedup");
+    let mut base_ms = 0.0;
+    let mut reference: Option<DistMatrix> = None;
+    for threads in THREADS {
+        let exec = ExecPolicy::with_threads(threads);
+        let (wall_ms, out) = time_ms(reps, || apsp::exact_apsp_with(&g, exec));
+        match &reference {
+            None => {
+                reference = Some(out);
+                base_ms = wall_ms;
+            }
+            Some(seq) => assert_eq!(&out, seq, "exact_apsp diverged at {threads} threads"),
+        }
+        report_row(threads, wall_ms, base_ms);
+    }
+
+    println!("\ndistance_product (dense min-plus, row blocks)");
+    println!("  {:>7} {:>10} {:>10}", "threads", "ms", "speedup");
+    let a = adjacency_matrix(&g);
+    let mut base_ms = 0.0;
+    let mut reference: Option<DistMatrix> = None;
+    for threads in THREADS {
+        let exec = ExecPolicy::with_threads(threads);
+        let (wall_ms, out) = time_ms(reps, || distance_product_with(&a, &a, exec));
+        match &reference {
+            None => {
+                reference = Some(out);
+                base_ms = wall_ms;
+            }
+            Some(seq) => assert_eq!(&out, seq, "distance_product diverged at {threads} threads"),
+        }
+        report_row(threads, wall_ms, base_ms);
+    }
+}

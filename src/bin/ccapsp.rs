@@ -2,14 +2,21 @@
 //! reproduction.
 //!
 //! ```text
-//! ccapsp gen <family> <n> <seed> <out.edges>     generate a workload
-//! ccapsp run <graph.edges> [--algo A] [--seed S] run an algorithm + audit
-//! ccapsp info <graph.edges>                      graph statistics
+//! ccapsp gen <family> <n> <seed> <out.edges>             generate a workload
+//! ccapsp run <graph.edges> [--algo A] [--seed S] [--threads T]
+//!                                                        run an algorithm + audit
+//! ccapsp info <graph.edges>                              graph statistics
 //! ```
 //!
 //! Algorithms (`--algo`): `thm11` (default, Theorem 1.1), `thm81`
 //! (Theorem 8.1 on CC\[log⁴n\]), `smalldiam` (Theorem 7.1), `spanner`
 //! (the O(log n) baseline), `exact` (min-plus squaring baseline).
+//!
+//! `--threads T` pins the local execution policy (`1` = sequential, `0` =
+//! all cores, like `CC_THREADS`); without it the `CC_THREADS` environment
+//! default applies. The thread count never changes any output — estimates,
+//! bounds, and round counts are bit-identical across policies — only the
+//! wall-clock time.
 
 use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
 use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
@@ -17,6 +24,7 @@ use cc_baselines::{exact as exact_baseline, spanner_only};
 use cc_graph::generators::Family;
 use cc_graph::graph::Direction;
 use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph};
+use cc_par::ExecPolicy;
 use clique_sim::{Bandwidth, Clique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +33,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ccapsp gen <family:{}> <n> <seed> <out.edges>\n  \
-         ccapsp run <graph.edges> [--algo thm11|thm81|smalldiam|spanner|exact] [--seed S]\n  \
+         ccapsp run <graph.edges> [--algo thm11|thm81|smalldiam|spanner|exact] [--seed S] \
+         [--threads T]\n  \
          ccapsp info <graph.edges>",
         Family::ALL.map(|f| f.name()).join("|")
     );
@@ -107,8 +116,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let seed: u64 = flag(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let exec = match flag(args, "--threads") {
+        // `0` means hardware parallelism, matching `CC_THREADS=0`.
+        Some(t) => match t.parse::<usize>() {
+            Ok(0) => ExecPolicy::auto(),
+            Ok(k) => ExecPolicy::with_threads(k),
+            Err(_) => {
+                eprintln!("--threads expects a number, got {t:?}");
+                return usage();
+            }
+        },
+        None => ExecPolicy::from_env(),
+    };
     let cfg = PipelineConfig {
         seed,
+        exec,
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
@@ -126,18 +148,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         "smalldiam" => {
             let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let (est, bound) =
-                small_diameter_apsp(&mut clique, &g, &SmallDiamConfig::default(), &mut rng);
+            let sd_cfg = SmallDiamConfig {
+                exec,
+                ..Default::default()
+            };
+            let (est, bound) = small_diameter_apsp(&mut clique, &g, &sd_cfg, &mut rng);
             (est, bound, clique.rounds())
         }
         "spanner" => {
             let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let (est, bound) = spanner_only::spanner_only_apsp(&mut clique, &g, &mut rng);
+            let (est, bound) =
+                spanner_only::spanner_only_apsp_with(&mut clique, &g, &mut rng, exec);
             (est, bound, clique.rounds())
         }
         "exact" => {
             let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let est = exact_baseline::exact_apsp_squaring(&mut clique, &g);
+            let est = exact_baseline::exact_apsp_squaring_with(&mut clique, &g, exec);
             (est, 1.0, clique.rounds())
         }
         other => {
@@ -147,11 +173,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
 
     println!("algorithm      {algo}");
+    println!("exec           {exec}");
     println!("rounds         {rounds}");
     println!("guarantee      {bound:.1}×");
     if n <= 2048 {
-        let exact = apsp::exact_apsp(&g);
-        let stats = estimate.stretch_vs(&exact);
+        let exact = apsp::exact_apsp_with(&g, exec);
+        let stats = estimate.stretch_vs_with(&exact, exec);
         println!(
             "measured       max {:.3} / mean {:.3} / p99 {:.3}",
             stats.max_stretch, stats.mean_stretch, stats.p99_stretch

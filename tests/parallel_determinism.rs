@@ -1,0 +1,178 @@
+//! Property tests for the parallel runtime's hard invariant: for a fixed
+//! seed, every compute kernel and the full Theorem 8.1/1.1 pipelines produce
+//! results **bit-identical** to `ExecPolicy::Seq` at every thread count.
+//!
+//! The determinism comes from `cc-par`'s ordered reduction (shard outputs
+//! recombined in shard-index order, shard boundaries a pure function of
+//! `(len, threads)`) — these tests pin that contract across the layers that
+//! rely on it.
+
+use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
+use cc_graph::graph::{Direction, Graph};
+use cc_graph::{apsp, DistMatrix, NodeId, StretchStats, Weight, INF};
+use cc_matrix::dense::{distance_product_with, power_with};
+use cc_matrix::sparse::{sparse_product_with, SparseMatrix};
+use cc_par::ExecPolicy;
+use clique_sim::{Bandwidth, Clique};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The thread counts every kernel is checked at, per the acceptance
+/// criteria; `Seq` is the reference.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Strategy: a connected-ish undirected weighted graph (path backbone plus
+/// random extra edges).
+fn arb_graph(max_n: usize, max_w: Weight) -> impl Strategy<Value = Graph> {
+    (4usize..max_n).prop_flat_map(move |n| {
+        let path_edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let extra = proptest::collection::vec((0..n, 0..n, 1..=max_w), 0..3 * n);
+        let path_w = proptest::collection::vec(1..=max_w, n - 1);
+        (Just(n), Just(path_edges), path_w, extra).prop_map(|(n, path, pw, extra)| {
+            let mut edges: Vec<(NodeId, NodeId, Weight)> = path
+                .into_iter()
+                .zip(pw)
+                .map(|((u, v), w)| (u, v, w))
+                .collect();
+            for (u, v, w) in extra {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, Direction::Undirected, &edges)
+        })
+    })
+}
+
+/// Strategy: a dense tropical matrix with a mix of finite and `INF` entries
+/// (a 0..4 selector picks `INF` with probability 1/4).
+fn arb_matrix(n: usize, max_w: Weight) -> impl Strategy<Value = DistMatrix> {
+    proptest::collection::vec((0u8..4, 0..=max_w), n * n..=n * n).prop_map(move |cells| {
+        let data = cells
+            .into_iter()
+            .map(|(sel, w)| if sel == 0 { INF } else { w })
+            .collect();
+        DistMatrix::from_raw(n, data)
+    })
+}
+
+/// Strategy: a sparse tropical matrix with up to `per_row` entries per row.
+fn arb_sparse(n: usize, per_row: usize, max_w: Weight) -> impl Strategy<Value = SparseMatrix> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..n, 0..=max_w), 0..=per_row),
+        n..=n,
+    )
+    .prop_map(move |rows| SparseMatrix::from_rows(n, rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Parallel per-source Dijkstra matches the sequential ground truth.
+    #[test]
+    fn exact_apsp_is_thread_count_invariant(g in arb_graph(40, 60)) {
+        let seq = apsp::exact_apsp_with(&g, ExecPolicy::Seq);
+        for threads in THREADS {
+            let par = apsp::exact_apsp_with(&g, ExecPolicy::with_threads(threads));
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+
+    /// Row-blocked dense min-plus products match the sequential product.
+    #[test]
+    fn distance_product_is_thread_count_invariant(
+        a in arb_matrix(13, 200),
+        b in arb_matrix(13, 200),
+        h in 0u64..9,
+    ) {
+        let seq = distance_product_with(&a, &b, ExecPolicy::Seq);
+        let seq_pow = power_with(&a, h, ExecPolicy::Seq);
+        for threads in THREADS {
+            let exec = ExecPolicy::with_threads(threads);
+            prop_assert_eq!(&distance_product_with(&a, &b, exec), &seq, "threads={}", threads);
+            prop_assert_eq!(&power_with(&a, h, exec), &seq_pow, "pow threads={}", threads);
+        }
+    }
+
+    /// Sharded sparse products match, including the measured densities the
+    /// round charge is computed from.
+    #[test]
+    fn sparse_product_is_thread_count_invariant(
+        s in arb_sparse(17, 5, 100),
+        t in arb_sparse(17, 4, 100),
+    ) {
+        let seq = sparse_product_with(&s, &t, None, ExecPolicy::Seq);
+        for threads in THREADS {
+            let par = sparse_product_with(&s, &t, None, ExecPolicy::with_threads(threads));
+            prop_assert_eq!(&par.matrix, &seq.matrix, "threads={}", threads);
+            prop_assert_eq!(par.densities, seq.densities);
+            prop_assert_eq!(par.rounds, seq.rounds);
+        }
+    }
+
+    /// The stretch audit (ratios are sorted before any float accumulation)
+    /// is identical across policies.
+    #[test]
+    fn stretch_audit_is_thread_count_invariant(g in arb_graph(30, 40), seed in 0u64..500) {
+        let exact = apsp::exact_apsp_with(&g, ExecPolicy::Seq);
+        let est = approximate_apsp(&g, &PipelineConfig {
+            seed,
+            exec: ExecPolicy::Seq,
+            ..Default::default()
+        }).estimate;
+        let seq = StretchStats::audit_with(&est, &exact, ExecPolicy::Seq);
+        for threads in THREADS {
+            let par = StretchStats::audit_with(&est, &exact, ExecPolicy::with_threads(threads));
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+}
+
+proptest! {
+    // The full pipelines are the expensive cases; fewer of them suffices.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The full Theorem 1.1 pipeline — estimate, stretch bound, and round
+    /// total — is bit-identical across thread counts.
+    #[test]
+    fn theorem_1_1_pipeline_is_thread_count_invariant(
+        g in arb_graph(32, 30),
+        seed in 0u64..1000,
+    ) {
+        let run = |exec: ExecPolicy| approximate_apsp(&g, &PipelineConfig {
+            seed,
+            exec,
+            ..Default::default()
+        });
+        let seq = run(ExecPolicy::Seq);
+        for threads in THREADS {
+            let par = run(ExecPolicy::with_threads(threads));
+            prop_assert_eq!(&par.estimate, &seq.estimate, "threads={}", threads);
+            prop_assert_eq!(par.stretch_bound, seq.stretch_bound);
+            prop_assert_eq!(par.rounds, seq.rounds);
+        }
+    }
+
+    /// Theorem 8.1 on `CC[log⁴n]` — including the bandwidth-overcommit
+    /// charging of the per-scale parallel group — is bit-identical across
+    /// thread counts, down to the ledger's per-phase breakdown.
+    #[test]
+    fn theorem_8_1_pipeline_is_thread_count_invariant(
+        g in arb_graph(28, 25),
+        seed in 0u64..1000,
+    ) {
+        let run = |exec: ExecPolicy| {
+            let cfg = PipelineConfig { seed, exec, ..Default::default() };
+            let mut clique = Clique::new(g.n(), Bandwidth::polylog(4, g.n()));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (est, bound) = apsp_large_bandwidth(&mut clique, &g, &cfg, &mut rng);
+            (est, bound, clique.rounds(), clique.ledger().breakdown_depth(3))
+        };
+        let seq = run(ExecPolicy::Seq);
+        for threads in THREADS {
+            let par = run(ExecPolicy::with_threads(threads));
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+}

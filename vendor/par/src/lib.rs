@@ -1,0 +1,678 @@
+#![warn(missing_docs)]
+
+//! Vendored, zero-dependency work-stealing thread pool for the workspace's
+//! compute kernels, in the spirit of a small rayon API subset.
+//!
+//! The build environment has no crates.io access, so instead of rayon this
+//! crate implements exactly what the APSP simulator's hot paths need:
+//!
+//! * [`Pool`] — a fixed-size pool of `std::thread` workers with per-worker
+//!   job queues and work stealing, offering **scoped** execution
+//!   ([`Pool::scope`]) so jobs may borrow from the caller's stack, plus the
+//!   two bulk helpers [`Pool::par_map_collect`] and [`Pool::par_chunks_mut`].
+//! * [`ExecPolicy`] — the `Seq | Par(threads)` handle threaded through every
+//!   compute layer (`cc_graph::apsp`, `cc_matrix::dense`/`sparse`,
+//!   `cc_apsp::pipeline`, …). `Seq` runs plain loops; `Par(k)` runs the same
+//!   loops sharded over a `k`-worker pool.
+//!
+//! # Determinism
+//!
+//! Every parallel helper performs an **ordered reduction**: shard outputs are
+//! collected and recombined in shard-index order, and shard boundaries depend
+//! only on `(len, threads)` — never on scheduling. A computation whose
+//! per-index work is a pure function therefore produces **bit-identical**
+//! output under `Seq` and `Par(k)` for every `k`. The workspace's pipelines
+//! rely on this: results must not change with the thread count.
+//!
+//! # `CC_THREADS`
+//!
+//! [`ExecPolicy::from_env`] (also [`ExecPolicy::default`]) reads the
+//! `CC_THREADS` environment variable once per process: `CC_THREADS=1` forces
+//! [`ExecPolicy::Seq`], `CC_THREADS=k` gives `Par(k)`, and when unset (or
+//! `0`) the available hardware parallelism is used.
+//!
+//! # Worked example
+//!
+//! Scoped jobs may borrow local data; the scope blocks until every spawned
+//! job has finished, so the borrows are safe:
+//!
+//! ```
+//! use cc_par::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let input = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+//! let mut squares = vec![0u64; input.len()];
+//!
+//! // Split the output into halves, each filled by a pool worker that
+//! // reads the (shared) input slice.
+//! let (lo, hi) = squares.split_at_mut(4);
+//! pool.scope(|s| {
+//!     let input = &input;
+//!     s.spawn(move || {
+//!         for (i, out) in lo.iter_mut().enumerate() {
+//!             *out = input[i] * input[i];
+//!         }
+//!     });
+//!     s.spawn(move || {
+//!         for (i, out) in hi.iter_mut().enumerate() {
+//!             *out = input[4 + i] * input[4 + i];
+//!         }
+//!     });
+//! });
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25, 36, 49, 64]);
+//!
+//! // The bulk helper does the sharding and ordered reduction itself:
+//! assert_eq!(pool.par_map_collect(4, |i| i * 10), vec![0, 10, 20, 30]);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A type-erased, heap-allocated unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How many shard-jobs each bulk helper creates per pool worker. More shards
+/// than workers lets the stealing smooth out uneven per-index costs (e.g.
+/// Dijkstra from sources with very different reach).
+const SHARDS_PER_THREAD: usize = 4;
+
+/// State shared between a [`Pool`]'s handle and its worker threads.
+struct Shared {
+    /// One job deque per worker. Owners pop from the front; thieves (other
+    /// workers, and threads blocked in [`Pool::scope`]) pop from the back.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep coordination: `inject` and job completion notify under this
+    /// lock so a worker re-checking the queues before waiting cannot miss a
+    /// wakeup.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for [`Shared::inject`].
+    next_queue: AtomicUsize,
+}
+
+impl Shared {
+    fn inject(&self, job: Job) {
+        let i = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[i].lock().unwrap().push_back(job);
+        // Take (and release) the sleep lock before notifying: a worker that
+        // observed empty queues is either still holding the lock (and will
+        // re-check) or already waiting (and will get the notification).
+        drop(self.sleep.lock().unwrap());
+        self.wake.notify_all();
+    }
+
+    /// Pops a job: the `home` queue from the front, then the others (work
+    /// stealing) from the back.
+    fn try_pop(&self, home: usize) -> Option<Job> {
+        let k = self.queues.len();
+        if let Some(job) = self.queues[home % k].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        for off in 1..k {
+            if let Some(job) = self.queues[(home + off) % k].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn any_queued(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    fn notify_under_lock(&self) {
+        drop(self.sleep.lock().unwrap());
+        self.wake.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, home: usize) {
+    loop {
+        if let Some(job) = shared.try_pop(home) {
+            job();
+            continue;
+        }
+        let guard = shared.sleep.lock().unwrap();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.any_queued() {
+            continue; // a job arrived between try_pop and the lock
+        }
+        // The timeout is only a backstop; inject/complete notify under the
+        // sleep lock, so wakeups are not lost.
+        let _ = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(100))
+            .unwrap();
+    }
+}
+
+/// Book-keeping for one [`Pool::scope`] invocation.
+struct ScopeState {
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl ScopeState {
+    fn complete(&self) {
+        if self.pending.fetch_sub(1, Ordering::Release) == 1 {
+            self.shared.notify_under_lock();
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool over `std::thread`.
+///
+/// Workers are spawned once in [`Pool::new`] and parked when idle. All
+/// execution goes through [`Pool::scope`]; the bulk helpers
+/// [`Pool::par_map_collect`] and [`Pool::par_chunks_mut`] are sharded,
+/// deterministically reduced wrappers around it. See the
+/// [crate docs](crate) for a worked example.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_queue: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cc-par-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("failed to spawn cc-par worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which jobs borrowing non-`'static` data
+    /// may be spawned, and blocks until **all** spawned jobs have finished
+    /// (even if `f` or a job panics — the panic is propagated afterwards).
+    ///
+    /// While blocked, the calling thread *helps*: it executes queued jobs
+    /// instead of idling, which both speeds up the scope and makes nested
+    /// scopes (a pool job that itself calls [`Pool::scope`]) deadlock-free.
+    pub fn scope<'env, T>(
+        &self,
+        f: impl for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    ) -> T {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shared: Arc::clone(&self.shared),
+        });
+        let scope = Scope {
+            state: Arc::clone(&state),
+            shared: &self.shared,
+            scope: PhantomData,
+            env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait for every spawned job; help run queued jobs meanwhile.
+        while state.pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.shared.try_pop(0) {
+                job();
+                continue;
+            }
+            let guard = self.shared.sleep.lock().unwrap();
+            if state.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = self
+                .shared
+                .wake
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+        }
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if state.panicked.load(Ordering::Acquire) {
+                    panic!("a job spawned in cc_par::Pool::scope panicked");
+                }
+                value
+            }
+        }
+    }
+
+    /// Maps `f` over `0..len` in parallel and collects the results **in
+    /// index order** (the ordered reduction that makes `Par` runs
+    /// bit-identical to `Seq` for pure `f`).
+    pub fn par_map_collect<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let parts: Vec<Vec<T>> = self.run_shards(len, |range| range.map(&f).collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Splits `data` into chunks of `chunk_len` elements and runs
+    /// `f(chunk_index, chunk)` on each in parallel. Chunks are disjoint
+    /// `&mut` views, so no synchronization is needed inside `f`; the chunk
+    /// index identifies the chunk's position (`chunk_index * chunk_len` is
+    /// its element offset).
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        self.scope(|s| {
+            for (i, piece) in data.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                s.spawn(move || f(i, piece));
+            }
+        });
+    }
+
+    /// Runs `shard(range)` over a deterministic partition of `0..len` and
+    /// returns the per-shard outputs in shard order.
+    fn run_shards<T, F>(&self, len: usize, shard: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let ranges = shard_ranges(len, self.threads * SHARDS_PER_THREAD);
+        let slots: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (slot, range) in slots.iter().zip(ranges) {
+                let shard = &shard;
+                s.spawn(move || {
+                    let out = shard(range);
+                    *slot.lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("cc-par shard job did not run")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_under_lock();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Deterministic balanced partition of `0..len` into at most `shards`
+/// contiguous ranges (fewer when `len < shards`; never an empty range).
+fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// A handle for spawning borrowed jobs inside [`Pool::scope`]; mirrors
+/// `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    state: Arc<ScopeState>,
+    shared: &'scope Shared,
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queues `f` on the pool. The job may borrow anything that outlives the
+    /// enclosing [`Pool::scope`] call; the scope blocks until it finishes.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            state.complete();
+        });
+        // SAFETY: `Pool::scope` does not return (or unwind) before `pending`
+        // reaches zero, and `complete()` runs strictly after the user
+        // closure — including its captured borrows — has been consumed, so
+        // no job touches `'scope` data after the scope ends. Extending the
+        // lifetime to `'static` is therefore sound; the transmute only
+        // changes the trait object's lifetime bound, not its layout.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.shared.inject(job);
+    }
+}
+
+/// Execution policy handle threaded through every compute layer: run
+/// sequentially, or on a work-stealing pool with a fixed thread count.
+///
+/// The policy is *observationally irrelevant*: all helpers reduce shard
+/// outputs in deterministic order, so for pure per-index work the results
+/// are bit-identical across policies (see the [crate docs](crate)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Plain sequential loops on the calling thread.
+    Seq,
+    /// Sharded execution on a pool with this many worker threads. Pools are
+    /// created on first use and cached per thread count for the process
+    /// lifetime. `Par(0)` and `Par(1)` behave like [`ExecPolicy::Seq`].
+    Par(usize),
+}
+
+impl Default for ExecPolicy {
+    /// [`ExecPolicy::from_env`]: the `CC_THREADS` environment default.
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for ExecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecPolicy::Seq => write!(f, "seq"),
+            ExecPolicy::Par(k) => write!(f, "par({k})"),
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// The process-wide default, read from `CC_THREADS` once and cached:
+    /// `1` → `Seq`, `k > 1` → `Par(k)`, unset/`0`/unparsable → the hardware
+    /// parallelism ([`std::thread::available_parallelism`]).
+    pub fn from_env() -> Self {
+        static CACHED: OnceLock<ExecPolicy> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            let requested = std::env::var("CC_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&k| k > 0);
+            match requested {
+                Some(threads) => Self::with_threads(threads),
+                None => Self::auto(),
+            }
+        })
+    }
+
+    /// The hardware default: one worker per available core
+    /// ([`std::thread::available_parallelism`]), i.e. the policy `0` selects
+    /// on every configuration surface (`CC_THREADS=0`, `--threads 0`).
+    pub fn auto() -> Self {
+        Self::with_threads(std::thread::available_parallelism().map_or(1, |p| p.get()))
+    }
+
+    /// `Seq` for `threads <= 1`, `Par(threads)` otherwise.
+    pub fn with_threads(threads: usize) -> Self {
+        if threads <= 1 {
+            ExecPolicy::Seq
+        } else {
+            ExecPolicy::Par(threads)
+        }
+    }
+
+    /// Worker count this policy executes with (`Seq` → 1).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecPolicy::Seq => 1,
+            ExecPolicy::Par(k) => (*k).max(1),
+        }
+    }
+
+    /// The cached pool backing this policy, if it executes in parallel.
+    fn pool(&self) -> Option<Arc<Pool>> {
+        match self {
+            ExecPolicy::Seq | ExecPolicy::Par(0) | ExecPolicy::Par(1) => None,
+            ExecPolicy::Par(k) => Some(pool_with_threads(*k)),
+        }
+    }
+
+    /// Maps `f` over `0..len`, collecting results in index order.
+    pub fn map_collect<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.pool() {
+            None => (0..len).map(f).collect(),
+            Some(pool) => pool.par_map_collect(len, f),
+        }
+    }
+
+    /// Runs `shard` over a deterministic partition of `0..len` and
+    /// concatenates the per-shard output vectors in shard order. Under
+    /// `Seq` there is exactly one shard (`0..len`), so a shard body that
+    /// streams `range` in order is the sequential algorithm verbatim; shards
+    /// may keep per-shard scratch state without synchronization.
+    pub fn map_shards_collect<T, F>(&self, len: usize, shard: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> Vec<T> + Sync,
+    {
+        match self.pool() {
+            None => shard(0..len),
+            Some(pool) => {
+                let parts = pool.run_shards(len, &shard);
+                parts.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// [`Pool::par_chunks_mut`] under this policy: disjoint `&mut` chunks of
+    /// `chunk_len` elements, each passed to `f(chunk_index, chunk)`.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        match self.pool() {
+            None => {
+                for (i, piece) in data.chunks_mut(chunk_len).enumerate() {
+                    f(i, piece);
+                }
+            }
+            Some(pool) => pool.par_chunks_mut(data, chunk_len, f),
+        }
+    }
+
+    /// A balanced chunk length (in *elements*) for row-blocked work over
+    /// `rows` rows of `row_len` elements each: enough chunks to keep every
+    /// worker busy, always a whole number of rows.
+    pub fn row_block_len(&self, rows: usize, row_len: usize) -> usize {
+        let blocks = (self.threads() * SHARDS_PER_THREAD).max(1);
+        rows.div_ceil(blocks).max(1) * row_len.max(1)
+    }
+}
+
+/// Process-wide pool cache, keyed by thread count, so repeated
+/// `ExecPolicy::Par(k)` executions reuse workers instead of respawning them.
+fn pool_with_threads(threads: usize) -> Arc<Pool> {
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = registry.lock().unwrap();
+    Arc::clone(
+        map.entry(threads)
+            .or_insert_with(|| Arc::new(Pool::new(threads))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_collect_matches_sequential_order() {
+        let pool = Pool::new(4);
+        let seq: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(pool.par_map_collect(1000, |i| i * i), seq);
+    }
+
+    #[test]
+    fn scope_jobs_borrow_stack_data() {
+        let pool = Pool::new(3);
+        let data = vec![5u64; 64];
+        let sum = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(16) {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5 * 64);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let pool = Pool::new(4);
+        let mut data = vec![0usize; 103]; // deliberately not a chunk multiple
+        pool.par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + off;
+            }
+        });
+        let expect: Vec<usize> = (0..103).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                s.spawn(move || {
+                    // A pool job that itself uses the (same, global) pool.
+                    let inner: u64 = ExecPolicy::Par(2)
+                        .map_collect(8, |i| i as u64)
+                        .into_iter()
+                        .sum();
+                    total.fetch_add(inner, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn job_panic_propagates_after_all_jobs_finish() {
+        let pool = Pool::new(2);
+        pool.scope(|s| {
+            s.spawn(|| {});
+            s.spawn(|| panic!("boom"));
+            s.spawn(|| {});
+        });
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for len in [0usize, 1, 7, 16, 103] {
+            for shards in [1usize, 2, 5, 16, 200] {
+                let ranges = shard_ranges(len, shards);
+                let mut covered = 0;
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start);
+                    assert!(!r.is_empty());
+                    covered += r.len();
+                    expect_start = r.end;
+                }
+                assert_eq!(covered, len, "len={len} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn exec_policy_map_collect_is_policy_independent() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let seq = ExecPolicy::Seq.map_collect(257, f);
+        for k in [1usize, 2, 4, 8] {
+            assert_eq!(ExecPolicy::with_threads(k).map_collect(257, f), seq);
+        }
+    }
+
+    #[test]
+    fn exec_policy_map_shards_preserves_order() {
+        let shard = |r: Range<usize>| r.map(|i| i * 3).collect::<Vec<_>>();
+        let seq = ExecPolicy::Seq.map_shards_collect(100, shard);
+        assert_eq!(ExecPolicy::Par(4).map_shards_collect(100, shard), seq);
+        assert_eq!(seq, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_threads_normalizes_degenerate_counts() {
+        assert_eq!(ExecPolicy::with_threads(0), ExecPolicy::Seq);
+        assert_eq!(ExecPolicy::with_threads(1), ExecPolicy::Seq);
+        assert_eq!(ExecPolicy::with_threads(3), ExecPolicy::Par(3));
+        assert_eq!(ExecPolicy::Par(1).threads(), 1);
+        assert_eq!(ExecPolicy::Seq.to_string(), "seq");
+        assert_eq!(ExecPolicy::Par(4).to_string(), "par(4)");
+    }
+
+    #[test]
+    fn transient_pool_shuts_down_cleanly() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let out = pool.par_map_collect(10, |i| i + 1);
+        drop(pool); // joins workers; must not hang
+        assert_eq!(out[9], 10);
+    }
+}
