@@ -55,6 +55,7 @@ fn main() {
             threads,
             wall_ms,
             rounds: 0,
+            extras: Vec::new(),
         });
     }
 
@@ -77,6 +78,7 @@ fn main() {
             threads,
             wall_ms,
             rounds: 0,
+            extras: Vec::new(),
         });
     }
 
@@ -111,6 +113,7 @@ fn main() {
             threads,
             wall_ms,
             rounds: result.rounds,
+            extras: Vec::new(),
         });
     }
 

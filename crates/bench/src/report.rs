@@ -24,18 +24,27 @@ pub struct BenchRecord {
     /// Simulated Congested Clique rounds, when the experiment runs on a
     /// [`clique_sim::Clique`] (0 for purely local kernels).
     pub rounds: u64,
+    /// Additional numeric metrics, rendered as extra JSON keys (e.g. the
+    /// serve bench's `qps` and latency percentiles). Empty for the kernel
+    /// benches.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"experiment\":{},\"n\":{},\"threads\":{},\"wall_ms\":{:.3},\"rounds\":{}}}",
+        let mut out = format!(
+            "{{\"experiment\":{},\"n\":{},\"threads\":{},\"wall_ms\":{:.3},\"rounds\":{}",
             json_string(&self.experiment),
             self.n,
             self.threads,
             self.wall_ms,
             self.rounds
-        )
+        );
+        for (key, value) in &self.extras {
+            out.push_str(&format!(",{}:{value:.3}", json_string(key)));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -105,6 +114,7 @@ mod tests {
                 threads: 4,
                 wall_ms: 12.5,
                 rounds: 0,
+                extras: vec![("qps".into(), 1234.5), ("p99_us".into(), 7.25)],
             },
             BenchRecord {
                 experiment: "pipe\"line".into(),
@@ -112,6 +122,7 @@ mod tests {
                 threads: 1,
                 wall_ms: 3.25,
                 rounds: 42,
+                extras: Vec::new(),
             },
         ];
         let doc = render_report(&records);
@@ -119,6 +130,8 @@ mod tests {
         assert!(doc.contains("\"experiment\":\"exact_apsp\""));
         assert!(doc.contains("\"wall_ms\":12.500"));
         assert!(doc.contains("\"rounds\":42"));
+        assert!(doc.contains("\"qps\":1234.500"));
+        assert!(doc.contains("\"p99_us\":7.250"));
         assert!(doc.contains("pipe\\\"line"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());

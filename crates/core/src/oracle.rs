@@ -53,6 +53,12 @@ impl DistanceOracle {
         &self.graph
     }
 
+    /// The underlying estimate matrix (the serving layer reads rows from it
+    /// for k-nearest queries).
+    pub fn estimate(&self) -> &DistMatrix {
+        &self.estimate
+    }
+
     /// The distance estimate δ(u, v).
     pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
         self.estimate.get(u, v)
@@ -75,16 +81,23 @@ impl DistanceOracle {
     /// guarantees termination even when the approximate estimate would
     /// create a loop). Gives up when stuck; returns the node sequence on
     /// success.
+    ///
+    /// Guaranteed to terminate within `n` steps for *any* estimate, however
+    /// misleading: every step visits a fresh node, so the walk either
+    /// reaches `v`, or runs out of unvisited neighbors (a dead end or an
+    /// unreachable target, e.g. `δ(·,v) = ∞` everywhere) and returns
+    /// `None` — it can never loop. `u == v` is the trivial one-node route.
     pub fn route(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        if u == v {
+            return Some(vec![u]);
+        }
         let n = self.graph.n();
         let mut path = vec![u];
         let mut visited = vec![false; n];
         visited[u] = true;
         let mut cur = u;
         while cur != v {
-            if path.len() > n {
-                return None;
-            }
+            debug_assert!(path.len() <= n, "visited-set invariant violated");
             let next = self
                 .graph
                 .neighbors(cur)
@@ -207,6 +220,75 @@ mod tests {
         let exact = apsp::exact_apsp(&g);
         let oracle = DistanceOracle::new(g, exact);
         assert_eq!(oracle.route(4, 4), Some(vec![4]));
+    }
+
+    #[test]
+    fn route_to_self_works_even_for_isolated_nodes() {
+        // u == v must be the trivial route regardless of connectivity.
+        let g = Graph::from_edges(3, Direction::Undirected, &[(0, 1, 1)]);
+        let exact = apsp::exact_apsp(&g);
+        let oracle = DistanceOracle::new(g, exact);
+        assert_eq!(oracle.route(2, 2), Some(vec![2]));
+        assert_eq!(oracle.route(0, 0), Some(vec![0]));
+    }
+
+    #[test]
+    fn disconnected_pair_with_inf_estimate_returns_none() {
+        // Two components; every neighbor estimates the far side as INF, so
+        // the very first step finds no candidate.
+        let g = Graph::from_edges(
+            6,
+            Direction::Undirected,
+            &[(0, 1, 2), (1, 2, 3), (3, 4, 1), (4, 5, 1)],
+        );
+        let exact = apsp::exact_apsp(&g);
+        assert_eq!(exact.get(0, 5), INF);
+        let oracle = DistanceOracle::new(g, exact);
+        assert_eq!(oracle.route(0, 5), None);
+        assert_eq!(oracle.route(5, 0), None);
+        assert_eq!(oracle.next_hop(0, 5), None);
+    }
+
+    #[test]
+    fn lying_estimate_into_a_dead_end_returns_none() {
+        // δ(1, 3) = 0 lies: greedy routing from 0 toward 3 prefers the
+        // dead-end node 1 over the real path through 2, then has no
+        // unvisited neighbor left and must give up (not loop back).
+        let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 1), (0, 2, 1), (2, 3, 1)]);
+        let mut fake = DistMatrix::infinite(4);
+        fake.set(1, 3, 0);
+        fake.set(2, 3, 5);
+        fake.set(3, 3, 0);
+        let oracle = DistanceOracle::new(g, fake);
+        assert_eq!(oracle.route(0, 3), None);
+    }
+
+    #[test]
+    fn cyclic_estimate_terminates_with_distinct_path_nodes() {
+        // A constant all-ones estimate on a cycle is the classic greedy
+        // loop bait; the visited set must bound the walk by n distinct
+        // nodes whatever happens.
+        let n = 8;
+        let edges: Vec<(usize, usize, u64)> = (0..n).map(|i| (i, (i + 1) % n, 1)).collect();
+        let g = Graph::from_edges(n, Direction::Undirected, &edges);
+        let mut fake = DistMatrix::infinite(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    fake.set(u, v, 1);
+                }
+            }
+        }
+        let oracle = DistanceOracle::new(g, fake);
+        for target in 0..n {
+            if let Some(path) = oracle.route(0, target) {
+                assert!(path.len() <= n, "path too long: {path:?}");
+                let mut sorted = path.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), path.len(), "revisit in {path:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! **cc-serve** — the distance-oracle serving layer: the first subsystem on
+//! the read path rather than the compute path.
+//!
+//! The paper motivates APSP in the Congested Clique by its "close connection
+//! to network routing" (Section 1); the payoff of an all-pairs *oracle* is
+//! at query time — precompute once, then serve point-to-point queries at
+//! high throughput. This crate turns a pipeline run into a servable
+//! artifact and measures how fast it can be served:
+//!
+//! * [`snapshot`] — the versioned binary `*.ccsnap` format (magic, format
+//!   version, graph, estimate, metadata, per-section checksums) with
+//!   `save`/`load` and typed corrupt-input errors;
+//! * [`service`] — [`OracleService`](service::OracleService), a
+//!   multi-snapshot registry answering `Dist`/`Route`/`KNearest` queries in
+//!   parallel batches (via `cc_par`), with a hot-row LRU cache and
+//!   per-query latency accounting;
+//! * [`loadgen`] — the deterministic closed-loop load generator (seeded
+//!   zipf/uniform mixes) whose results the `ccapsp bench-serve` subcommand
+//!   writes as `BENCH_serve.json` through [`cc_bench::report`].
+//!
+//! The serving invariant mirrors the compute layers' parallelism contract:
+//! for a fixed snapshot and [`loadgen::LoadSpec`], query *results* are
+//! bit-identical at every thread count — only timings move.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cc_serve::loadgen::{drive, LoadSpec};
+//! use cc_serve::service::{OracleService, Query, Response};
+//! use cc_serve::snapshot::{Snapshot, SnapshotMeta};
+//! use cc_par::ExecPolicy;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let g = cc_graph::generators::gnp_connected(32, 0.15, 1..=20, &mut rng);
+//! let exact = cc_graph::apsp::exact_apsp(&g);
+//! let meta = SnapshotMeta {
+//!     algo: "exact".into(), seed: 7, stretch_bound: 1.0, rounds: 0,
+//!     source: "doc".into(),
+//! };
+//! let (service, id) = OracleService::single(Snapshot::new(g, exact, meta));
+//!
+//! assert!(matches!(service.answer(id, &Query::Dist(0, 9)), Response::Dist(_)));
+//! let spec = LoadSpec { queries: 200, ..Default::default() };
+//! let report = drive(&service, id, &spec, ExecPolicy::Seq);
+//! assert_eq!(report.queries, 200);
+//! ```
+
+pub mod loadgen;
+pub mod service;
+pub mod snapshot;
+
+pub use cc_bench::report;
+pub use service::OracleService;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotMeta};

@@ -1,0 +1,444 @@
+//! Deterministic closed-loop load generator for the serving layer.
+//!
+//! Generates a seeded query stream (uniform or zipf-skewed sources, a
+//! configurable dist/route/k-nearest mix), drives an [`OracleService`] with
+//! it batch-by-batch (closed loop: the next batch is issued only after the
+//! previous one completed), and reduces the per-query latencies into the
+//! throughput report the CLI writes as `BENCH_serve.json` via
+//! [`cc_bench::report`].
+//!
+//! Everything about the *stream* is a pure function of
+//! ([`LoadSpec`], node count): the same spec replays the same queries, so
+//! [`ServeBenchResult::fingerprint`] must match across thread counts — only
+//! the timing fields may differ.
+
+use cc_bench::report::BenchRecord;
+use cc_graph::NodeId;
+use cc_par::ExecPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+use crate::service::{fingerprint, OracleService, Query, SnapshotId};
+use crate::snapshot::fnv1a;
+
+/// Source-node popularity distribution of the generated stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every node equally likely.
+    Uniform,
+    /// Zipf-distributed popularity with this exponent (`1.0` is the classic
+    /// web-traffic shape); node ranks are a seeded permutation, so the hot
+    /// set is deterministic per seed but not simply the lowest ids.
+    Zipf(f64),
+}
+
+/// Relative weights of the three query types in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMix {
+    /// Weight of [`Query::Dist`].
+    pub dist: u32,
+    /// Weight of [`Query::Route`].
+    pub route: u32,
+    /// Weight of [`Query::KNearest`].
+    pub knearest: u32,
+}
+
+impl QueryMix {
+    /// Sum of the weights.
+    pub fn total(&self) -> u32 {
+        self.dist + self.route + self.knearest
+    }
+}
+
+impl Default for QueryMix {
+    /// Point-to-point lookups dominate real oracle traffic; routes and
+    /// k-nearest scans are the expensive minority.
+    fn default() -> Self {
+        Self {
+            dist: 8,
+            route: 1,
+            knearest: 1,
+        }
+    }
+}
+
+/// Full specification of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSpec {
+    /// Total queries to issue.
+    pub queries: usize,
+    /// Queries per closed-loop batch.
+    pub batch: usize,
+    /// Query-type mix.
+    pub mix: QueryMix,
+    /// Source-node popularity.
+    pub skew: Skew,
+    /// The `k` used for [`Query::KNearest`] queries.
+    pub k: usize,
+    /// Stream seed; the whole query sequence is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        Self {
+            queries: 50_000,
+            batch: 1024,
+            mix: QueryMix::default(),
+            skew: Skew::Zipf(1.0),
+            k: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Inverse-CDF zipf sampler over `n` ranks with a seeded rank→node
+/// permutation.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    perm: Vec<NodeId>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler; the permutation consumes `n - 1` draws from
+    /// `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `exponent` is not finite and non-negative.
+    pub fn new(n: usize, exponent: f64, rng: &mut StdRng) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        // Fisher–Yates with the stream rng: rank r maps to perm[r].
+        let mut perm: Vec<NodeId> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        Self { cdf, perm }
+    }
+
+    /// Draws one node (one `rng` draw).
+    pub fn sample(&self, rng: &mut StdRng) -> NodeId {
+        let x: f64 = rng.gen();
+        let rank = self
+            .cdf
+            .partition_point(|&c| c <= x)
+            .min(self.perm.len() - 1);
+        self.perm[rank]
+    }
+}
+
+/// Generates the deterministic query stream for a snapshot of `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the mix has zero total weight.
+pub fn generate_queries(n: usize, spec: &LoadSpec) -> Vec<Query> {
+    assert!(n > 0, "cannot generate load for an empty snapshot");
+    let total = spec.mix.total();
+    assert!(total > 0, "query mix has zero total weight");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sampler = match spec.skew {
+        Skew::Uniform => None,
+        Skew::Zipf(s) => Some(ZipfSampler::new(n, s, &mut rng)),
+    };
+    let k = spec.k.clamp(1, n);
+    let mut out = Vec::with_capacity(spec.queries);
+    for _ in 0..spec.queries {
+        let pick = rng.gen_range(0..total);
+        let u = match &sampler {
+            Some(z) => z.sample(&mut rng),
+            None => rng.gen_range(0..n),
+        };
+        out.push(if pick < spec.mix.dist {
+            Query::Dist(u, rng.gen_range(0..n))
+        } else if pick < spec.mix.dist + spec.mix.route {
+            Query::Route(u, rng.gen_range(0..n))
+        } else {
+            Query::KNearest(u, k)
+        });
+    }
+    out
+}
+
+/// The measured outcome of one [`drive`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchResult {
+    /// Queries issued.
+    pub queries: usize,
+    /// Worker threads the batches executed with.
+    pub threads: usize,
+    /// Total closed-loop wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Queries per second over the whole run.
+    pub qps: f64,
+    /// Median per-query latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-query latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile per-query latency in microseconds.
+    pub p99_us: f64,
+    /// Hot-row cache hit rate over the run (`KNearest` lookups).
+    pub cache_hit_rate: f64,
+    /// Fingerprint of all responses in order — identical across thread
+    /// counts for a fixed spec and snapshot.
+    pub fingerprint: u64,
+}
+
+impl ServeBenchResult {
+    /// Packages the run as a [`BenchRecord`] for
+    /// [`cc_bench::report::write_report`]; the serving metrics ride in
+    /// `extras`.
+    pub fn to_record(&self, experiment: &str, n: usize) -> BenchRecord {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            n,
+            threads: self.threads,
+            wall_ms: self.wall_ms,
+            rounds: 0,
+            extras: vec![
+                ("qps".into(), self.qps),
+                ("p50_us".into(), self.p50_us),
+                ("p95_us".into(), self.p95_us),
+                ("p99_us".into(), self.p99_us),
+                ("cache_hit_rate".into(), self.cache_hit_rate),
+            ],
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sorted latency list, in microseconds.
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q) as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Drives the service with the spec's query stream in closed-loop batches
+/// and reduces the measurements. Cache hit rate is the delta over this run,
+/// so repeated drives against one service stay meaningful.
+pub fn drive(
+    service: &OracleService,
+    id: SnapshotId,
+    spec: &LoadSpec,
+    exec: ExecPolicy,
+) -> ServeBenchResult {
+    let queries = generate_queries(service.n(id), spec);
+    let before = service.cache_stats(id);
+    let mut latencies: Vec<u64> = Vec::with_capacity(queries.len());
+    let mut batch_prints: Vec<u8> = Vec::new();
+    let start = Instant::now();
+    for batch in queries.chunks(spec.batch.max(1)) {
+        let outcome = service.run_batch(id, batch, exec);
+        latencies.extend_from_slice(&outcome.latencies_ns);
+        batch_prints.extend_from_slice(&fingerprint(&outcome.responses).to_le_bytes());
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = service.cache_stats(id);
+    let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+    let cache_hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (after.hits - before.hits) as f64 / lookups as f64
+    };
+    latencies.sort_unstable();
+    ServeBenchResult {
+        queries: queries.len(),
+        threads: exec.threads(),
+        wall_ms,
+        qps: if wall_ms > 0.0 {
+            queries.len() as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&latencies, 0.50),
+        p95_us: percentile_us(&latencies, 0.95),
+        p99_us: percentile_us(&latencies, 0.99),
+        cache_hit_rate,
+        fingerprint: fnv1a(&batch_prints),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Snapshot, SnapshotMeta};
+    use cc_graph::{apsp, generators};
+
+    fn snapshot(n: usize, seed: u64) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.15, 1..=30, &mut rng);
+        let exact = apsp::exact_apsp(&g);
+        Snapshot::new(
+            g,
+            exact,
+            SnapshotMeta {
+                algo: "exact".into(),
+                seed,
+                stretch_bound: 1.0,
+                rounds: 0,
+                source: "test".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn query_stream_is_deterministic_per_seed() {
+        let spec = LoadSpec {
+            queries: 500,
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(generate_queries(40, &spec), generate_queries(40, &spec));
+        let other = LoadSpec { seed: 43, ..spec };
+        assert_ne!(generate_queries(40, &spec), generate_queries(40, &other));
+    }
+
+    #[test]
+    fn stream_respects_the_mix() {
+        let spec = LoadSpec {
+            queries: 3000,
+            mix: QueryMix {
+                dist: 1,
+                route: 0,
+                knearest: 1,
+            },
+            ..Default::default()
+        };
+        let qs = generate_queries(30, &spec);
+        let dist = qs.iter().filter(|q| matches!(q, Query::Dist(..))).count();
+        let routes = qs.iter().filter(|q| matches!(q, Query::Route(..))).count();
+        assert_eq!(routes, 0);
+        assert!((1000..2000).contains(&dist), "dist count {dist}");
+    }
+
+    #[test]
+    fn zipf_skews_toward_a_small_hot_set() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = ZipfSampler::new(100, 1.2, &mut rng);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = sorted[..10].iter().sum();
+        // Under zipf(1.2) the top decile carries well over half the draws;
+        // uniform would put ~10% there.
+        assert!(top10 > 10_000, "top-10 share {top10}/20000");
+    }
+
+    #[test]
+    fn uniform_covers_the_whole_domain() {
+        let spec = LoadSpec {
+            queries: 5000,
+            skew: Skew::Uniform,
+            mix: QueryMix {
+                dist: 1,
+                route: 0,
+                knearest: 0,
+            },
+            ..Default::default()
+        };
+        let mut seen = [false; 25];
+        for q in generate_queries(25, &spec) {
+            if let Query::Dist(u, v) = q {
+                seen[u] = true;
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn knearest_k_is_clamped_to_n() {
+        let spec = LoadSpec {
+            queries: 50,
+            k: 1000,
+            mix: QueryMix {
+                dist: 0,
+                route: 0,
+                knearest: 1,
+            },
+            ..Default::default()
+        };
+        for q in generate_queries(12, &spec) {
+            match q {
+                Query::KNearest(_, k) => assert_eq!(k, 12),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drive_produces_consistent_fingerprints_across_policies() {
+        let spec = LoadSpec {
+            queries: 600,
+            batch: 128,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            // Fresh service per run so cache state starts equal.
+            let (service, id) = OracleService::single(snapshot(28, 9));
+            drive(&service, id, &spec, ExecPolicy::with_threads(threads))
+        };
+        let seq = run(1);
+        assert_eq!(seq.queries, 600);
+        assert!(seq.wall_ms >= 0.0 && seq.qps > 0.0);
+        assert!(seq.p50_us <= seq.p95_us && seq.p95_us <= seq.p99_us);
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(par.fingerprint, seq.fingerprint, "threads={threads}");
+            assert_eq!(par.threads, threads);
+        }
+    }
+
+    #[test]
+    fn bench_record_carries_the_serving_extras() {
+        let result = ServeBenchResult {
+            queries: 1000,
+            threads: 4,
+            wall_ms: 12.5,
+            qps: 80_000.0,
+            p50_us: 1.5,
+            p95_us: 3.0,
+            p99_us: 9.0,
+            cache_hit_rate: 0.75,
+            fingerprint: 42,
+        };
+        let rec = result.to_record("serve_mixed", 128);
+        assert_eq!(rec.experiment, "serve_mixed");
+        assert_eq!(rec.threads, 4);
+        assert!(rec.extras.iter().any(|(k, v)| k == "qps" && *v == 80_000.0));
+        assert!(rec
+            .extras
+            .iter()
+            .any(|(k, v)| k == "cache_hit_rate" && *v == 0.75));
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let sorted: Vec<u64> = (1..=100).map(|i| i * 1000).collect(); // 1..100 µs
+        assert!((percentile_us(&sorted, 0.50) - 50.0).abs() < 1.5);
+        assert!((percentile_us(&sorted, 0.99) - 99.0).abs() < 1.5);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! The query engine: a multi-snapshot registry answering typed distance
+//! queries, in batches, under any [`ExecPolicy`].
+//!
+//! An [`OracleService`] holds one or more loaded [`Snapshot`]s (versioned by
+//! registration order per name, like a blue/green deploy of a freshly
+//! recomputed estimate) and answers three query types:
+//!
+//! * [`Query::Dist`] — the estimate δ(u, v), a single matrix read;
+//! * [`Query::Route`] — the greedy next-hop walk of
+//!   [`cc_apsp::oracle::DistanceOracle::route`];
+//! * [`Query::KNearest`] — the `k` nodes nearest to `u` under δ, with the
+//!   same `(distance, id)` ordering as `cc_graph::sssp::k_nearest` and the
+//!   `cc_apsp::knearest` machinery that computes these sets in-clique.
+//!
+//! Batches run through [`OracleService::run_batch`], which shards the query
+//! slice over the workspace's `cc_par` pool and reassembles responses **in
+//! query order** — so for a fixed snapshot the responses are bit-identical
+//! at every thread count (property-tested in `tests/serve_determinism.rs`).
+//! `KNearest` is the only query whose per-call work is superlinear in the
+//! row, so the service keeps a bounded LRU cache of fully-sorted hot rows;
+//! cache state affects hit-rate statistics and latency only, never a
+//! response.
+
+use cc_apsp::oracle::DistanceOracle;
+use cc_graph::sssp::k_nearest_from_dists;
+use cc_graph::{NodeId, Weight};
+use cc_par::ExecPolicy;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::snapshot::{fnv1a, Snapshot, SnapshotMeta};
+
+/// Handle to one registered snapshot inside an [`OracleService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotId(usize);
+
+/// A typed point query against one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// The distance estimate δ(u, v).
+    Dist(NodeId, NodeId),
+    /// The greedy route from `u` to `v` (node sequence, if delivered).
+    Route(NodeId, NodeId),
+    /// The `k` nodes nearest to `u` under δ, ordered by `(distance, id)`.
+    KNearest(NodeId, usize),
+}
+
+/// The answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Query::Dist`].
+    Dist(Weight),
+    /// Answer to [`Query::Route`]: the walked node sequence, or `None` when
+    /// greedy routing gave up.
+    Route(Option<Vec<NodeId>>),
+    /// Answer to [`Query::KNearest`].
+    KNearest(Vec<(NodeId, Weight)>),
+}
+
+/// Content fingerprint of a response sequence: hashes the responses in
+/// order, so two runs agree iff they produced the same responses in the
+/// same order. Used by the load generator and the CLI to check result
+/// determinism across thread counts without shipping the full response log.
+pub fn fingerprint(responses: &[Response]) -> u64 {
+    let mut bytes = Vec::new();
+    for r in responses {
+        match r {
+            Response::Dist(d) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&d.to_le_bytes());
+            }
+            Response::Route(path) => {
+                bytes.push(2);
+                match path {
+                    None => bytes.push(0),
+                    Some(nodes) => {
+                        bytes.push(1);
+                        bytes.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
+                        for &x in nodes {
+                            bytes.extend_from_slice(&(x as u64).to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Response::KNearest(rows) => {
+                bytes.push(3);
+                bytes.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+                for &(v, d) in rows {
+                    bytes.extend_from_slice(&(v as u64).to_le_bytes());
+                    bytes.extend_from_slice(&d.to_le_bytes());
+                }
+            }
+        }
+    }
+    fnv1a(&bytes)
+}
+
+/// Tuning knobs for [`OracleService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Capacity (in rows) of the per-snapshot sorted-row LRU cache backing
+    /// `KNearest` queries. `0` disables caching.
+    pub cache_rows: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { cache_rows: 64 }
+    }
+}
+
+/// Cache hit/miss counters for one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `KNearest` calls served from the sorted-row cache.
+    pub hits: u64,
+    /// `KNearest` calls that had to sort the row.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU of fully-sorted estimate rows. Recency is a logical clock
+/// stamp; eviction scans for the minimum stamp (caches are small — tens of
+/// rows — so the O(capacity) scan is cheaper than maintaining a list).
+struct RowCache {
+    cap: usize,
+    clock: u64,
+    rows: HashMap<NodeId, (u64, Vec<(NodeId, Weight)>)>,
+}
+
+impl RowCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            clock: 0,
+            rows: HashMap::with_capacity(cap),
+        }
+    }
+
+    fn get(&mut self, u: NodeId) -> Option<&Vec<(NodeId, Weight)>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.rows.get_mut(&u).map(|(stamp, row)| {
+            *stamp = clock;
+            &*row
+        })
+    }
+
+    fn insert(&mut self, u: NodeId, row: Vec<(NodeId, Weight)>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.rows.len() >= self.cap && !self.rows.contains_key(&u) {
+            if let Some(evict) = self
+                .rows
+                .iter()
+                .min_by_key(|(node, (stamp, _))| (*stamp, **node))
+                .map(|(node, _)| *node)
+            {
+                self.rows.remove(&evict);
+            }
+        }
+        self.clock += 1;
+        self.rows.insert(u, (self.clock, row));
+    }
+}
+
+/// One loaded snapshot: the oracle plus its serving-side state.
+struct Entry {
+    name: String,
+    version: u32,
+    meta: SnapshotMeta,
+    oracle: DistanceOracle,
+    cache: Mutex<RowCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The outcome of one [`OracleService::run_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One response per query, in query order.
+    pub responses: Vec<Response>,
+    /// Per-query service time in nanoseconds, in query order.
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock for the whole batch in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A registry of loaded snapshots plus the batched query engine over them.
+pub struct OracleService {
+    cfg: ServiceConfig,
+    entries: Vec<Entry>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl std::fmt::Debug for OracleService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleService")
+            .field("snapshots", &self.entries.len())
+            .field("cache_rows", &self.cfg.cache_rows)
+            .finish()
+    }
+}
+
+impl Default for OracleService {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl OracleService {
+    /// An empty service with the given tuning.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self {
+            cfg,
+            entries: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Convenience: a default-tuned service with `snapshot` registered as
+    /// `"default"`.
+    pub fn single(snapshot: Snapshot) -> (Self, SnapshotId) {
+        let mut service = Self::default();
+        let id = service.register("default", snapshot);
+        (service, id)
+    }
+
+    /// Loads a snapshot under `name`. Registering the same name again adds a
+    /// new *version*; [`OracleService::resolve`] always answers with the
+    /// newest one, so a refreshed estimate can be swapped in while the old
+    /// version stays queryable by id.
+    pub fn register(&mut self, name: &str, snapshot: Snapshot) -> SnapshotId {
+        let idx = self.entries.len();
+        let versions = self.by_name.entry(name.to_string()).or_default();
+        versions.push(idx);
+        self.entries.push(Entry {
+            name: name.to_string(),
+            version: versions.len() as u32,
+            meta: snapshot.meta,
+            oracle: DistanceOracle::new(snapshot.graph, snapshot.estimate),
+            cache: Mutex::new(RowCache::new(self.cfg.cache_rows)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+        SnapshotId(idx)
+    }
+
+    /// The newest version registered under `name`.
+    pub fn resolve(&self, name: &str) -> Option<SnapshotId> {
+        self.by_name
+            .get(name)
+            .and_then(|v| v.last())
+            .map(|&idx| SnapshotId(idx))
+    }
+
+    /// How many versions have been registered under `name`.
+    pub fn versions(&self, name: &str) -> usize {
+        self.by_name.get(name).map_or(0, Vec::len)
+    }
+
+    /// Total registered snapshots (all names, all versions).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no snapshot has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(name, version)` of a registered snapshot.
+    pub fn label(&self, id: SnapshotId) -> (&str, u32) {
+        let e = &self.entries[id.0];
+        (&e.name, e.version)
+    }
+
+    /// Provenance of a registered snapshot.
+    pub fn meta(&self, id: SnapshotId) -> &SnapshotMeta {
+        &self.entries[id.0].meta
+    }
+
+    /// Node count of a registered snapshot.
+    pub fn n(&self, id: SnapshotId) -> usize {
+        self.entries[id.0].oracle.graph().n()
+    }
+
+    /// Cache counters of a registered snapshot.
+    pub fn cache_stats(&self, id: SnapshotId) -> CacheStats {
+        let e = &self.entries[id.0];
+        CacheStats {
+            hits: e.hits.load(Ordering::Relaxed),
+            misses: e.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers one query. The response is a pure function of the snapshot
+    /// and the query — cache state never changes an answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id in the query is out of range for the snapshot
+    /// (callers own validation; the CLI checks before calling).
+    pub fn answer(&self, id: SnapshotId, query: &Query) -> Response {
+        let e = &self.entries[id.0];
+        match *query {
+            Query::Dist(u, v) => Response::Dist(e.oracle.query(u, v)),
+            Query::Route(u, v) => Response::Route(e.oracle.route(u, v)),
+            Query::KNearest(u, k) => Response::KNearest(self.k_nearest(e, u, k)),
+        }
+    }
+
+    /// The `k` nearest nodes to `u` under the estimate, through the hot-row
+    /// cache: a hit truncates the cached sorted row, a miss sorts the row
+    /// (the same `(distance, id)` order as `cc_graph::sssp::k_nearest`) and
+    /// caches it in full so any later `k` is a truncation.
+    fn k_nearest(&self, e: &Entry, u: NodeId, k: usize) -> Vec<(NodeId, Weight)> {
+        {
+            let mut cache = e.cache.lock().unwrap();
+            if let Some(row) = cache.get(u) {
+                e.hits.fetch_add(1, Ordering::Relaxed);
+                return row.iter().take(k).copied().collect();
+            }
+        }
+        e.misses.fetch_add(1, Ordering::Relaxed);
+        let estimate = e.oracle.estimate();
+        // Sort outside the lock; concurrent misses may duplicate the work
+        // but the row they compute is identical.
+        let full = k_nearest_from_dists(estimate.row(u), estimate.n());
+        let answer = full.iter().take(k).copied().collect();
+        e.cache.lock().unwrap().insert(u, full);
+        answer
+    }
+
+    /// Executes a batch of queries, sharded over the `cc_par` pool selected
+    /// by `exec`, timing each query individually. Responses come back in
+    /// query order regardless of the thread count, so batch results are
+    /// bit-identical across policies.
+    pub fn run_batch(&self, id: SnapshotId, queries: &[Query], exec: ExecPolicy) -> BatchOutcome {
+        let start = Instant::now();
+        let timed: Vec<(Response, u64)> = exec.map_shards_collect(queries.len(), |range| {
+            range
+                .map(|i| {
+                    let t = Instant::now();
+                    let response = self.answer(id, &queries[i]);
+                    (response, t.elapsed().as_nanos() as u64)
+                })
+                .collect()
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut responses = Vec::with_capacity(timed.len());
+        let mut latencies_ns = Vec::with_capacity(timed.len());
+        for (r, ns) in timed {
+            responses.push(r);
+            latencies_ns.push(ns);
+        }
+        BatchOutcome {
+            responses,
+            latencies_ns,
+            wall_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::graph::{Direction, Graph};
+    use cc_graph::{apsp, generators, sssp, INF};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact_snapshot(n: usize, seed: u64) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.15, 1..=30, &mut rng);
+        let exact = apsp::exact_apsp(&g);
+        Snapshot::new(
+            g,
+            exact,
+            SnapshotMeta {
+                algo: "exact".into(),
+                seed,
+                stretch_bound: 1.0,
+                rounds: 0,
+                source: "test".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn dist_matches_the_estimate_matrix() {
+        let snap = exact_snapshot(24, 1);
+        let expect = snap.estimate.clone();
+        let (service, id) = OracleService::single(snap);
+        for u in 0..24 {
+            for v in 0..24 {
+                assert_eq!(
+                    service.answer(id, &Query::Dist(u, v)),
+                    Response::Dist(expect.get(u, v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knearest_matches_sssp_on_exact_snapshot() {
+        let snap = exact_snapshot(30, 2);
+        let g = snap.graph.clone();
+        let (service, id) = OracleService::single(snap);
+        for u in 0..g.n() {
+            let expect = sssp::k_nearest(&g, u, 5);
+            assert_eq!(
+                service.answer(id, &Query::KNearest(u, 5)),
+                Response::KNearest(expect),
+                "node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_delivers_on_exact_snapshot() {
+        let snap = exact_snapshot(20, 3);
+        let (service, id) = OracleService::single(snap);
+        match service.answer(id, &Query::Route(0, 11)) {
+            Response::Route(Some(path)) => {
+                assert_eq!(path.first(), Some(&0));
+                assert_eq!(path.last(), Some(&11));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_counts_hits() {
+        let snap = exact_snapshot(26, 4);
+        let (service, id) = OracleService::single(snap);
+        let first = service.answer(id, &Query::KNearest(3, 4));
+        let again = service.answer(id, &Query::KNearest(3, 4));
+        let wider = service.answer(id, &Query::KNearest(3, 9));
+        assert_eq!(first, again);
+        if let (Response::KNearest(narrow), Response::KNearest(wide)) = (&first, &wider) {
+            assert_eq!(&wide[..4], &narrow[..]);
+        } else {
+            panic!("wrong response kinds");
+        }
+        let stats = service.cache_stats(id);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_row() {
+        let mut cache = RowCache::new(2);
+        cache.insert(0, vec![(0, 0)]);
+        cache.insert(1, vec![(1, 0)]);
+        assert!(cache.get(0).is_some()); // 0 is now more recent than 1
+        cache.insert(2, vec![(2, 0)]); // evicts 1
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_cache_disables_caching() {
+        let snap = exact_snapshot(16, 5);
+        let mut service = OracleService::new(ServiceConfig { cache_rows: 0 });
+        let id = service.register("default", snap);
+        let a = service.answer(id, &Query::KNearest(2, 3));
+        let b = service.answer(id, &Query::KNearest(2, 3));
+        assert_eq!(a, b);
+        let stats = service.cache_stats(id);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn registry_versions_resolve_to_newest() {
+        let mut service = OracleService::default();
+        let v1 = service.register("g", exact_snapshot(12, 6));
+        let v2 = service.register("g", exact_snapshot(14, 7));
+        let other = service.register("h", exact_snapshot(10, 8));
+        assert_eq!(service.resolve("g"), Some(v2));
+        assert_eq!(service.resolve("h"), Some(other));
+        assert_eq!(service.resolve("missing"), None);
+        assert_eq!(service.versions("g"), 2);
+        assert_eq!(service.len(), 3);
+        assert!(!service.is_empty());
+        assert_eq!(service.label(v1), ("g", 1));
+        assert_eq!(service.label(v2), ("g", 2));
+        // The old version stays queryable by id.
+        assert_eq!(service.n(v1), 12);
+        assert_eq!(service.n(v2), 14);
+    }
+
+    #[test]
+    fn batch_preserves_query_order_across_policies() {
+        let snap = exact_snapshot(32, 9);
+        let (service, id) = OracleService::single(snap);
+        let queries: Vec<Query> = (0..200)
+            .map(|i| match i % 3 {
+                0 => Query::Dist(i % 32, (i * 7) % 32),
+                1 => Query::Route(i % 32, (i * 5) % 32),
+                _ => Query::KNearest(i % 32, 1 + i % 6),
+            })
+            .collect();
+        let seq = service.run_batch(id, &queries, ExecPolicy::Seq);
+        assert_eq!(seq.responses.len(), queries.len());
+        assert_eq!(seq.latencies_ns.len(), queries.len());
+        for threads in [2, 4] {
+            let par = service.run_batch(id, &queries, ExecPolicy::with_threads(threads));
+            assert_eq!(par.responses, seq.responses, "threads={threads}");
+        }
+        // Spot-check one response against a direct answer.
+        assert_eq!(seq.responses[0], service.answer(id, &queries[0]));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_responses() {
+        let a = vec![Response::Dist(4), Response::Route(None)];
+        let b = vec![Response::Dist(5), Response::Route(None)];
+        let c = vec![Response::Dist(4), Response::Route(Some(vec![0, 1]))];
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_ne!(
+            fingerprint(&[Response::KNearest(vec![(1, 2)])]),
+            fingerprint(&[Response::KNearest(vec![(2, 1)])])
+        );
+    }
+
+    #[test]
+    fn unreachable_pairs_answer_inf_and_no_route() {
+        let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 1), (2, 3, 1)]);
+        let exact = apsp::exact_apsp(&g);
+        let snap = Snapshot::new(
+            g,
+            exact,
+            SnapshotMeta {
+                algo: "exact".into(),
+                seed: 0,
+                stretch_bound: 1.0,
+                rounds: 0,
+                source: "test".into(),
+            },
+        );
+        let (service, id) = OracleService::single(snap);
+        assert_eq!(service.answer(id, &Query::Dist(0, 3)), Response::Dist(INF));
+        assert_eq!(
+            service.answer(id, &Query::Route(0, 3)),
+            Response::Route(None)
+        );
+        // k-nearest only sees the reachable component.
+        assert_eq!(
+            service.answer(id, &Query::KNearest(0, 4)),
+            Response::KNearest(vec![(0, 0), (1, 1)])
+        );
+    }
+}

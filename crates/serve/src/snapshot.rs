@@ -1,0 +1,661 @@
+//! Versioned binary snapshots: the servable artifact of a pipeline run.
+//!
+//! A [`Snapshot`] packages everything a query node needs — the graph, the
+//! APSP estimate δ, and the run's provenance ([`SnapshotMeta`]) — into a
+//! single self-validating file (conventionally `*.ccsnap`):
+//!
+//! ```text
+//! magic "CCSNAP\0\n" (8 bytes)
+//! format version      u32
+//! section count       u32
+//! per section: tag u32 · payload length u64 · FNV-1a checksum u64 · payload
+//! ```
+//!
+//! All integers are little-endian. Three sections are defined (graph,
+//! estimate, metadata); each carries its own checksum so corruption is
+//! localized in the error. Serialization is canonical — the same snapshot
+//! always produces the same bytes — which is what the round-trip property
+//! test (`save → load → save` is bit-identical) pins down.
+
+use cc_graph::graph::{Direction, Graph};
+use cc_graph::{DistMatrix, NodeId, Weight};
+use std::path::Path;
+
+/// File magic: identifies a snapshot regardless of format version.
+pub const MAGIC: [u8; 8] = *b"CCSNAP\0\n";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SEC_GRAPH: u32 = 1;
+const SEC_ESTIMATE: u32 = 2;
+const SEC_META: u32 = 3;
+
+/// FNV-1a 64-bit hash; the per-section checksum (and the response
+/// fingerprint in [`crate::service`]).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Provenance of the run that produced a snapshot's estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Algorithm short-name (`thm11`, `exact`, …).
+    pub algo: String,
+    /// RNG seed the pipeline ran with.
+    pub seed: u64,
+    /// The stretch bound the run guarantees.
+    pub stretch_bound: f64,
+    /// Simulated Congested Clique rounds the run charged.
+    pub rounds: u64,
+    /// Human label of the workload (input path or generator spec).
+    pub source: String,
+}
+
+/// A servable pipeline artifact: graph + estimate + provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The graph queries are routed on.
+    pub graph: Graph,
+    /// The APSP estimate δ the oracle answers from.
+    pub estimate: DistMatrix,
+    /// Provenance of the producing run.
+    pub meta: SnapshotMeta,
+}
+
+/// Everything that can go wrong reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The input ended before a declared length was satisfied.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A section's payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// Which section failed (`"graph"`, `"estimate"`, `"meta"`).
+        section: &'static str,
+    },
+    /// Structurally invalid content (bad tag, bad dimensions, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a cc-serve snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            SnapshotError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated snapshot: needed {needed} bytes, {available} available"
+                )
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounded reader over the raw bytes, turning overruns into
+/// [`SnapshotError::Truncated`].
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("non-utf8 string".into()))
+    }
+}
+
+impl Snapshot {
+    /// Packages a graph and its estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate dimension differs from the graph's node count
+    /// (the same contract as [`cc_apsp::oracle::DistanceOracle::new`]).
+    pub fn new(graph: Graph, estimate: DistMatrix, meta: SnapshotMeta) -> Self {
+        assert_eq!(
+            graph.n(),
+            estimate.n(),
+            "snapshot estimate dimension mismatch"
+        );
+        Self {
+            graph,
+            estimate,
+            meta,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Serializes to the canonical byte form (see the [module docs](self)).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Graph section: n, direction, edge count, (u, v, w) triples. The
+        // edge list from `Graph::edges` is already deduped and sorted, so
+        // rebuilding through `Graph::from_edges` reproduces the CSR exactly.
+        let mut graph = Vec::new();
+        put_u64(&mut graph, self.graph.n() as u64);
+        graph.push(match self.graph.direction() {
+            Direction::Undirected => 0,
+            Direction::Directed => 1,
+        });
+        let edges = self.graph.edges();
+        put_u64(&mut graph, edges.len() as u64);
+        for (u, v, w) in edges {
+            put_u64(&mut graph, u as u64);
+            put_u64(&mut graph, v as u64);
+            put_u64(&mut graph, w);
+        }
+
+        // Estimate section: n then the row-major entries.
+        let mut estimate = Vec::with_capacity(8 + 8 * self.estimate.raw().len());
+        put_u64(&mut estimate, self.estimate.n() as u64);
+        for &d in self.estimate.raw() {
+            put_u64(&mut estimate, d);
+        }
+
+        // Meta section.
+        let mut meta = Vec::new();
+        put_str(&mut meta, &self.meta.algo);
+        put_str(&mut meta, &self.meta.source);
+        put_u64(&mut meta, self.meta.seed);
+        put_u64(&mut meta, self.meta.stretch_bound.to_bits());
+        put_u64(&mut meta, self.meta.rounds);
+
+        let sections = [
+            (SEC_GRAPH, graph),
+            (SEC_ESTIMATE, estimate),
+            (SEC_META, meta),
+        ];
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, sections.len() as u32);
+        for (tag, payload) in &sections {
+            put_u32(&mut out, *tag);
+            put_u64(&mut out, payload.len() as u64);
+            put_u64(&mut out, fnv1a(payload));
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Decodes a snapshot, validating magic, version, per-section checksums,
+    /// and structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Every decoding failure maps to a specific [`SnapshotError`] variant;
+    /// no input panics.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, SnapshotError> {
+        let mut cur = Cursor::new(data);
+        if cur.take(MAGIC.len())? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let section_count = cur.u32()?;
+        let mut graph_payload: Option<&[u8]> = None;
+        let mut estimate_payload: Option<&[u8]> = None;
+        let mut meta_payload: Option<&[u8]> = None;
+        for _ in 0..section_count {
+            let tag = cur.u32()?;
+            let len = cur.u64()? as usize;
+            let checksum = cur.u64()?;
+            let payload = cur.take(len)?;
+            let (slot, name) = match tag {
+                SEC_GRAPH => (&mut graph_payload, "graph"),
+                SEC_ESTIMATE => (&mut estimate_payload, "estimate"),
+                SEC_META => (&mut meta_payload, "meta"),
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "unknown section tag {other}"
+                    )))
+                }
+            };
+            if fnv1a(payload) != checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: name });
+            }
+            if slot.replace(payload).is_some() {
+                return Err(SnapshotError::Malformed(format!(
+                    "duplicate {name} section"
+                )));
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after the last section",
+                cur.remaining()
+            )));
+        }
+        // Decode the estimate first: its node count is self-bounding (a
+        // lying n fails the per-cell reads long before any n²-sized
+        // allocation). The graph decoder then validates its own n against it
+        // *before* building the CSR, so no length field in the file can
+        // trigger an allocation bigger than the file itself.
+        let estimate = decode_estimate(
+            estimate_payload
+                .ok_or_else(|| SnapshotError::Malformed("missing estimate section".into()))?,
+        )?;
+        let graph = decode_graph(
+            graph_payload
+                .ok_or_else(|| SnapshotError::Malformed("missing graph section".into()))?,
+            estimate.n(),
+        )?;
+        let meta = decode_meta(
+            meta_payload.ok_or_else(|| SnapshotError::Malformed("missing meta section".into()))?,
+        )?;
+        Ok(Snapshot {
+            graph,
+            estimate,
+            meta,
+        })
+    }
+
+    /// Writes the snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and decoding errors; see [`Snapshot::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&data)
+    }
+}
+
+fn decode_graph(payload: &[u8], expected_n: usize) -> Result<Graph, SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.u64()? as usize;
+    if n != expected_n {
+        return Err(SnapshotError::Malformed(format!(
+            "graph has {n} nodes but the estimate is {expected_n}×{expected_n}"
+        )));
+    }
+    let direction = match cur.u8()? {
+        0 => Direction::Undirected,
+        1 => Direction::Directed,
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "invalid direction byte {other}"
+            )))
+        }
+    };
+    let m = cur.u64()? as usize;
+    // Cap the pre-allocation by the bytes actually present (24 per edge): a
+    // lying length field must surface as Truncated, not a capacity panic.
+    let mut edges: Vec<(NodeId, NodeId, Weight)> = Vec::with_capacity(m.min(cur.remaining() / 24));
+    for _ in 0..m {
+        let u = cur.u64()? as usize;
+        let v = cur.u64()? as usize;
+        let w = cur.u64()?;
+        if u >= n || v >= n {
+            return Err(SnapshotError::Malformed(format!(
+                "edge ({u}, {v}) out of range for n={n}"
+            )));
+        }
+        edges.push((u, v, w));
+    }
+    if cur.remaining() != 0 {
+        return Err(SnapshotError::Malformed(
+            "trailing bytes in graph section".into(),
+        ));
+    }
+    Ok(Graph::from_edges(n, direction, &edges))
+}
+
+fn decode_estimate(payload: &[u8]) -> Result<DistMatrix, SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.u64()? as usize;
+    let cells = n
+        .checked_mul(n)
+        .ok_or_else(|| SnapshotError::Malformed("estimate dimension overflows".into()))?;
+    // As in decode_graph: never pre-allocate more than the payload can hold.
+    let mut data = Vec::with_capacity(cells.min(cur.remaining() / 8));
+    for _ in 0..cells {
+        data.push(cur.u64()?);
+    }
+    if cur.remaining() != 0 {
+        return Err(SnapshotError::Malformed(
+            "trailing bytes in estimate section".into(),
+        ));
+    }
+    Ok(DistMatrix::from_raw(n, data))
+}
+
+fn decode_meta(payload: &[u8]) -> Result<SnapshotMeta, SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let algo = cur.str()?;
+    let source = cur.str()?;
+    let seed = cur.u64()?;
+    let stretch_bound = f64::from_bits(cur.u64()?);
+    let rounds = cur.u64()?;
+    if cur.remaining() != 0 {
+        return Err(SnapshotError::Malformed(
+            "trailing bytes in meta section".into(),
+        ));
+    }
+    Ok(SnapshotMeta {
+        algo,
+        seed,
+        stretch_bound,
+        rounds,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::apsp;
+
+    fn sample() -> Snapshot {
+        let g = Graph::from_edges(
+            5,
+            Direction::Undirected,
+            &[(0, 1, 3), (1, 2, 1), (2, 3, 4), (3, 4, 2), (0, 4, 9)],
+        );
+        let exact = apsp::exact_apsp(&g);
+        Snapshot::new(
+            g,
+            exact,
+            SnapshotMeta {
+                algo: "exact".into(),
+                seed: 7,
+                stretch_bound: 1.0,
+                rounds: 12,
+                source: "unit-test".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_bytes(), bytes, "canonical form must be stable");
+    }
+
+    #[test]
+    fn round_trips_through_file() {
+        let snap = sample();
+        let path = std::env::temp_dir().join(format!("ccsnap_unit_{}.ccsnap", std::process::id()));
+        snap.save(&path).expect("save");
+        let back = Snapshot::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99; // version LE low byte
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let bytes = sample().to_bytes();
+        // Flip the very last byte (inside the meta payload).
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { section: "meta" })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    /// A syntactically valid frame around arbitrary section payloads (with
+    /// correct checksums), for crafting adversarial inputs.
+    fn frame(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, sections.len() as u32);
+        for (tag, payload) in sections {
+            put_u32(&mut out, *tag);
+            put_u64(&mut out, payload.len() as u64);
+            put_u64(&mut out, fnv1a(payload));
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    #[test]
+    fn lying_length_fields_error_instead_of_panicking() {
+        // A correctly-checksummed graph section declaring 2^60 edges with no
+        // edge bytes behind it: must decode to Truncated, not abort trying
+        // to pre-allocate the declared capacity.
+        let mut lying_graph = Vec::new();
+        put_u64(&mut lying_graph, 4); // n
+        lying_graph.push(0); // undirected
+        put_u64(&mut lying_graph, 1 << 60); // m — a lie
+        let mut meta = Vec::new();
+        put_str(&mut meta, "x");
+        put_str(&mut meta, "y");
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, 1.0f64.to_bits());
+        put_u64(&mut meta, 0);
+        // A well-formed 4×4 estimate so the graph decoder's dimension check
+        // passes and the lying edge count is actually reached.
+        let mut ok_estimate = Vec::new();
+        put_u64(&mut ok_estimate, 4);
+        for _ in 0..16 {
+            put_u64(&mut ok_estimate, 0);
+        }
+        let bytes = frame(&[
+            (SEC_GRAPH, lying_graph),
+            (SEC_ESTIMATE, ok_estimate),
+            (SEC_META, meta.clone()),
+        ]);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // Same for an estimate section declaring n = 2^31 (2^62 cells).
+        let mut ok_graph = Vec::new();
+        put_u64(&mut ok_graph, 4);
+        ok_graph.push(0);
+        put_u64(&mut ok_graph, 0);
+        let mut lying_estimate = Vec::new();
+        put_u64(&mut lying_estimate, 1 << 31);
+        let bytes = frame(&[
+            (SEC_GRAPH, ok_graph),
+            (SEC_ESTIMATE, lying_estimate),
+            (SEC_META, meta.clone()),
+        ]);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // A graph section declaring n = 2^40 with zero edges is internally
+        // consistent, but must be rejected against the estimate's (payload-
+        // bounded) dimension before any n-sized allocation happens.
+        let mut huge_graph = Vec::new();
+        put_u64(&mut huge_graph, 1 << 40);
+        huge_graph.push(0);
+        put_u64(&mut huge_graph, 0);
+        let mut tiny_estimate = Vec::new();
+        put_u64(&mut tiny_estimate, 1);
+        put_u64(&mut tiny_estimate, 0); // the single cell
+        let bytes = frame(&[
+            (SEC_GRAPH, huge_graph),
+            (SEC_ESTIMATE, tiny_estimate),
+            (SEC_META, meta),
+        ]);
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::Malformed(msg)) => assert!(msg.contains("nodes"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let truncated = SnapshotError::Truncated {
+            needed: 8,
+            available: 3,
+        };
+        assert!(truncated.to_string().contains("truncated"));
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(SnapshotError::ChecksumMismatch { section: "graph" }
+            .to_string()
+            .contains("graph"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics_at_construction() {
+        let g = Graph::from_edges(3, Direction::Undirected, &[(0, 1, 1)]);
+        Snapshot::new(
+            g,
+            DistMatrix::infinite(4),
+            SnapshotMeta {
+                algo: "x".into(),
+                seed: 0,
+                stretch_bound: 1.0,
+                rounds: 0,
+                source: String::new(),
+            },
+        );
+    }
+}

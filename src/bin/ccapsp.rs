@@ -1,11 +1,18 @@
 //! `ccapsp` — command-line front end for the Congested Clique APSP
-//! reproduction.
+//! reproduction and its serving layer.
 //!
 //! ```text
 //! ccapsp gen <family> <n> <seed> <out.edges>             generate a workload
 //! ccapsp run <graph.edges> [--algo A] [--seed S] [--threads T]
 //!                                                        run an algorithm + audit
 //! ccapsp info <graph.edges>                              graph statistics
+//! ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S]
+//!                 [--threads T] -o <out.ccsnap>          run pipeline → snapshot
+//! ccapsp query <snap.ccsnap> dist|route|knearest <u> <v|k>
+//!                                                        answer one query
+//! ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew S]
+//!                 [--k K] [--seed S] [--threads T] [--out FILE]
+//!                                                        load-generate → BENCH_serve.json
 //! ```
 //!
 //! Algorithms (`--algo`): `thm11` (default, Theorem 1.1), `thm81`
@@ -15,28 +22,41 @@
 //! `--threads T` pins the local execution policy (`1` = sequential, `0` =
 //! all cores, like `CC_THREADS`); without it the `CC_THREADS` environment
 //! default applies. The thread count never changes any output — estimates,
-//! bounds, and round counts are bit-identical across policies — only the
-//! wall-clock time.
+//! bounds, round counts, and served query results are bit-identical across
+//! policies — only the wall-clock time.
 
 use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
 use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
 use cc_baselines::{exact as exact_baseline, spanner_only};
 use cc_graph::generators::Family;
 use cc_graph::graph::Direction;
-use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph};
+use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph, INF};
 use cc_par::ExecPolicy;
+use cc_serve::loadgen::{drive, LoadSpec, Skew};
+use cc_serve::report::write_report;
+use cc_serve::service::{OracleService, Query, Response};
+use cc_serve::snapshot::{Snapshot, SnapshotMeta};
 use clique_sim::{Bandwidth, Clique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 
+const ALGOS: &str = "thm11|thm81|smalldiam|spanner|exact";
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ccapsp gen <family:{}> <n> <seed> <out.edges>\n  \
-         ccapsp run <graph.edges> [--algo thm11|thm81|smalldiam|spanner|exact] [--seed S] \
-         [--threads T]\n  \
-         ccapsp info <graph.edges>",
-        Family::ALL.map(|f| f.name()).join("|")
+        "usage:\n  \
+         ccapsp gen <family:{families}> <n> <seed> <out.edges>\n  \
+         ccapsp info <graph.edges>\n  \
+         ccapsp run <graph.edges> [--algo {ALGOS}] [--seed S] [--threads T]\n  \
+         ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S] [--threads T] \
+         -o <out.ccsnap>\n  \
+         ccapsp query <snap.ccsnap> dist|route|knearest <u> <v|k>\n  \
+         ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew uniform|zipf[:EXP]] \
+         [--k K] [--seed S] [--threads T] [--out FILE]\n\
+         hint: `ccapsp <subcommand>` with missing arguments prints this listing; \
+         see the README's \"Serving\" section for the snapshot workflow",
+        families = Family::ALL.map(|f| f.name()).join("|")
     );
     ExitCode::from(2)
 }
@@ -47,7 +67,14 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
-        _ => usage(),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}");
+            usage()
+        }
+        None => usage(),
     }
 }
 
@@ -79,6 +106,13 @@ fn load(path: &str) -> Result<Graph, ExitCode> {
     })
 }
 
+fn load_snapshot(path: &str) -> Result<Snapshot, ExitCode> {
+    Snapshot::load(path).map_err(|e| {
+        eprintln!("cannot load snapshot {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_info(args: &[String]) -> ExitCode {
     let [path] = args else { return usage() };
     let g = match load(path) {
@@ -104,6 +138,99 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// The arguments that are neither flags nor values of the given
+/// value-taking flags, in order.
+fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if value_flags.contains(&args[i].as_str()) {
+            i += 2; // skip the flag and its value
+        } else if args[i].starts_with('-') {
+            i += 1; // unknown flag without a value
+        } else {
+            out.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A numeric flag for the serving subcommands: absent → `default`,
+/// unparsable → a loud usage error (never a silent fallback).
+fn num_flag<T: std::str::FromStr + Copy>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, ExitCode> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| {
+            eprintln!("{name} expects a number, got {s:?}");
+            usage()
+        }),
+    }
+}
+
+/// Parses `--threads` (absent → the `CC_THREADS` environment default).
+fn parse_exec(args: &[String]) -> Result<ExecPolicy, ExitCode> {
+    match flag(args, "--threads") {
+        // `0` means hardware parallelism, matching `CC_THREADS=0`.
+        Some(t) => match t.parse::<usize>() {
+            Ok(0) => Ok(ExecPolicy::auto()),
+            Ok(k) => Ok(ExecPolicy::with_threads(k)),
+            Err(_) => {
+                eprintln!("--threads expects a number, got {t:?}");
+                Err(usage())
+            }
+        },
+        None => Ok(ExecPolicy::from_env()),
+    }
+}
+
+/// Runs one named algorithm over `g`, returning
+/// `(estimate, stretch bound, rounds)`; `None` for an unknown name.
+fn run_algo(g: &Graph, algo: &str, seed: u64, exec: ExecPolicy) -> Option<(DistMatrix, f64, u64)> {
+    let cfg = PipelineConfig {
+        seed,
+        exec,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.n();
+    Some(match algo {
+        "thm11" => {
+            let r = approximate_apsp(g, &cfg);
+            (r.estimate, r.stretch_bound, r.rounds)
+        }
+        "thm81" => {
+            let mut clique = Clique::new(n, Bandwidth::polylog(4, n));
+            let (est, bound) = apsp_large_bandwidth(&mut clique, g, &cfg, &mut rng);
+            (est, bound, clique.rounds())
+        }
+        "smalldiam" => {
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            let sd_cfg = SmallDiamConfig {
+                exec,
+                ..Default::default()
+            };
+            let (est, bound) = small_diameter_apsp(&mut clique, g, &sd_cfg, &mut rng);
+            (est, bound, clique.rounds())
+        }
+        "spanner" => {
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            let (est, bound) = spanner_only::spanner_only_apsp_with(&mut clique, g, &mut rng, exec);
+            (est, bound, clique.rounds())
+        }
+        "exact" => {
+            let mut clique = Clique::new(n, Bandwidth::standard(n));
+            let est = exact_baseline::exact_apsp_squaring_with(&mut clique, g, exec);
+            (est, 1.0, clique.rounds())
+        }
+        _ => return None,
+    })
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
@@ -116,67 +243,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let seed: u64 = flag(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    let exec = match flag(args, "--threads") {
-        // `0` means hardware parallelism, matching `CC_THREADS=0`.
-        Some(t) => match t.parse::<usize>() {
-            Ok(0) => ExecPolicy::auto(),
-            Ok(k) => ExecPolicy::with_threads(k),
-            Err(_) => {
-                eprintln!("--threads expects a number, got {t:?}");
-                return usage();
-            }
-        },
-        None => ExecPolicy::from_env(),
+    let exec = match parse_exec(args) {
+        Ok(exec) => exec,
+        Err(code) => return code,
     };
-    let cfg = PipelineConfig {
-        seed,
-        exec,
-        ..Default::default()
-    };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = g.n();
-
-    let (estimate, bound, rounds): (DistMatrix, f64, u64) = match algo {
-        "thm11" => {
-            let r = approximate_apsp(&g, &cfg);
-            (r.estimate, r.stretch_bound, r.rounds)
-        }
-        "thm81" => {
-            let mut clique = Clique::new(n, Bandwidth::polylog(4, n));
-            let (est, bound) = apsp_large_bandwidth(&mut clique, &g, &cfg, &mut rng);
-            (est, bound, clique.rounds())
-        }
-        "smalldiam" => {
-            let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let sd_cfg = SmallDiamConfig {
-                exec,
-                ..Default::default()
-            };
-            let (est, bound) = small_diameter_apsp(&mut clique, &g, &sd_cfg, &mut rng);
-            (est, bound, clique.rounds())
-        }
-        "spanner" => {
-            let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let (est, bound) =
-                spanner_only::spanner_only_apsp_with(&mut clique, &g, &mut rng, exec);
-            (est, bound, clique.rounds())
-        }
-        "exact" => {
-            let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let est = exact_baseline::exact_apsp_squaring_with(&mut clique, &g, exec);
-            (est, 1.0, clique.rounds())
-        }
-        other => {
-            eprintln!("unknown algorithm {other:?}");
-            return usage();
-        }
+    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec) else {
+        eprintln!("unknown algorithm {algo:?}");
+        return usage();
     };
 
     println!("algorithm      {algo}");
     println!("exec           {exec}");
     println!("rounds         {rounds}");
     println!("guarantee      {bound:.1}×");
-    if n <= 2048 {
+    if g.n() <= 2048 {
         let exact = apsp::exact_apsp_with(&g, exec);
         let stats = estimate.stretch_vs_with(&exact, exec);
         println!(
@@ -185,5 +265,259 @@ fn cmd_run(args: &[String]) -> ExitCode {
         );
         println!("valid          {}", stats.is_valid_approximation(bound));
     }
+    ExitCode::SUCCESS
+}
+
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let Some(out) = flag(args, "-o").or_else(|| flag(args, "--out")) else {
+        eprintln!("snapshot needs an output path (-o <out.ccsnap>)");
+        return usage();
+    };
+    let algo = flag(args, "--algo").unwrap_or("thm11");
+    let seed: u64 = match num_flag(args, "--seed", 1) {
+        Ok(seed) => seed,
+        Err(code) => return code,
+    };
+    let exec = match parse_exec(args) {
+        Ok(exec) => exec,
+        Err(code) => return code,
+    };
+    // Workload: either a positional edge-list path (accepted anywhere among
+    // the flags), or --n (+ --family) to generate one in-process.
+    let positional = match positionals(
+        args,
+        &[
+            "--n",
+            "--family",
+            "--algo",
+            "--seed",
+            "--threads",
+            "-o",
+            "--out",
+        ],
+    )[..]
+    {
+        [] => None,
+        [path] => Some(path),
+        ref many => {
+            eprintln!("snapshot takes at most one graph path, got {many:?}");
+            return usage();
+        }
+    };
+    if positional.is_some() && flag(args, "--n").is_some() {
+        eprintln!("snapshot takes either a graph path or --n, not both");
+        return usage();
+    }
+    let (g, source) = if let Some(path) = positional {
+        match load(path) {
+            Ok(g) => (g, path.to_string()),
+            Err(code) => return code,
+        }
+    } else {
+        let n = match flag(args, "--n") {
+            None => {
+                eprintln!("snapshot needs a graph: a <graph.edges> path or --n N [--family F]");
+                return usage();
+            }
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--n expects a number, got {s:?}");
+                    return usage();
+                }
+            },
+        };
+        let family_name = flag(args, "--family").unwrap_or("gnp");
+        let Some(family) = Family::ALL.iter().find(|f| f.name() == family_name) else {
+            eprintln!("unknown family {family_name:?}");
+            return usage();
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = family.generate(n, n as u64, &mut rng);
+        (g, format!("{family_name}(n={n},seed={seed})"))
+    };
+    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec) else {
+        eprintln!("unknown algorithm {algo:?}");
+        return usage();
+    };
+    let n = g.n();
+    let snapshot = Snapshot::new(
+        g,
+        estimate,
+        SnapshotMeta {
+            algo: algo.to_string(),
+            seed,
+            stretch_bound: bound,
+            rounds,
+            source,
+        },
+    );
+    let encoded = snapshot.to_bytes();
+    let bytes = encoded.len();
+    if let Err(e) = std::fs::write(out, &encoded) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out} ({n} nodes, algo {algo}, bound {bound:.1}×, {rounds} rounds, {bytes} bytes)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_node(s: &str, n: usize, what: &str) -> Result<usize, ExitCode> {
+    match s.parse::<usize>() {
+        Ok(v) if v < n => Ok(v),
+        Ok(v) => {
+            eprintln!("{what} {v} out of range for a {n}-node snapshot");
+            Err(ExitCode::FAILURE)
+        }
+        Err(_) => {
+            eprintln!("{what} expects a node id, got {s:?}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let [path, kind, rest @ ..] = args else {
+        return usage();
+    };
+    let snapshot = match load_snapshot(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let n = snapshot.n();
+    let (service, id) = OracleService::single(snapshot);
+    let query = match (kind.as_str(), rest) {
+        ("dist", [u, v]) => {
+            let (u, v) = match (parse_node(u, n, "u"), parse_node(v, n, "v")) {
+                (Ok(u), Ok(v)) => (u, v),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            Query::Dist(u, v)
+        }
+        ("route", [u, v]) => {
+            let (u, v) = match (parse_node(u, n, "u"), parse_node(v, n, "v")) {
+                (Ok(u), Ok(v)) => (u, v),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            Query::Route(u, v)
+        }
+        ("knearest", [u, k]) => {
+            let u = match parse_node(u, n, "u") {
+                Ok(u) => u,
+                Err(code) => return code,
+            };
+            let Ok(k) = k.parse::<usize>() else {
+                eprintln!("k expects a number, got {k:?}");
+                return ExitCode::FAILURE;
+            };
+            Query::KNearest(u, k.clamp(1, n))
+        }
+        _ => return usage(),
+    };
+    let meta = service.meta(id);
+    println!(
+        "snapshot       {} nodes, algo {}, bound {:.1}×, source {}",
+        n, meta.algo, meta.stretch_bound, meta.source
+    );
+    match service.answer(id, &query) {
+        Response::Dist(d) => match query {
+            Query::Dist(u, v) if d >= INF => println!("dist {u} -> {v}  unreachable"),
+            Query::Dist(u, v) => println!("dist {u} -> {v}  {d}"),
+            _ => unreachable!(),
+        },
+        Response::Route(None) => println!("route          gave up (unreachable or dead end)"),
+        Response::Route(Some(route)) => {
+            let hops = route.len() - 1;
+            let path_str: Vec<String> = route.iter().map(|x| x.to_string()).collect();
+            println!("route          {} hops: {}", hops, path_str.join(" -> "));
+        }
+        Response::KNearest(rows) => {
+            println!("k-nearest      {} entries", rows.len());
+            for (v, d) in rows {
+                println!("  {v:<6} {d}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench_serve(args: &[String]) -> ExitCode {
+    let flags = [
+        "--queries",
+        "--batch",
+        "--skew",
+        "--k",
+        "--seed",
+        "--threads",
+        "--out",
+    ];
+    let [path] = positionals(args, &flags)[..] else {
+        return usage();
+    };
+    let snapshot = match load_snapshot(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let exec = match parse_exec(args) {
+        Ok(exec) => exec,
+        Err(code) => return code,
+    };
+    let skew = match flag(args, "--skew") {
+        None => Skew::Zipf(1.0),
+        Some("uniform") => Skew::Uniform,
+        Some("zipf") => Skew::Zipf(1.0),
+        Some(s) => match s.strip_prefix("zipf:").and_then(|e| e.parse::<f64>().ok()) {
+            Some(exp) if exp.is_finite() && exp >= 0.0 => Skew::Zipf(exp),
+            _ => {
+                eprintln!("--skew expects uniform|zipf[:EXPONENT], got {s:?}");
+                return usage();
+            }
+        },
+    };
+    let defaults = LoadSpec::default();
+    let spec = match (
+        num_flag(args, "--queries", defaults.queries),
+        num_flag(args, "--batch", defaults.batch),
+        num_flag(args, "--k", defaults.k),
+        num_flag(args, "--seed", defaults.seed),
+    ) {
+        (Ok(queries), Ok(batch), Ok(k), Ok(seed)) => LoadSpec {
+            queries,
+            batch,
+            skew,
+            k,
+            seed,
+            ..defaults
+        },
+        (Err(code), ..) | (_, Err(code), ..) | (_, _, Err(code), _) | (.., Err(code)) => {
+            return code
+        }
+    };
+    let out = flag(args, "--out").unwrap_or("BENCH_serve.json");
+    let n = snapshot.n();
+    let (service, id) = OracleService::single(snapshot);
+    let result = drive(&service, id, &spec, exec);
+    println!("snapshot       {n} nodes, algo {}", service.meta(id).algo);
+    println!("exec           {exec}");
+    println!(
+        "queries        {} (batch {}, {:?})",
+        result.queries, spec.batch, spec.skew
+    );
+    println!("wall           {:.1} ms", result.wall_ms);
+    println!("throughput     {:.0} qps", result.qps);
+    println!(
+        "latency        p50 {:.2} µs / p95 {:.2} µs / p99 {:.2} µs",
+        result.p50_us, result.p95_us, result.p99_us
+    );
+    println!("cache hit      {:.1}%", result.cache_hit_rate * 100.0);
+    println!("fingerprint    {:016x}", result.fingerprint);
+    let record = result.to_record("serve_mixed", n);
+    if let Err(e) = write_report(out, &[record]) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote          {out}");
     ExitCode::SUCCESS
 }

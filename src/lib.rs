@@ -9,6 +9,7 @@ pub use cc_apsp;
 pub use cc_baselines;
 pub use cc_graph;
 pub use cc_matrix;
+pub use cc_serve;
 pub use clique_sim;
 
 use cc_graph::{apsp, generators::Family, DistMatrix, Graph, StretchStats};

@@ -21,8 +21,17 @@ struct TempEdges(PathBuf);
 
 impl TempEdges {
     fn new(tag: &str) -> Self {
+        Self::with_ext(tag, "edges")
+    }
+
+    fn with_ext(tag: &str, ext: &str) -> Self {
         let mut p = std::env::temp_dir();
-        p.push(format!("ccapsp_smoke_{}_{}.edges", tag, std::process::id()));
+        p.push(format!(
+            "ccapsp_smoke_{}_{}.{}",
+            tag,
+            std::process::id(),
+            ext
+        ));
         TempEdges(p)
     }
 
@@ -100,6 +109,122 @@ fn every_documented_family_generates() {
         let info = ccapsp(&["info", edges.as_str()]);
         assert!(info.status.success(), "info on {family} failed: {info:?}");
     }
+}
+
+#[test]
+fn snapshot_query_bench_serve_round_trip() {
+    let snap = TempEdges::with_ext("serving", "ccsnap");
+    let report = TempEdges::with_ext("serving", "json");
+
+    let made = ccapsp(&["snapshot", "--n", "48", "--seed", "7", "-o", snap.as_str()]);
+    assert!(made.status.success(), "snapshot failed: {made:?}");
+    assert!(
+        stdout(&made).contains("48 nodes"),
+        "snapshot output: {}",
+        stdout(&made)
+    );
+
+    let dist = ccapsp(&["query", snap.as_str(), "dist", "0", "5"]);
+    assert!(dist.status.success(), "query dist failed: {dist:?}");
+    assert!(
+        stdout(&dist).contains("dist 0 -> 5"),
+        "dist output: {}",
+        stdout(&dist)
+    );
+
+    let route = ccapsp(&["query", snap.as_str(), "route", "0", "5"]);
+    assert!(route.status.success(), "query route failed: {route:?}");
+    assert!(
+        stdout(&route).contains("route"),
+        "route output: {}",
+        stdout(&route)
+    );
+
+    let knn = ccapsp(&["query", snap.as_str(), "knearest", "0", "4"]);
+    assert!(knn.status.success(), "query knearest failed: {knn:?}");
+    assert!(
+        stdout(&knn).contains("k-nearest      4 entries"),
+        "knearest output: {}",
+        stdout(&knn)
+    );
+
+    // Serve the snapshot at two thread counts: results (the printed
+    // fingerprint) must match; only timings may differ.
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "4"] {
+        let bench = ccapsp(&[
+            "bench-serve",
+            snap.as_str(),
+            "--queries",
+            "3000",
+            "--threads",
+            threads,
+            "--seed",
+            "7",
+            "--out",
+            report.as_str(),
+        ]);
+        assert!(bench.status.success(), "bench-serve failed: {bench:?}");
+        let out = stdout(&bench);
+        assert!(out.contains("qps"), "bench output: {out}");
+        let fp = out
+            .lines()
+            .find(|l| l.starts_with("fingerprint"))
+            .unwrap_or_else(|| panic!("no fingerprint line in: {out}"))
+            .to_string();
+        fingerprints.push(fp);
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "served results diverged across thread counts"
+    );
+
+    let json = std::fs::read_to_string(report.as_str()).expect("BENCH_serve.json written");
+    for key in [
+        "\"schema\"",
+        "\"qps\"",
+        "\"p50_us\"",
+        "\"p99_us\"",
+        "\"cache_hit_rate\"",
+    ] {
+        assert!(json.contains(key), "report missing {key}: {json}");
+    }
+}
+
+#[test]
+fn query_rejects_out_of_range_nodes() {
+    let snap = TempEdges::with_ext("range", "ccsnap");
+    assert!(
+        ccapsp(&["snapshot", "--n", "16", "--seed", "1", "-o", snap.as_str()])
+            .status
+            .success()
+    );
+    // Out-of-range node is a runtime failure (1), not a usage error (2).
+    assert_eq!(
+        ccapsp(&["query", snap.as_str(), "dist", "0", "99"])
+            .status
+            .code(),
+        Some(1)
+    );
+    // A corrupt snapshot is reported cleanly.
+    std::fs::write(snap.as_str(), b"not a snapshot").unwrap();
+    let bad = ccapsp(&["query", snap.as_str(), "dist", "0", "1"]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("magic"));
+}
+
+#[test]
+fn usage_lists_every_subcommand() {
+    let none = ccapsp(&[]);
+    assert_eq!(none.status.code(), Some(2));
+    let usage = String::from_utf8_lossy(&none.stderr).into_owned();
+    for sub in ["gen", "info", "run", "snapshot", "query", "bench-serve"] {
+        assert!(
+            usage.contains(&format!("ccapsp {sub}")),
+            "usage missing {sub}: {usage}"
+        );
+    }
+    assert!(usage.contains("hint:"), "usage has no hint: {usage}");
 }
 
 #[test]
