@@ -12,7 +12,9 @@
 //! is purely the iteration count — exactly the quantity the paper improves.
 
 use cc_graph::Graph;
-use cc_matrix::filtered::FilteredMatrix;
+use cc_matrix::engine::KernelMode;
+use cc_matrix::filtered::{filtered_power_engine, FilteredMatrix};
+use cc_par::ExecPolicy;
 use clique_sim::Clique;
 
 /// Filtered-squaring k-nearest: covers `hop_target` hops with
@@ -28,6 +30,24 @@ pub fn doubling_k_nearest(
         let start = FilteredMatrix::from_graph(g, k);
         cc_apsp::knearest::iterated(clique, &start, 2, doubling_iterations(hop_target))
     })
+}
+
+/// The same filtered-squaring recurrence run **locally** through the kernel
+/// engine (no clique, no round charges): `⌈log₂ hop_target⌉` engine-backed
+/// square-and-filter steps. A filtered matrix is `k`-sparse per row, so the
+/// engine's auto-dispatch runs these on the sparse kernel; bounded-weight
+/// instances use the compact tiled kernel when a step fills in. Bit-identical
+/// to [`doubling_k_nearest`]'s output (property: the distributed bins
+/// machinery computes exactly `filter_k(Ā²)` per step — Lemma 5.4).
+pub fn doubling_k_nearest_central(
+    g: &Graph,
+    k: usize,
+    hop_target: usize,
+    kernel: KernelMode,
+    exec: ExecPolicy,
+) -> FilteredMatrix {
+    let start = FilteredMatrix::from_graph(g, k);
+    filtered_power_engine(&start, doubling_iterations(hop_target), kernel, exec)
 }
 
 /// Number of squarings the baseline needs for `hop_target` hops.
@@ -58,6 +78,19 @@ mod tests {
         let out = doubling_k_nearest(&mut clique, &g, k, k.next_power_of_two());
         for u in 0..g.n() {
             assert_eq!(out.row(u), &sssp::k_nearest(&g, u, k)[..], "node {u}");
+        }
+    }
+
+    #[test]
+    fn central_engine_doubling_matches_clique_doubling() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::gnp_connected(48, 0.12, 1..=15, &mut rng);
+        let (k, hop_target) = (5, 8);
+        let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+        let distributed = doubling_k_nearest(&mut clique, &g, k, hop_target);
+        for kernel in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+            let central = doubling_k_nearest_central(&g, k, hop_target, kernel, ExecPolicy::Seq);
+            assert_eq!(central, distributed, "kernel={kernel}");
         }
     }
 

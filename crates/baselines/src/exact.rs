@@ -9,6 +9,7 @@
 
 use cc_graph::{DistMatrix, Graph};
 use cc_matrix::dense;
+use cc_matrix::engine::{self, KernelMode};
 use cc_par::ExecPolicy;
 use clique_sim::Clique;
 
@@ -26,13 +27,27 @@ pub fn exact_apsp_squaring(clique: &mut Clique, g: &Graph) -> DistMatrix {
 }
 
 /// [`exact_apsp_squaring`] under an explicit [`ExecPolicy`] for the local
-/// min-plus squarings.
+/// min-plus squarings, with kernel dispatch from `CC_KERNEL`.
 pub fn exact_apsp_squaring_with(clique: &mut Clique, g: &Graph, exec: ExecPolicy) -> DistMatrix {
+    exact_apsp_squaring_kernel(clique, g, exec, KernelMode::from_env())
+}
+
+/// [`exact_apsp_squaring_with`] under an explicit [`KernelMode`]: every
+/// squaring runs through the kernel engine, which re-plans per multiply —
+/// the first squarings of an adjacency matrix dispatch sparse, the later
+/// (filled-in) ones dispatch to the tiled dense kernel. Output and round
+/// charges are bit-identical across modes.
+pub fn exact_apsp_squaring_kernel(
+    clique: &mut Clique,
+    g: &Graph,
+    exec: ExecPolicy,
+    kernel: KernelMode,
+) -> DistMatrix {
     clique.phase("exact-squaring", |clique| {
         let mut cur = dense::adjacency_matrix(g);
         let per_product = product_rounds(g.n());
         loop {
-            let next = dense::distance_product_with(&cur, &cur, exec);
+            let next = engine::min_plus(&cur, &cur, kernel, exec);
             clique.charge("minplus-square (CKK+19 n^(1/3))", per_product);
             if next == cur {
                 return next;

@@ -1,9 +1,11 @@
 //! `perf` — thread-scaling wall-clock benchmark emitting `BENCH_kernels.json`.
 //!
 //! Times the parallel hot kernels (per-source Dijkstra APSP, dense min-plus
-//! product, the full Theorem 1.1 pipeline) at thread counts 1/2/4 and writes
-//! the records machine-readably (see [`cc_bench::report`]) so the perf
-//! trajectory is tracked from this PR onward.
+//! product, the full Theorem 1.1 pipeline, and the min-plus **kernel
+//! engine** — naive vs tiled vs sparse vs auto-dispatch, plus per-family
+//! auto rows on power-law/grid/geometric workloads) at thread counts 1/2/4
+//! and writes the records machine-readably (see [`cc_bench::report`]) so the
+//! perf trajectory is tracked from this PR onward.
 //!
 //! ```sh
 //! cargo bench -p cc-bench --bench perf            # full sizes
@@ -19,7 +21,8 @@ use cc_bench::experiments::fast;
 use cc_bench::report::{time_best_of, write_report, BenchRecord};
 use cc_graph::generators::Family;
 use cc_graph::{apsp, DistMatrix};
-use cc_matrix::dense::{adjacency_matrix, distance_product_with};
+use cc_matrix::dense::{adjacency_matrix, distance_product_tiled_with, distance_product_with};
+use cc_matrix::engine::{self, KernelChoice, KernelMode, KernelPlan};
 use cc_par::ExecPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,6 +117,138 @@ fn main() {
             wall_ms,
             rounds: result.rounds,
             extras: Vec::new(),
+        });
+    }
+
+    // Kernel 4: the min-plus kernel engine at n = 512 — always full size,
+    // so BENCH_kernels.json records the tiled-vs-naive comparison the
+    // engine exists for. Operands: a fully dense distance matrix (the shape
+    // of skeleton/closure products; the engine's auto path dispatches it to
+    // the compact tiled kernel) and the sparse adjacency matrix itself
+    // (auto dispatches it to the sparse kernel).
+    let n_kern = 512;
+    let kern_reps = if fast() { 1 } else { 3 };
+    let adj = adjacency_matrix(&workload(n_kern, 11));
+    let (dense_mat, _) = engine::closure(&adj, KernelMode::Auto, ExecPolicy::from_env());
+    let kernel_code = |c: KernelChoice| match c {
+        KernelChoice::DenseTiled => 0.0,
+        KernelChoice::DenseCompact => 1.0,
+        KernelChoice::SparseSharded => 2.0,
+    };
+    let dense_reference = distance_product_with(&dense_mat, &dense_mat, ExecPolicy::Seq);
+    let sparse_reference = distance_product_with(&adj, &adj, ExecPolicy::Seq);
+    type KernelRun<'a> = (
+        &'a str,
+        Box<dyn Fn() -> DistMatrix + 'a>,
+        &'a DistMatrix,
+        f64,
+    );
+    for threads in THREADS {
+        let exec = ExecPolicy::with_threads(threads);
+        let runs: [KernelRun<'_>; 4] = [
+            (
+                "minplus_naive",
+                Box::new(|| distance_product_with(&dense_mat, &dense_mat, exec)),
+                &dense_reference,
+                -1.0,
+            ),
+            (
+                "minplus_tiled",
+                Box::new(|| distance_product_tiled_with(&dense_mat, &dense_mat, exec)),
+                &dense_reference,
+                0.0,
+            ),
+            (
+                "minplus_auto",
+                Box::new(|| engine::min_plus(&dense_mat, &dense_mat, KernelMode::Auto, exec)),
+                &dense_reference,
+                kernel_code(KernelPlan::choose(&dense_mat, &dense_mat, KernelMode::Auto).choice),
+            ),
+            (
+                "minplus_sparse",
+                Box::new(|| engine::min_plus(&adj, &adj, KernelMode::Sparse, exec)),
+                &sparse_reference,
+                2.0,
+            ),
+        ];
+        for (name, run, reference, code) in runs {
+            let (wall_ms, out) = time_best_of(kern_reps, &*run);
+            assert_eq!(&out, reference, "{name} diverged at {threads} threads");
+            println!("{name:<17} n={n_kern:>4} threads={threads}  {wall_ms:>9.2} ms");
+            records.push(BenchRecord {
+                experiment: name.into(),
+                n: n_kern,
+                threads,
+                wall_ms,
+                rounds: 0,
+                extras: vec![("kernel_code".into(), code)],
+            });
+        }
+    }
+
+    // Kernel 5: engine auto-dispatch across realistic topologies — one
+    // adjacency self-product per family (power-law, grid, geometric), with
+    // the measured fill and the kernel the plan picked recorded alongside.
+    let n_fam = if fast() { 160 } else { 256 };
+    for family in [Family::PowerLaw, Family::Grid, Family::Geometric] {
+        let mut rng = StdRng::seed_from_u64(n_fam as u64);
+        let g = family.generate(n_fam, n_fam as u64, &mut rng);
+        let a = adjacency_matrix(&g);
+        let reference = distance_product_with(&a, &a, ExecPolicy::Seq);
+        let plan = KernelPlan::choose(&a, &a, KernelMode::Auto);
+        let exec = ExecPolicy::with_threads(2);
+        let (wall_ms, out) = time_best_of(kern_reps, || {
+            engine::min_plus(&a, &a, KernelMode::Auto, exec)
+        });
+        assert_eq!(out, reference, "engine diverged on {}", family.name());
+        let name = format!("minplus_auto_{}", family.name());
+        println!(
+            "{name:<17} n={:>4} threads=2  {wall_ms:>9.2} ms  ({}, fill {:.3})",
+            g.n(),
+            plan.choice,
+            plan.fill_a
+        );
+        records.push(BenchRecord {
+            experiment: name,
+            n: g.n(),
+            threads: 2,
+            wall_ms,
+            rounds: 0,
+            extras: vec![
+                ("kernel_code".into(), kernel_code(plan.choice)),
+                ("fill".into(), plan.fill_a),
+            ],
+        });
+    }
+
+    // Kernel 6: the doubling baseline's filtered-squaring recurrence run
+    // locally through the engine (k-sparse rows → sparse kernel), the
+    // serving-side counterpart of `cc_baselines::doubling` — cross-checked
+    // against the dense reference power.
+    {
+        let g = workload(n_fam, 12);
+        let (k, hops) = (16usize, 16usize);
+        let reference = cc_matrix::filtered::filtered_power_reference(
+            &cc_matrix::filtered::FilteredMatrix::from_graph(&g, k).to_dense(),
+            k,
+            hops as u64,
+        );
+        let exec = ExecPolicy::with_threads(2);
+        let (wall_ms, out) = time_best_of(kern_reps, || {
+            cc_baselines::doubling::doubling_k_nearest_central(&g, k, hops, KernelMode::Auto, exec)
+        });
+        assert_eq!(out, reference, "central doubling diverged");
+        println!(
+            "doubling_central  n={:>4} threads=2  {wall_ms:>9.2} ms  (k={k}, {hops} hops)",
+            g.n()
+        );
+        records.push(BenchRecord {
+            experiment: "doubling_central".into(),
+            n: g.n(),
+            threads: 2,
+            wall_ms,
+            rounds: 0,
+            extras: vec![("k".into(), k as f64)],
         });
     }
 

@@ -38,10 +38,11 @@ use crate::estimate::ApspResult;
 use crate::params::{self, hopset_beta_bound};
 use crate::reduction::estimate_diameter;
 use crate::scaling::{combine, combined_bound, weight_scaling};
-use crate::skeleton::{build_skeleton_with, extend_estimate, extension_bound};
+use crate::skeleton::{build_skeleton_kernel, extend_estimate, extension_bound};
 use crate::smalldiam::{small_diameter_apsp, SmallDiamConfig};
 use crate::spanner::{bootstrap_k, spanner_apsp_estimate_with};
 use crate::{hopset, knearest};
+use cc_matrix::engine::KernelMode;
 use cc_matrix::filtered::{select_k_smallest, FilteredMatrix};
 
 /// Configuration for the APSP pipelines.
@@ -66,6 +67,12 @@ pub struct PipelineConfig {
     /// ledger — is bit-identical across policies. Defaults to the
     /// `CC_THREADS` environment default ([`ExecPolicy::from_env`]).
     pub exec: ExecPolicy,
+    /// Min-plus kernel dispatch for every engine-backed product on the hot
+    /// path (skeleton matmuls, per-scale instances). Like [`Self::exec`]
+    /// this is wall-clock only — estimates, bounds, rounds, and ledger are
+    /// bit-identical across modes. Defaults to the `CC_KERNEL` environment
+    /// default ([`KernelMode::from_env`]).
+    pub kernel: KernelMode,
 }
 
 impl Default for PipelineConfig {
@@ -76,6 +83,7 @@ impl Default for PipelineConfig {
             max_reductions: None,
             k0: None,
             exec: ExecPolicy::from_env(),
+            kernel: KernelMode::from_env(),
         }
     }
 }
@@ -125,6 +133,7 @@ pub fn apsp_large_bandwidth(
             forced_reductions: cfg.max_reductions,
             wide_bandwidth: true,
             exec: cfg.exec,
+            kernel: cfg.kernel,
         };
         let scale_count = scaled.len();
         let available = clique.bandwidth().words_per_message();
@@ -163,7 +172,7 @@ pub fn apsp_large_bandwidth(
             select_k_smallest(eta.row(u).iter().copied().enumerate(), sqrt_n)
         });
         let tilde = FilteredMatrix::from_rows(n, sqrt_n, tilde_rows);
-        let sk = build_skeleton_with(clique, &combined, &tilde, rng, cfg.exec);
+        let sk = build_skeleton_kernel(clique, &combined, &tilde, rng, cfg.exec, cfg.kernel);
         clique.broadcast_volume("broadcast-final-skeleton", 3 * sk.graph.m());
         let delta_gs = apsp::exact_apsp_with(&sk.graph, cfg.exec);
         let eta_final = extend_estimate(clique, &sk, &tilde, &delta_gs);
@@ -195,7 +204,7 @@ pub fn theorem_1_1(
         let rows = knearest::k_nearest_exact(clique, g, k0, h, i);
 
         // Step 2: bandwidth-reduction skeleton (Lemma 3.4, a = 1).
-        let sk = build_skeleton_with(clique, g, &rows, rng, cfg.exec);
+        let sk = build_skeleton_kernel(clique, g, &rows, rng, cfg.exec, cfg.kernel);
         let ns = sk.size();
 
         // Step 3: simulate the Theorem 8.1 algorithm for the skeleton graph

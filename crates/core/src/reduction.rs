@@ -13,12 +13,13 @@
 //!    `7·(2b−1) ≤ 15√a`.
 
 use cc_graph::{DistMatrix, Graph, Weight, INF};
+use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 
 use crate::params::{hopset_beta_bound, iterations_for_hops, reduction_h_k};
-use crate::skeleton::{build_skeleton_with, extend_estimate, extension_bound};
+use crate::skeleton::{build_skeleton_kernel, extend_estimate, extension_bound};
 use crate::smalldiam::small_graph_apsp_with;
 use crate::{hopset, knearest};
 
@@ -68,7 +69,7 @@ pub fn reduce_once(
 }
 
 /// [`reduce_once`] under an explicit [`ExecPolicy`] for the local kernels
-/// (skeleton product, skeleton APSP).
+/// (skeleton product, skeleton APSP), with kernel dispatch from `CC_KERNEL`.
 pub fn reduce_once_with(
     clique: &mut Clique,
     g: &Graph,
@@ -76,6 +77,21 @@ pub fn reduce_once_with(
     a_bound: f64,
     rng: &mut StdRng,
     exec: ExecPolicy,
+) -> ReductionOutcome {
+    reduce_once_kernel(clique, g, delta, a_bound, rng, exec, KernelMode::from_env())
+}
+
+/// [`reduce_once_with`] under an explicit [`KernelMode`] for the engine's
+/// min-plus dispatch. Outputs are bit-identical across modes.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_once_kernel(
+    clique: &mut Clique,
+    g: &Graph,
+    delta: &DistMatrix,
+    a_bound: f64,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+    kernel: KernelMode,
 ) -> ReductionOutcome {
     let n = g.n();
     clique.phase("factor-reduction", |clique| {
@@ -90,7 +106,7 @@ pub fn reduce_once_with(
         let rows = knearest::k_nearest_exact(clique, &hs.combined, k, h, iterations);
 
         // Step 3: skeleton from exact k-nearest sets (a = 1).
-        let sk = build_skeleton_with(clique, g, &rows, rng, exec);
+        let sk = build_skeleton_kernel(clique, g, &rows, rng, exec, kernel);
 
         // Step 4: APSP on the skeleton via a spanner with b ≈ √a
         // (Corollary 7.1), then extend.

@@ -19,8 +19,9 @@
 
 use cc_graph::graph::{Graph, GraphBuilder};
 use cc_graph::{log2_ceil, wadd, DistMatrix, NodeId, Weight, INF};
+use cc_matrix::engine::{sparse_product_planned, KernelMode};
 use cc_matrix::filtered::FilteredMatrix;
-use cc_matrix::sparse::{sparse_product_with, SparseMatrix};
+use cc_matrix::sparse::SparseMatrix;
 use cc_par::ExecPolicy;
 use clique_sim::{Clique, Msg};
 use rand::rngs::StdRng;
@@ -103,8 +104,9 @@ pub fn build_skeleton(
     build_skeleton_with(clique, g, tilde, rng, ExecPolicy::from_env())
 }
 
-/// [`build_skeleton`] under an explicit [`ExecPolicy`] (the step-3c sparse
-/// min-plus product is row-partitioned across workers).
+/// [`build_skeleton`] under an explicit [`ExecPolicy`] (the step-3c
+/// min-plus product runs through the kernel engine under the `CC_KERNEL`
+/// dispatch default).
 ///
 /// # Panics
 ///
@@ -115,6 +117,26 @@ pub fn build_skeleton_with(
     tilde: &FilteredMatrix,
     rng: &mut StdRng,
     exec: ExecPolicy,
+) -> Skeleton {
+    build_skeleton_kernel(clique, g, tilde, rng, exec, KernelMode::from_env())
+}
+
+/// [`build_skeleton_with`] under an explicit [`KernelMode`]: the step-3c
+/// product `X ⋆ Y` is dispatched by the kernel engine (dense-tiled vs
+/// sparse-sharded per the measured densities, or as forced by `kernel`).
+/// The result — skeleton graph, round charges, everything — is
+/// bit-identical for every mode.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch.
+pub fn build_skeleton_kernel(
+    clique: &mut Clique,
+    g: &Graph,
+    tilde: &FilteredMatrix,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+    kernel: KernelMode,
 ) -> Skeleton {
     let n = g.n();
     assert_eq!(tilde.n(), n, "tilde-set dimension mismatch");
@@ -209,7 +231,8 @@ pub fn build_skeleton_with(
         // min-plus multiplication (Theorem 6.1 round model). ρX ≤ k,
         // ρY ≤ |S|, ρXY ≤ |S|²/n.
         let rho_hint = (centers.len() as f64).powi(2) / n as f64;
-        let product = sparse_product_with(&x_mat, &y_mat, Some(rho_hint), exec);
+        let (product, _choice) =
+            sparse_product_planned(&x_mat, &y_mat, Some(rho_hint), kernel, exec);
         clique.charge("skeleton-matmul (Thm 6.1)", product.rounds);
 
         let mut gs = GraphBuilder::undirected(centers.len());

@@ -13,16 +13,16 @@
 
 use cc_graph::graph::Graph;
 use cc_graph::{apsp, DistMatrix};
+use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
 use clique_sim::Clique;
 use rand::rngs::StdRng;
 
 use crate::params::{hopset_beta_bound, iterations_for_hops, REDUCTION_PROFITABLE_ABOVE};
-use crate::reduction::{estimate_diameter, reduce_once_with};
-use crate::skeleton::{build_skeleton_with, extend_estimate, extension_bound};
+use crate::reduction::{estimate_diameter, reduce_once_kernel};
+use crate::skeleton::{build_skeleton_kernel, extend_estimate, extension_bound};
 use crate::spanner::{
-    baswana_sen, bootstrap_k, spanner_apsp_estimate, spanner_apsp_estimate_with,
-    SPANNER_CONSTRUCTION_ROUNDS,
+    baswana_sen, bootstrap_k, spanner_apsp_estimate_with, SPANNER_CONSTRUCTION_ROUNDS,
 };
 use crate::{hopset, knearest};
 
@@ -44,6 +44,10 @@ pub struct SmallDiamConfig {
     /// bit-identical across policies. Defaults to the `CC_THREADS`
     /// environment default.
     pub exec: ExecPolicy,
+    /// Min-plus kernel dispatch for the engine-backed products (skeleton
+    /// matmul). Wall-clock only; outputs are bit-identical across modes.
+    /// Defaults to the `CC_KERNEL` environment default.
+    pub kernel: KernelMode,
 }
 
 /// Corollary 7.1: an APSP estimate for a *small* graph `gs` (a skeleton
@@ -93,6 +97,7 @@ pub fn small_graph_apsp_with(
 /// `√n`-nearest sets with `h = 2` and `i = ⌈log₂ β⌉` iterations, reduce to
 /// a skeleton, solve it (3-spanner broadcast, or whole-graph broadcast when
 /// `wide`), and extend. Returns `(estimate, bound 7·l)`.
+#[allow(clippy::too_many_arguments)]
 fn sqrt_n_stage(
     clique: &mut Clique,
     g: &Graph,
@@ -101,6 +106,7 @@ fn sqrt_n_stage(
     wide_bandwidth: bool,
     rng: &mut StdRng,
     exec: ExecPolicy,
+    kernel: KernelMode,
 ) -> (DistMatrix, f64) {
     let n = g.n();
     let sqrt_n = ((n as f64).sqrt().floor() as usize).max(2);
@@ -108,7 +114,7 @@ fn sqrt_n_stage(
     let beta = hopset_beta_bound(a, estimate_diameter(delta));
     let iterations = iterations_for_hops(2, beta);
     let rows = knearest::k_nearest_exact(clique, &hs.combined, sqrt_n, 2, iterations);
-    let sk = build_skeleton_with(clique, g, &rows, rng, exec);
+    let sk = build_skeleton_kernel(clique, g, &rows, rng, exec, kernel);
     let (delta_gs, l) = if wide_bandwidth {
         // CC[log³n]: broadcast the entire skeleton graph.
         clique.broadcast_volume("broadcast-skeleton-graph", 3 * sk.graph.m());
@@ -135,9 +141,29 @@ pub fn apsp_o_loglog(
     wide_bandwidth: bool,
     rng: &mut StdRng,
 ) -> (DistMatrix, f64) {
+    apsp_o_loglog_with(
+        clique,
+        g,
+        wide_bandwidth,
+        rng,
+        ExecPolicy::from_env(),
+        KernelMode::from_env(),
+    )
+}
+
+/// [`apsp_o_loglog`] with the wall-clock knobs explicit, matching the
+/// sibling pipeline entry points: outputs are bit-identical for every
+/// `(exec, kernel)`.
+pub fn apsp_o_loglog_with(
+    clique: &mut Clique,
+    g: &Graph,
+    wide_bandwidth: bool,
+    rng: &mut StdRng,
+    exec: ExecPolicy,
+    kernel: KernelMode,
+) -> (DistMatrix, f64) {
     clique.phase("section-3.2", |clique| {
-        let exec = ExecPolicy::from_env();
-        let boot = spanner_apsp_estimate(clique, g, bootstrap_k(g.n()), rng);
+        let boot = spanner_apsp_estimate_with(clique, g, bootstrap_k(g.n()), rng, exec);
         sqrt_n_stage(
             clique,
             g,
@@ -146,6 +172,7 @@ pub fn apsp_o_loglog(
             wide_bandwidth,
             rng,
             exec,
+            kernel,
         )
     })
 }
@@ -175,7 +202,7 @@ pub fn small_diameter_apsp(
         // finite n, where a starts below the profitability threshold, this
         // keeps forced runs monotone.)
         let step = |clique: &mut Clique, delta: &mut DistMatrix, a: &mut f64, rng: &mut StdRng| {
-            let out = reduce_once_with(clique, g, delta, *a, rng, cfg.exec);
+            let out = reduce_once_kernel(clique, g, delta, *a, rng, cfg.exec, cfg.kernel);
             let mut est = out.estimate;
             est.entrywise_min(delta);
             *delta = est;
@@ -196,7 +223,16 @@ pub fn small_diameter_apsp(
         }
 
         // Final stage: exact √n-nearest, skeleton, and skeleton APSP.
-        sqrt_n_stage(clique, g, &delta, a, cfg.wide_bandwidth, rng, cfg.exec)
+        sqrt_n_stage(
+            clique,
+            g,
+            &delta,
+            a,
+            cfg.wide_bandwidth,
+            rng,
+            cfg.exec,
+            cfg.kernel,
+        )
     })
 }
 

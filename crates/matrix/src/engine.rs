@@ -1,0 +1,617 @@
+//! The min-plus **kernel engine**: one front door for every distance
+//! product in the workspace, with per-multiply auto-dispatch between the
+//! cache-blocked dense kernel, its compact bounded-entry variant, and the
+//! sharded sparse kernel.
+//!
+//! Every pipeline in the paper bottoms out in min-plus products — the
+//! Theorem 7.1 skeleton squaring, the small-diameter path, and the doubling
+//! baseline all spend most of their work there — and the right kernel
+//! depends on the operands: adjacency-shaped matrices are extremely sparse,
+//! post-closure distance matrices are fully dense, and the weight-scaled
+//! instances of Lemma 8.1 have entries bounded well below 32 bits. The
+//! engine measures what it is given (sampled density, exact entry bounds)
+//! and picks per multiply:
+//!
+//! | choice | kernel | picked when |
+//! |---|---|---|
+//! | [`KernelChoice::SparseSharded`] | [`crate::sparse`] row shards | `fill(A)·fill(B) ≤ 1/16` (sampled) |
+//! | [`KernelChoice::DenseCompact`] | tiled kernel over `u32` | dense, and all finite entries ≤ [`COMPACT_MAX_ENTRY`] |
+//! | [`KernelChoice::DenseTiled`] | tiled kernel over `u64` | dense, wide entries |
+//!
+//! The dispatch can be overridden with [`KernelMode::Dense`] /
+//! [`KernelMode::Sparse`] — threaded through `PipelineConfig` and
+//! `ccapsp run --kernel {auto,dense,sparse}` — or process-wide with the
+//! `CC_KERNEL` environment variable (the [`KernelMode::from_env`] default).
+//!
+//! # Bit-identical outputs
+//!
+//! All three kernels compute the exact entrywise minimum over the same
+//! candidate set, so the engine's output is **bit-identical** for every
+//! mode, tile size, and thread count — kernel selection is purely a
+//! wall-clock decision. The golden-conformance suite and
+//! `tests/kernel_props.rs` pin this contract.
+
+use crate::dense::{self, tile_size, tiled_kernel, transpose_raw, TropicalEntry};
+use crate::sparse::{cdkl_rounds, sparse_product_with, SparseMatrix, SparseProduct};
+use cc_graph::{DistMatrix, NodeId, Weight, INF};
+use cc_par::ExecPolicy;
+use std::sync::OnceLock;
+
+/// How many rows of each operand the dispatcher samples (evenly strided)
+/// when estimating density.
+const DENSITY_SAMPLE_ROWS: usize = 64;
+
+/// Sparse kernel cutoff: auto-dispatch picks the sparse kernel when the
+/// product of the operands' sampled fill fractions is at most this. The
+/// sparse kernel does `≈ fill(A)·fill(B)·n³` work with a constant factor a
+/// few times worse than the tiled kernel's, so 1/16 leaves a safe margin.
+pub const SPARSE_FILL_CUTOFF: f64 = 1.0 / 16.0;
+
+/// The compact (`u32`) kernel's infinity sentinel — the `u32` kernel's own
+/// `TOP`, so the mapping here and the kernel's saturation point can never
+/// drift apart.
+const COMPACT_TOP: u32 = <u32 as TropicalEntry>::TOP;
+
+/// Largest finite entry the compact kernel accepts: chosen so the sum of
+/// two finite entries stays strictly below the `u32` infinity sentinel,
+/// keeping the compact kernel bit-identical to the wide one.
+pub const COMPACT_MAX_ENTRY: u64 = ((COMPACT_TOP - 1) / 2) as u64;
+
+/// Which kernel family a multiply is asked to use. `Auto` measures the
+/// operands; `Dense`/`Sparse` force the family (the tiled-vs-compact split
+/// inside `Dense` is still decided by the entry bound, which is a pure
+/// representation detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Density-sampling dispatch (the default).
+    Auto,
+    /// Always the cache-blocked dense kernel.
+    Dense,
+    /// Always the sharded sparse kernel.
+    Sparse,
+}
+
+impl KernelMode {
+    /// Parses a CLI/env spelling: `auto`, `dense`, or `sparse`.
+    pub fn parse(s: &str) -> Option<KernelMode> {
+        match s.trim() {
+            "auto" => Some(KernelMode::Auto),
+            "dense" => Some(KernelMode::Dense),
+            "sparse" => Some(KernelMode::Sparse),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default, read from `CC_KERNEL` once and cached:
+    /// `dense`/`sparse` force a family, unset or anything else means
+    /// [`KernelMode::Auto`].
+    pub fn from_env() -> KernelMode {
+        static CACHED: OnceLock<KernelMode> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            std::env::var("CC_KERNEL")
+                .ok()
+                .and_then(|v| KernelMode::parse(&v))
+                .unwrap_or(KernelMode::Auto)
+        })
+    }
+
+    /// Machine-readable name (`auto` / `dense` / `sparse`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Auto => "auto",
+            KernelMode::Dense => "dense",
+            KernelMode::Sparse => "sparse",
+        }
+    }
+}
+
+impl Default for KernelMode {
+    /// [`KernelMode::from_env`]: the `CC_KERNEL` environment default.
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelMode::parse(s).ok_or_else(|| format!("unknown kernel mode {s:?} (auto|dense|sparse)"))
+    }
+}
+
+/// The concrete kernel a plan resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Cache-blocked tiled kernel over `u64` entries.
+    DenseTiled,
+    /// Tiled kernel over `u32` entries (all finite entries of both operands
+    /// are at most [`COMPACT_MAX_ENTRY`] — the bounded-entry structure of
+    /// the paper's weight-scaled instances).
+    DenseCompact,
+    /// Row-sharded sparse kernel ([`crate::sparse`]).
+    SparseSharded,
+}
+
+impl KernelChoice {
+    /// Machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelChoice::DenseTiled => "dense-tiled",
+            KernelChoice::DenseCompact => "dense-compact",
+            KernelChoice::SparseSharded => "sparse-sharded",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One multiply's dispatch decision: what was measured and which kernel
+/// runs. Plans are cheap (`O(n)` sampled entries plus, on the dense path,
+/// one `O(n²)` bound scan — negligible next to the `O(n³)` multiply) and
+/// are recomputed **per multiply**, so e.g. repeated squaring migrates from
+/// the sparse to the dense kernel as the matrix fills in.
+///
+/// ```
+/// use cc_graph::DistMatrix;
+/// use cc_matrix::engine::{KernelChoice, KernelMode, KernelPlan};
+///
+/// // A filled small-weight matrix dispatches to the compact tiled kernel…
+/// let mut a = DistMatrix::infinite(8);
+/// for u in 0..8 {
+///     for v in 0..8 {
+///         a.set(u, v, 1 + (u + v) as u64);
+///     }
+/// }
+/// let plan = KernelPlan::choose(&a, &a, KernelMode::Auto);
+/// assert_eq!(plan.choice, KernelChoice::DenseCompact);
+///
+/// // …while a nearly-empty matrix (only the diagonal is finite)
+/// // dispatches to the sparse kernel.
+/// let empty = DistMatrix::infinite(8);
+/// let plan = KernelPlan::choose(&empty, &empty, KernelMode::Auto);
+/// assert_eq!(plan.choice, KernelChoice::SparseSharded);
+///
+/// // Explicit modes override the measurement.
+/// let forced = KernelPlan::choose(&empty, &empty, KernelMode::Dense);
+/// assert!(forced.choice != KernelChoice::SparseSharded);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPlan {
+    /// The mode the caller requested.
+    pub mode: KernelMode,
+    /// The kernel the plan resolved to.
+    pub choice: KernelChoice,
+    /// Sampled fill fraction (finite entries / n²) of the left operand.
+    pub fill_a: f64,
+    /// Sampled fill fraction of the right operand.
+    pub fill_b: f64,
+    /// Tile size the dense kernels will use (`CC_TILE`).
+    pub tile: usize,
+}
+
+impl KernelPlan {
+    /// Plans one multiply `A ⋆ B` under `mode`; see the type-level docs for
+    /// the dispatch rule.
+    pub fn choose(a: &DistMatrix, b: &DistMatrix, mode: KernelMode) -> KernelPlan {
+        let fill_a = sampled_fill(a);
+        let fill_b = sampled_fill(b);
+        let choice = match mode {
+            KernelMode::Sparse => KernelChoice::SparseSharded,
+            KernelMode::Dense => dense_choice(a, b),
+            KernelMode::Auto => {
+                if fill_a * fill_b <= SPARSE_FILL_CUTOFF {
+                    KernelChoice::SparseSharded
+                } else {
+                    dense_choice(a, b)
+                }
+            }
+        };
+        KernelPlan {
+            mode,
+            choice,
+            fill_a,
+            fill_b,
+            tile: tile_size(),
+        }
+    }
+}
+
+/// Sampled fraction of finite (`< INF`) entries, over up to
+/// [`DENSITY_SAMPLE_ROWS`] evenly strided rows.
+fn sampled_fill(m: &DistMatrix) -> f64 {
+    let n = m.n();
+    if n == 0 {
+        return 0.0;
+    }
+    let sample = n.min(DENSITY_SAMPLE_ROWS);
+    let mut finite = 0usize;
+    let mut seen = 0usize;
+    for s in 0..sample {
+        // `s·n/sample` spreads the sample over the whole index range even
+        // when `sample` does not divide `n` (a plain `n/sample` stride
+        // would sample a prefix and mis-plan half-empty matrices).
+        let row = m.row(s * n / sample);
+        finite += row.iter().filter(|&&w| w < INF).count();
+        seen += n;
+    }
+    finite as f64 / seen.max(1) as f64
+}
+
+/// Inside the dense family: compact when every finite entry of both
+/// operands fits the `u32` kernel's exactness bound.
+fn dense_choice(a: &DistMatrix, b: &DistMatrix) -> KernelChoice {
+    if compact_eligible(a) && compact_eligible(b) {
+        KernelChoice::DenseCompact
+    } else {
+        KernelChoice::DenseTiled
+    }
+}
+
+/// Whether every entry is either infinite or at most [`COMPACT_MAX_ENTRY`].
+fn compact_eligible(m: &DistMatrix) -> bool {
+    m.raw().iter().all(|&w| w >= INF || w <= COMPACT_MAX_ENTRY)
+}
+
+/// The engine's distance product `A ⋆ B`: plans the multiply under `mode`
+/// and runs the chosen kernel. Output is bit-identical to
+/// [`dense::distance_product`] for every mode.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn min_plus(a: &DistMatrix, b: &DistMatrix, mode: KernelMode, exec: ExecPolicy) -> DistMatrix {
+    min_plus_planned(a, b, &KernelPlan::choose(a, b, mode), exec)
+}
+
+/// [`min_plus`] with a precomputed [`KernelPlan`].
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn min_plus_planned(
+    a: &DistMatrix,
+    b: &DistMatrix,
+    plan: &KernelPlan,
+    exec: ExecPolicy,
+) -> DistMatrix {
+    assert_eq!(a.n(), b.n(), "distance product dimension mismatch");
+    let n = a.n();
+    match plan.choice {
+        KernelChoice::DenseTiled => dense::distance_product_tiled_opts(a, b, exec, plan.tile),
+        KernelChoice::DenseCompact => {
+            // A plan may be reused after its operands changed (the fields
+            // are public); re-verify the compact bound — `w as u32` would
+            // silently truncate wide entries — and fall back to the wide
+            // tiled kernel if it no longer holds. Same bits either way.
+            if !(compact_eligible(a) && compact_eligible(b)) {
+                return dense::distance_product_tiled_opts(a, b, exec, plan.tile);
+            }
+            let a32 = to_compact(a.raw());
+            let bt32 = to_compact(&transpose_raw(n, b.raw()));
+            let c32 = tiled_kernel::<u32>(n, &a32, &bt32, exec, plan.tile);
+            from_compact(n, &c32)
+        }
+        KernelChoice::SparseSharded => {
+            let s = dense_to_sparse(a);
+            let t = dense_to_sparse(b);
+            sparse_to_dense(&sparse_product_with(&s, &t, None, exec).matrix)
+        }
+    }
+}
+
+/// `A^h` through the engine: binary exponentiation where every multiply is
+/// re-planned (so squaring an adjacency-shaped matrix starts sparse and
+/// migrates to the dense kernel as it fills in). `A^0` is the tropical
+/// identity. Bit-identical to [`dense::power`].
+pub fn power(a: &DistMatrix, h: u64, mode: KernelMode, exec: ExecPolicy) -> DistMatrix {
+    dense::power_by(a, h, |x, y| min_plus(x, y, mode, exec))
+}
+
+/// Exact APSP by repeated engine squaring until fixpoint; returns the
+/// distance matrix and the number of squarings. Bit-identical to
+/// [`dense::closure`].
+pub fn closure(a: &DistMatrix, mode: KernelMode, exec: ExecPolicy) -> (DistMatrix, usize) {
+    dense::closure_by(a, |x, y| min_plus(x, y, mode, exec))
+}
+
+/// A sparse product routed through the engine: when the operands are dense
+/// enough (or `mode` forces it), the multiply runs on the tiled dense
+/// kernel and the result is re-sparsified; otherwise the sharded sparse
+/// kernel runs directly. Returns the [`SparseProduct`] — matrix, densities,
+/// and CDKL21 round charge all **identical** for every mode (the charge is
+/// computed from measured densities, never from the kernel that ran) —
+/// plus the [`KernelChoice`] that was made.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn sparse_product_planned(
+    s: &SparseMatrix,
+    t: &SparseMatrix,
+    rho_out_hint: Option<f64>,
+    mode: KernelMode,
+    exec: ExecPolicy,
+) -> (SparseProduct, KernelChoice) {
+    assert_eq!(s.n(), t.n(), "sparse product dimension mismatch");
+    let n = s.n();
+    let fill_s = s.density() / n.max(1) as f64;
+    let fill_t = t.density() / n.max(1) as f64;
+    let go_dense = match mode {
+        KernelMode::Dense => true,
+        KernelMode::Sparse => false,
+        KernelMode::Auto => fill_s * fill_t > SPARSE_FILL_CUTOFF,
+    };
+    if !go_dense {
+        return (
+            sparse_product_with(s, t, rho_out_hint, exec),
+            KernelChoice::SparseSharded,
+        );
+    }
+    let a = sparse_to_dense(s);
+    let b = sparse_to_dense(t);
+    let plan = KernelPlan {
+        mode,
+        choice: dense_choice(&a, &b),
+        fill_a: fill_s,
+        fill_b: fill_t,
+        tile: tile_size(),
+    };
+    let c = min_plus_planned(&a, &b, &plan, exec);
+    let out = dense_to_sparse(&c);
+    let rho_s = s.density();
+    let rho_t = t.density();
+    let rho_out = out.density().max(rho_out_hint.unwrap_or(0.0));
+    let rounds = cdkl_rounds(n, rho_s, rho_t, rho_out);
+    (
+        SparseProduct {
+            matrix: out,
+            densities: (rho_s, rho_t, rho_out),
+            rounds,
+        },
+        plan.choice,
+    )
+}
+
+/// Dense → sparse: finite entries only, per-row in column order (the same
+/// canonical shape [`crate::sparse`] produces).
+fn dense_to_sparse(m: &DistMatrix) -> SparseMatrix {
+    let n = m.n();
+    let rows: Vec<Vec<(NodeId, Weight)>> = (0..n)
+        .map(|u| {
+            m.row(u)
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, w)| w < INF)
+                .collect()
+        })
+        .collect();
+    SparseMatrix::from_rows(n, rows)
+}
+
+/// Sparse → dense: missing entries become `∞` (no implicit diagonal).
+fn sparse_to_dense(s: &SparseMatrix) -> DistMatrix {
+    let n = s.n();
+    let mut m = DistMatrix::from_raw(n, vec![INF; n * n]);
+    for u in 0..n {
+        for &(v, w) in s.row(u) {
+            m.set(u, v, w);
+        }
+    }
+    m
+}
+
+/// `u64` tropical data → the compact `u32` representation (`≥ INF` maps to
+/// the `u32` sentinel; callers must have checked [`COMPACT_MAX_ENTRY`]).
+fn to_compact(src: &[Weight]) -> Vec<u32> {
+    src.iter()
+        .map(|&w| if w >= INF { COMPACT_TOP } else { w as u32 })
+        .collect()
+}
+
+/// Compact result → `u64` tropical data (`≥` the `u32` sentinel maps back
+/// to `INF`).
+fn from_compact(n: usize, src: &[u32]) -> DistMatrix {
+    let data: Vec<Weight> = src
+        .iter()
+        .map(|&w| if w >= COMPACT_TOP { INF } else { w as u64 })
+        .collect();
+    DistMatrix::from_raw(n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{adjacency_matrix, distance_product};
+    use cc_graph::graph::{Direction, Graph};
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, fill: f64, max_w: Weight, seed: u64) -> DistMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<Weight> = (0..n * n)
+            .map(|_| {
+                if rng.gen_bool(fill) {
+                    rng.gen_range(0..=max_w)
+                } else {
+                    INF
+                }
+            })
+            .collect();
+        DistMatrix::from_raw(n, data)
+    }
+
+    #[test]
+    fn every_mode_matches_naive_reference() {
+        for (seed, fill, max_w) in [(1u64, 0.05, 40), (2, 0.5, 40), (3, 0.9, INF - 1)] {
+            let a = random_matrix(19, fill, max_w, seed);
+            let b = random_matrix(19, fill, max_w, seed + 50);
+            let naive = distance_product(&a, &b);
+            for mode in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+                let out = min_plus(&a, &b, mode, ExecPolicy::Seq);
+                assert_eq!(out, naive, "seed={seed} fill={fill} mode={mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_tracks_density() {
+        let sparse = random_matrix(64, 0.02, 30, 9);
+        let dense = random_matrix(64, 0.8, 30, 10);
+        assert_eq!(
+            KernelPlan::choose(&sparse, &sparse, KernelMode::Auto).choice,
+            KernelChoice::SparseSharded
+        );
+        let plan = KernelPlan::choose(&dense, &dense, KernelMode::Auto);
+        assert_eq!(plan.choice, KernelChoice::DenseCompact);
+        assert!(plan.fill_a > 0.5, "fill_a = {}", plan.fill_a);
+    }
+
+    #[test]
+    fn sampled_fill_covers_the_whole_row_range() {
+        // Regression: first half empty, second half fully dense, at an n
+        // where a truncating `n / sample` stride would sample only the
+        // empty prefix and report fill ≈ 0.
+        let n = 127;
+        let mut data = vec![INF; n * n];
+        for u in (n / 2)..n {
+            for v in 0..n {
+                data[u * n + v] = 3;
+            }
+        }
+        let m = DistMatrix::from_raw(n, data);
+        let fill = KernelPlan::choose(&m, &m, KernelMode::Auto).fill_a;
+        assert!(
+            (0.3..=0.7).contains(&fill),
+            "half-dense matrix sampled as fill {fill}"
+        );
+    }
+
+    #[test]
+    fn stale_compact_plan_falls_back_to_the_wide_kernel() {
+        // A plan chosen for bounded operands, reused after an entry grew
+        // past the compact bound, must not truncate.
+        let mut a = DistMatrix::infinite(6);
+        for u in 0..6 {
+            for v in 0..6 {
+                a.set(u, v, 2);
+            }
+        }
+        let plan = KernelPlan::choose(&a, &a, KernelMode::Dense);
+        assert_eq!(plan.choice, KernelChoice::DenseCompact);
+        a.set(0, 1, COMPACT_MAX_ENTRY + 7); // would truncate under `as u32`
+        let out = min_plus_planned(&a, &a, &plan, ExecPolicy::Seq);
+        assert_eq!(out, distance_product(&a, &a));
+    }
+
+    #[test]
+    fn wide_entries_disable_the_compact_kernel() {
+        let mut wide = random_matrix(16, 0.8, 30, 11);
+        wide.set(3, 4, COMPACT_MAX_ENTRY + 1);
+        assert_eq!(
+            KernelPlan::choose(&wide, &wide, KernelMode::Dense).choice,
+            KernelChoice::DenseTiled
+        );
+        // Still bit-identical.
+        let naive = distance_product(&wide, &wide);
+        assert_eq!(
+            min_plus(&wide, &wide, KernelMode::Dense, ExecPolicy::Seq),
+            naive
+        );
+    }
+
+    #[test]
+    fn compact_boundary_entries_round_trip() {
+        // Entries at exactly the compact bound still compute exactly.
+        let mut a = DistMatrix::infinite(3);
+        a.set(0, 1, COMPACT_MAX_ENTRY);
+        a.set(1, 2, COMPACT_MAX_ENTRY);
+        let plan = KernelPlan::choose(&a, &a, KernelMode::Dense);
+        assert_eq!(plan.choice, KernelChoice::DenseCompact);
+        let out = min_plus_planned(&a, &a, &plan, ExecPolicy::Seq);
+        assert_eq!(out.get(0, 2), 2 * COMPACT_MAX_ENTRY);
+        assert_eq!(out, distance_product(&a, &a));
+    }
+
+    #[test]
+    fn engine_power_matches_dense_power() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut edges = Vec::new();
+        for u in 0..14usize {
+            for v in (u + 1)..14 {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v, rng.gen_range(1..40u64)));
+                }
+            }
+        }
+        let g = Graph::from_edges(14, Direction::Undirected, &edges);
+        let a = adjacency_matrix(&g);
+        for h in [0u64, 1, 3, 6] {
+            let reference = crate::dense::power(&a, h);
+            for mode in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+                assert_eq!(
+                    power(&a, h, mode, ExecPolicy::Seq),
+                    reference,
+                    "h={h} mode={mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_closure_matches_dense_closure() {
+        let a = random_matrix(12, 0.3, 50, 13);
+        let (reference, ref_sq) = crate::dense::closure(&a);
+        for mode in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+            let (out, sq) = closure(&a, mode, ExecPolicy::Seq);
+            assert_eq!(out, reference, "mode={mode}");
+            assert_eq!(sq, ref_sq, "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn sparse_product_planned_is_mode_invariant() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mk = |rng: &mut rand::rngs::StdRng, per_row: usize| {
+            let rows = (0..20)
+                .map(|_| {
+                    (0..per_row)
+                        .map(|_| (rng.gen_range(0..20), rng.gen_range(0..100u64)))
+                        .collect()
+                })
+                .collect();
+            SparseMatrix::from_rows(20, rows)
+        };
+        let s = mk(&mut rng, 12);
+        let t = mk(&mut rng, 9);
+        let (reference, _) =
+            sparse_product_planned(&s, &t, Some(3.0), KernelMode::Sparse, ExecPolicy::Seq);
+        for mode in [KernelMode::Auto, KernelMode::Dense] {
+            let (out, _) = sparse_product_planned(&s, &t, Some(3.0), mode, ExecPolicy::Seq);
+            assert_eq!(out.matrix, reference.matrix, "mode={mode}");
+            assert_eq!(out.densities, reference.densities, "mode={mode}");
+            assert_eq!(out.rounds, reference.rounds, "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn kernel_mode_parses_and_prints() {
+        assert_eq!(KernelMode::parse("dense"), Some(KernelMode::Dense));
+        assert_eq!(KernelMode::parse(" sparse "), Some(KernelMode::Sparse));
+        assert_eq!(KernelMode::parse("auto"), Some(KernelMode::Auto));
+        assert_eq!(KernelMode::parse("fast"), None);
+        assert_eq!(KernelMode::Dense.to_string(), "dense");
+        assert_eq!("auto".parse::<KernelMode>(), Ok(KernelMode::Auto));
+        assert!("bogus".parse::<KernelMode>().is_err());
+    }
+}

@@ -142,6 +142,47 @@ pub fn filtered_power_reference(a: &DistMatrix, k: usize, h: u64) -> FilteredMat
     FilteredMatrix::from_dense(&crate::dense::power(a, h), k)
 }
 
+/// One square-and-filter step through the kernel engine:
+/// `filter_k(F ⋆ F)` for a filtered matrix `F`.
+///
+/// This is the step the engine is built for: a filtered matrix is `k`-sparse
+/// per row, so the rows feed the engine's sparse entry point directly —
+/// `O(n·k²)`-ish work with **no** dense `n²` materialization on the sparse
+/// path (the engine only densifies if its dispatch decides the operands
+/// warrant the tiled kernel). By Lemma 5.5, re-filtering between squarings
+/// preserves the k-nearest semantics: `filter((filter(A^c))²) = filter(A^(2c))`.
+pub fn filtered_square(
+    f: &FilteredMatrix,
+    mode: crate::engine::KernelMode,
+    exec: cc_par::ExecPolicy,
+) -> FilteredMatrix {
+    let n = f.n();
+    let s = crate::sparse::SparseMatrix::from_rows(n, (0..n).map(|u| f.row(u).to_vec()).collect());
+    let (product, _choice) = crate::engine::sparse_product_planned(&s, &s, None, mode, exec);
+    FilteredMatrix::from_rows(
+        n,
+        f.k(),
+        (0..n).map(|u| product.matrix.row(u).to_vec()).collect(),
+    )
+}
+
+/// `filter_k(A^(2^squarings))` for a filtered start matrix `Ā = filter_k(A)`
+/// by iterated [`filtered_square`] — the centralized doubling engine
+/// (`cc_baselines::doubling` runs the same recurrence through the simulated
+/// clique; this is its local counterpart for serving and benchmarks).
+pub fn filtered_power_engine(
+    abar: &FilteredMatrix,
+    squarings: usize,
+    mode: crate::engine::KernelMode,
+    exec: cc_par::ExecPolicy,
+) -> FilteredMatrix {
+    let mut cur = abar.clone();
+    for _ in 0..squarings {
+        cur = filtered_square(&cur, mode, exec);
+    }
+    cur
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +251,30 @@ mod tests {
                 let abar = FilteredMatrix::from_graph(&g, k).to_dense();
                 let filtered_then_power = FilteredMatrix::from_dense(&power(&abar, h), k);
                 assert_eq!(full, filtered_then_power, "seed={seed} h={h}");
+            }
+        }
+    }
+
+    /// The engine-backed square-and-filter matches the dense reference for
+    /// every kernel mode (Lemma 5.5 + engine bit-identity).
+    #[test]
+    fn filtered_power_engine_matches_reference() {
+        use crate::engine::KernelMode;
+        for seed in 0..4 {
+            let g = random_digraph(16, 0.3, seed + 30);
+            let k = 4;
+            let a = adjacency_matrix(&g);
+            let abar = FilteredMatrix::from_graph(&g, k);
+            for squarings in [0usize, 1, 2, 3] {
+                let reference = filtered_power_reference(&a, k, 1u64 << squarings);
+                for mode in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+                    let out =
+                        filtered_power_engine(&abar, squarings, mode, cc_par::ExecPolicy::Seq);
+                    assert_eq!(
+                        out, reference,
+                        "seed={seed} squarings={squarings} mode={mode}"
+                    );
+                }
             }
         }
     }

@@ -15,7 +15,12 @@
 //!   Lemma 5.5 (`filter(Ā^i) = filter(A^i)`);
 //! * [`sparse`] — sparse min-plus products with the density bookkeeping of
 //!   the CDKL21 round-cost model (Theorem 6.1 in the paper), used by the
-//!   skeleton-graph construction (Section 6).
+//!   skeleton-graph construction (Section 6);
+//! * [`engine`] — the kernel **engine**: a density-sampling
+//!   [`engine::KernelPlan`] dispatcher that routes every multiply to the
+//!   cache-blocked tiled dense kernel, its compact bounded-entry variant, or
+//!   the sharded sparse kernel — with bit-identical results across all of
+//!   them. Every pipeline's hot products go through it.
 //!
 //! # Example
 //!
@@ -30,5 +35,6 @@
 //! ```
 
 pub mod dense;
+pub mod engine;
 pub mod filtered;
 pub mod sparse;

@@ -154,6 +154,14 @@ pub fn sparse_product_with(
         let mut touched: Vec<NodeId> = Vec::new();
         let mut shard_rows = Vec::with_capacity(shard.len());
         for i in shard {
+            // Empty source rows produce empty output rows: skip the scratch
+            // walk, the sort, and the collect entirely. Graph-shaped inputs
+            // (e.g. skeleton scatter matrices) are dominated by empty rows,
+            // so this keeps the kernel at O(work) instead of O(rows).
+            if s.row(i).is_empty() {
+                shard_rows.push(Vec::new());
+                continue;
+            }
             for &(k, sik) in s.row(i) {
                 for &(j, tkj) in t.row(k) {
                     let cand = wadd(sik, tkj);
@@ -231,6 +239,40 @@ mod tests {
             let sp = sparse_product(&s, &t, None);
             let dense = crate::dense::distance_product(&to_dense(&s), &to_dense(&t));
             assert_eq!(to_dense(&sp.matrix), dense, "seed={seed}");
+        }
+    }
+
+    /// Regression: a matrix whose rows are 90% empty (an adjacency shaped
+    /// like the skeleton scatter matrices) must still multiply correctly —
+    /// the empty-row fast path may not change any output row.
+    #[test]
+    fn ninety_percent_empty_rows_product_is_correct() {
+        let n = 40;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let rows: Vec<Vec<(usize, u64)>> = (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    (0..5)
+                        .map(|_| (rng.gen_range(0..n), rng.gen_range(1..50u64)))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let s = SparseMatrix::from_rows(n, rows);
+        assert!(s.rows.iter().filter(|r| r.is_empty()).count() >= (9 * n) / 10);
+        let t = random_sparse(n, 4, 78);
+        for exec in [ExecPolicy::Seq, ExecPolicy::Par(4)] {
+            let sp = sparse_product_with(&s, &t, None, exec);
+            let dense = crate::dense::distance_product(&to_dense(&s), &to_dense(&t));
+            assert_eq!(to_dense(&sp.matrix), dense);
+            // Empty source rows stay empty in the output.
+            for (i, row) in sp.matrix.rows.iter().enumerate() {
+                if s.row(i).is_empty() {
+                    assert!(row.is_empty(), "row {i} not empty");
+                }
+            }
         }
     }
 

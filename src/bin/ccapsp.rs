@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! ccapsp gen <family> <n> <seed> <out.edges>             generate a workload
-//! ccapsp run <graph.edges> [--algo A] [--seed S] [--threads T]
+//! ccapsp run <graph.edges> [--algo A] [--seed S] [--threads T] [--kernel K]
 //!                                                        run an algorithm + audit
 //! ccapsp info <graph.edges>                              graph statistics
 //! ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S]
@@ -21,9 +21,11 @@
 //!
 //! `--threads T` pins the local execution policy (`1` = sequential, `0` =
 //! all cores, like `CC_THREADS`); without it the `CC_THREADS` environment
-//! default applies. The thread count never changes any output — estimates,
-//! bounds, round counts, and served query results are bit-identical across
-//! policies — only the wall-clock time.
+//! default applies. `--kernel {auto,dense,sparse}` pins the min-plus kernel
+//! engine's dispatch the same way (`CC_KERNEL` environment default, `auto`
+//! when unset). Neither ever changes any output — estimates, bounds, round
+//! counts, and served query results are bit-identical across policies and
+//! kernels — only the wall-clock time.
 
 use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
 use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
@@ -31,6 +33,7 @@ use cc_baselines::{exact as exact_baseline, spanner_only};
 use cc_graph::generators::Family;
 use cc_graph::graph::Direction;
 use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph, INF};
+use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
 use cc_serve::loadgen::{drive, LoadSpec, Skew};
 use cc_serve::report::write_report;
@@ -48,9 +51,10 @@ fn usage() -> ExitCode {
         "usage:\n  \
          ccapsp gen <family:{families}> <n> <seed> <out.edges>\n  \
          ccapsp info <graph.edges>\n  \
-         ccapsp run <graph.edges> [--algo {ALGOS}] [--seed S] [--threads T]\n  \
+         ccapsp run <graph.edges> [--algo {ALGOS}] [--seed S] [--threads T] \
+         [--kernel auto|dense|sparse]\n  \
          ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S] [--threads T] \
-         -o <out.ccsnap>\n  \
+         [--kernel K] -o <out.ccsnap>\n  \
          ccapsp query <snap.ccsnap> dist|route|knearest <u> <v|k>\n  \
          ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew uniform|zipf[:EXP]] \
          [--k K] [--seed S] [--threads T] [--out FILE]\n\
@@ -188,12 +192,33 @@ fn parse_exec(args: &[String]) -> Result<ExecPolicy, ExitCode> {
     }
 }
 
+/// Parses `--kernel` (absent → the `CC_KERNEL` environment default).
+fn parse_kernel(args: &[String]) -> Result<KernelMode, ExitCode> {
+    match flag(args, "--kernel") {
+        Some(k) => match KernelMode::parse(k) {
+            Some(mode) => Ok(mode),
+            None => {
+                eprintln!("--kernel expects auto|dense|sparse, got {k:?}");
+                Err(usage())
+            }
+        },
+        None => Ok(KernelMode::from_env()),
+    }
+}
+
 /// Runs one named algorithm over `g`, returning
 /// `(estimate, stretch bound, rounds)`; `None` for an unknown name.
-fn run_algo(g: &Graph, algo: &str, seed: u64, exec: ExecPolicy) -> Option<(DistMatrix, f64, u64)> {
+fn run_algo(
+    g: &Graph,
+    algo: &str,
+    seed: u64,
+    exec: ExecPolicy,
+    kernel: KernelMode,
+) -> Option<(DistMatrix, f64, u64)> {
     let cfg = PipelineConfig {
         seed,
         exec,
+        kernel,
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
@@ -212,6 +237,7 @@ fn run_algo(g: &Graph, algo: &str, seed: u64, exec: ExecPolicy) -> Option<(DistM
             let mut clique = Clique::new(n, Bandwidth::standard(n));
             let sd_cfg = SmallDiamConfig {
                 exec,
+                kernel,
                 ..Default::default()
             };
             let (est, bound) = small_diameter_apsp(&mut clique, g, &sd_cfg, &mut rng);
@@ -224,7 +250,7 @@ fn run_algo(g: &Graph, algo: &str, seed: u64, exec: ExecPolicy) -> Option<(DistM
         }
         "exact" => {
             let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let est = exact_baseline::exact_apsp_squaring_with(&mut clique, g, exec);
+            let est = exact_baseline::exact_apsp_squaring_kernel(&mut clique, g, exec, kernel);
             (est, 1.0, clique.rounds())
         }
         _ => return None,
@@ -247,13 +273,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(exec) => exec,
         Err(code) => return code,
     };
-    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec) else {
+    let kernel = match parse_kernel(args) {
+        Ok(kernel) => kernel,
+        Err(code) => return code,
+    };
+    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec, kernel) else {
         eprintln!("unknown algorithm {algo:?}");
         return usage();
     };
 
     println!("algorithm      {algo}");
     println!("exec           {exec}");
+    println!("kernel         {kernel}");
     println!("rounds         {rounds}");
     println!("guarantee      {bound:.1}×");
     if g.n() <= 2048 {
@@ -282,6 +313,10 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
         Ok(exec) => exec,
         Err(code) => return code,
     };
+    let kernel = match parse_kernel(args) {
+        Ok(kernel) => kernel,
+        Err(code) => return code,
+    };
     // Workload: either a positional edge-list path (accepted anywhere among
     // the flags), or --n (+ --family) to generate one in-process.
     let positional = match positionals(
@@ -292,6 +327,7 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
             "--algo",
             "--seed",
             "--threads",
+            "--kernel",
             "-o",
             "--out",
         ],
@@ -336,7 +372,7 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
         let g = family.generate(n, n as u64, &mut rng);
         (g, format!("{family_name}(n={n},seed={seed})"))
     };
-    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec) else {
+    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec, kernel) else {
         eprintln!("unknown algorithm {algo:?}");
         return usage();
     };

@@ -1,0 +1,177 @@
+//! Property tests for the min-plus kernel engine: the tiled dense kernel,
+//! its compact bounded-entry variant, the sparse kernel, and the
+//! `KernelPlan` auto-dispatcher must all be **bit-identical** to the naive
+//! reference `cc_matrix::dense::distance_product` — across densities, tile
+//! sizes (including the degenerate `1` and `≥ n`), thread counts, and
+//! dispatch modes.
+
+use cc_graph::{DistMatrix, Weight, INF};
+use cc_matrix::dense::{distance_product_tiled_opts, distance_product_with};
+use cc_matrix::engine::{
+    self, KernelChoice, KernelMode, KernelPlan, COMPACT_MAX_ENTRY, SPARSE_FILL_CUTOFF,
+};
+use cc_matrix::sparse::SparseMatrix;
+use cc_par::ExecPolicy;
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const MODES: [KernelMode; 3] = [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse];
+
+/// Strategy: a dense tropical matrix whose fill and weight range both vary
+/// (the `sel` byte keeps roughly `1/den` of the entries finite), so cases
+/// land on every side of the dispatcher's cutoffs.
+fn arb_matrix(n: usize, den: u8, max_w: Weight) -> impl Strategy<Value = DistMatrix> {
+    proptest::collection::vec((0u8..den, 0..=max_w), n * n..=n * n).prop_map(move |cells| {
+        let data = cells
+            .into_iter()
+            .map(|(sel, w)| if sel == 0 { w } else { INF })
+            .collect();
+        DistMatrix::from_raw(n, data)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tiled kernel equals the naive reference for every tile size —
+    /// including tile 1 (degenerate), 7 (never divides n evenly), 64 (the
+    /// default), and n (a single tile) — at every thread count.
+    #[test]
+    fn tiled_equals_naive_for_all_tiles_and_threads(
+        a in arb_matrix(13, 3, 300),
+        b in arb_matrix(13, 3, 300),
+    ) {
+        let naive = distance_product_with(&a, &b, ExecPolicy::Seq);
+        for tile in [1usize, 7, 64, 13] {
+            for threads in THREADS {
+                let out = distance_product_tiled_opts(&a, &b, ExecPolicy::with_threads(threads), tile);
+                prop_assert_eq!(&out, &naive, "tile={} threads={}", tile, threads);
+            }
+        }
+    }
+
+    /// Engine dispatch equivalence: every mode (and therefore every kernel
+    /// the plans resolve to) produces the naive result, across a density
+    /// spread from nearly-empty to nearly-full and weights that straddle
+    /// the compact kernel's entry bound.
+    #[test]
+    fn engine_modes_equal_naive_across_densities(
+        a in arb_matrix(11, 5, COMPACT_MAX_ENTRY * 2),
+        b in arb_matrix(11, 2, 500),
+    ) {
+        let naive = distance_product_with(&a, &b, ExecPolicy::Seq);
+        for mode in MODES {
+            for threads in THREADS {
+                let out = engine::min_plus(&a, &b, mode, ExecPolicy::with_threads(threads));
+                prop_assert_eq!(&out, &naive, "mode={} threads={}", mode, threads);
+            }
+        }
+    }
+
+    /// The plan itself is lawful: forced modes are honored, the auto choice
+    /// follows the documented sampled-fill cutoff, and the compact kernel is
+    /// only ever chosen when every finite entry fits its bound.
+    #[test]
+    fn kernel_plan_dispatch_is_lawful(
+        a in arb_matrix(12, 4, COMPACT_MAX_ENTRY * 2),
+        b in arb_matrix(12, 4, 90),
+    ) {
+        let auto = KernelPlan::choose(&a, &b, KernelMode::Auto);
+        // At n=12 every row is sampled, so the plan's fill is exact.
+        prop_assert_eq!(
+            auto.choice == KernelChoice::SparseSharded,
+            auto.fill_a * auto.fill_b <= SPARSE_FILL_CUTOFF,
+            "auto choice {} vs fills {} × {}", auto.choice, auto.fill_a, auto.fill_b
+        );
+        prop_assert_eq!(KernelPlan::choose(&a, &b, KernelMode::Sparse).choice,
+            KernelChoice::SparseSharded);
+        let dense = KernelPlan::choose(&a, &b, KernelMode::Dense);
+        prop_assert!(dense.choice != KernelChoice::SparseSharded);
+        if dense.choice == KernelChoice::DenseCompact {
+            let bounded = |m: &DistMatrix| m.raw().iter().all(|&w| w >= INF || w <= COMPACT_MAX_ENTRY);
+            prop_assert!(bounded(&a) && bounded(&b), "compact chosen with wide entries");
+        }
+        prop_assert!(dense.tile >= 1);
+    }
+
+    /// Engine exponentiation (per-multiply re-planning) equals the naive
+    /// dense power for every mode.
+    #[test]
+    fn engine_power_equals_dense_power(
+        a in arb_matrix(9, 3, 200),
+        h in 0u64..7,
+    ) {
+        let reference = cc_matrix::dense::power(&a, h);
+        for mode in MODES {
+            let out = engine::power(&a, h, mode, ExecPolicy::Seq);
+            prop_assert_eq!(&out, &reference, "mode={} h={}", mode, h);
+        }
+    }
+}
+
+/// Strategy-free regression: a sparse matrix whose rows are 90% empty —
+/// the empty-row fast path in `sparse_product_with` must not change any
+/// row, and the engine's planned sparse product must agree for every mode.
+#[test]
+fn ninety_percent_empty_rows_sparse_product() {
+    let n = 50;
+    let rows: Vec<Vec<(usize, Weight)>> = (0..n)
+        .map(|i| {
+            if i % 10 == 3 {
+                vec![(i % n, 4), ((i * 7 + 1) % n, 9), ((i * 13 + 2) % n, 2)]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let s = SparseMatrix::from_rows(n, rows);
+    assert!((0..n).filter(|&i| s.row(i).is_empty()).count() >= (9 * n) / 10);
+    let t = SparseMatrix::from_rows(
+        n,
+        (0..n)
+            .map(|i| vec![((i + 1) % n, 1), ((i * 3 + 5) % n, 7)])
+            .collect(),
+    );
+    let (reference, _) =
+        engine::sparse_product_planned(&s, &t, None, KernelMode::Sparse, ExecPolicy::Seq);
+    // Dense reference check.
+    let mut sd = DistMatrix::from_raw(n, vec![INF; n * n]);
+    for u in 0..n {
+        for &(v, w) in s.row(u) {
+            sd.set(u, v, w);
+        }
+    }
+    let mut td = DistMatrix::from_raw(n, vec![INF; n * n]);
+    for u in 0..n {
+        for &(v, w) in t.row(u) {
+            td.set(u, v, w);
+        }
+    }
+    let dense_ref = distance_product_with(&sd, &td, ExecPolicy::Seq);
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(reference.matrix.get(u, v), dense_ref.get(u, v), "({u},{v})");
+        }
+        if s.row(u).is_empty() {
+            assert!(reference.matrix.row(u).is_empty(), "row {u} not empty");
+        }
+    }
+    // Mode invariance, including the round charge.
+    for mode in MODES {
+        for threads in THREADS {
+            let (out, _) = engine::sparse_product_planned(
+                &s,
+                &t,
+                None,
+                mode,
+                ExecPolicy::with_threads(threads),
+            );
+            assert_eq!(
+                out.matrix, reference.matrix,
+                "mode={mode} threads={threads}"
+            );
+            assert_eq!(out.densities, reference.densities);
+            assert_eq!(out.rounds, reference.rounds);
+        }
+    }
+}

@@ -11,6 +11,7 @@ use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
 use cc_graph::graph::{Direction, Graph};
 use cc_graph::{apsp, DistMatrix, NodeId, StretchStats, Weight, INF};
 use cc_matrix::dense::{distance_product_with, power_with};
+use cc_matrix::engine::{self, KernelMode};
 use cc_matrix::sparse::{sparse_product_with, SparseMatrix};
 use cc_par::ExecPolicy;
 use clique_sim::{Bandwidth, Clique};
@@ -21,6 +22,10 @@ use rand::SeedableRng;
 /// The thread counts every kernel is checked at, per the acceptance
 /// criteria; `Seq` is the reference.
 const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The kernel-engine dispatch modes (`--kernel`) every engine-backed path
+/// is checked at; like the thread count, the mode must never change output.
+const KERNELS: [KernelMode; 3] = [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse];
 
 /// Strategy: a connected-ish undirected weighted graph (path backbone plus
 /// random extra edges).
@@ -111,6 +116,23 @@ proptest! {
         }
     }
 
+    /// The kernel engine's min-plus product — tiled dense, compact, or
+    /// sparse, as dispatched per mode — matches the naive sequential
+    /// reference at every (mode × thread count) combination.
+    #[test]
+    fn engine_min_plus_is_mode_and_thread_invariant(
+        a in arb_matrix(13, 200),
+        b in arb_matrix(13, 200),
+    ) {
+        let seq = distance_product_with(&a, &b, ExecPolicy::Seq);
+        for kernel in KERNELS {
+            for threads in THREADS {
+                let out = engine::min_plus(&a, &b, kernel, ExecPolicy::with_threads(threads));
+                prop_assert_eq!(&out, &seq, "kernel={} threads={}", kernel, threads);
+            }
+        }
+    }
+
     /// The stretch audit (ratios are sorted before any float accumulation)
     /// is identical across policies.
     #[test]
@@ -151,6 +173,31 @@ proptest! {
             prop_assert_eq!(&par.estimate, &seq.estimate, "threads={}", threads);
             prop_assert_eq!(par.stretch_bound, seq.stretch_bound);
             prop_assert_eq!(par.rounds, seq.rounds);
+        }
+    }
+
+    /// The full Theorem 1.1 pipeline is bit-identical across `--kernel`
+    /// dispatch modes (crossed with a parallel policy): estimate, bound,
+    /// and round total all match the sequential auto-dispatch run.
+    #[test]
+    fn theorem_1_1_pipeline_is_kernel_mode_invariant(
+        g in arb_graph(30, 25),
+        seed in 0u64..1000,
+    ) {
+        let run = |kernel: KernelMode, exec: ExecPolicy| approximate_apsp(&g, &PipelineConfig {
+            seed,
+            exec,
+            kernel,
+            ..Default::default()
+        });
+        let reference = run(KernelMode::Auto, ExecPolicy::Seq);
+        for kernel in KERNELS {
+            for exec in [ExecPolicy::Seq, ExecPolicy::with_threads(4)] {
+                let out = run(kernel, exec);
+                prop_assert_eq!(&out.estimate, &reference.estimate, "kernel={} {}", kernel, exec);
+                prop_assert_eq!(out.stretch_bound, reference.stretch_bound);
+                prop_assert_eq!(out.rounds, reference.rounds);
+            }
         }
     }
 

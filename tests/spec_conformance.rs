@@ -178,6 +178,44 @@ fn theorem_2_1_determinism() {
     assert_eq!(r1, r2);
 }
 
+/// Theorem 7.1's stretch guarantee audited on realistic topologies: the
+/// pipeline's measured stretch must stay within its returned bound on
+/// power-law (hub-dominated), 2D-grid (large diameter), and random
+/// geometric (metric-correlated weights) instances — the adversarial
+/// families the kernel engine's benchmarks also sweep — not just on the
+/// G(n,p) staple, and under every kernel-dispatch mode.
+#[test]
+fn theorem_7_1_stretch_bound_holds_on_realistic_families() {
+    use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
+    use cc_graph::generators::Family;
+    use cc_matrix::engine::KernelMode;
+    use clique_sim::{Bandwidth, Clique};
+    for family in [Family::PowerLaw, Family::Grid, Family::Geometric] {
+        for kernel in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+            let mut rng = StdRng::seed_from_u64(64);
+            let g = family.generate(48, 32, &mut rng);
+            let mut clique = Clique::new(g.n(), Bandwidth::standard(g.n()));
+            let cfg = SmallDiamConfig {
+                kernel,
+                ..Default::default()
+            };
+            let (est, bound) = small_diameter_apsp(&mut clique, &g, &cfg, &mut rng);
+            assert!(
+                bound <= 21.0 + 1e-9,
+                "{} ({kernel}): bound = {bound}",
+                family.name()
+            );
+            let exact = apsp::exact_apsp(&g);
+            let stats = est.stretch_vs(&exact);
+            assert!(
+                stats.is_valid_approximation(bound),
+                "{} ({kernel}): {stats}",
+                family.name()
+            );
+        }
+    }
+}
+
 /// The Lemma 4.2 hop-bound constant, end to end: measured β never exceeds
 /// `2(⌈a·ln d⌉ + 1) + 1` across families and degradation levels (the E4
 /// sweep, asserted rather than printed).
