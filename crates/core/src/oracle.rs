@@ -59,6 +59,14 @@ impl DistanceOracle {
         &self.estimate
     }
 
+    /// Decomposes the oracle back into its graph and estimate, without
+    /// cloning either. The serving layer's delta application path uses this
+    /// to take the current state out of a live entry, apply an update
+    /// batch, and construct the successor oracle from the result.
+    pub fn into_parts(self) -> (Graph, DistMatrix) {
+        (self.graph, self.estimate)
+    }
+
     /// The distance estimate δ(u, v).
     pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
         self.estimate.get(u, v)
@@ -203,6 +211,16 @@ mod tests {
         // graphs.
         assert!(q.delivered * 10 >= q.attempted * 8, "{q:?}");
         assert!(q.max_route_stretch < 20.0, "{q:?}");
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let g = geometric(12, 4);
+        let exact = apsp::exact_apsp(&g);
+        let oracle = DistanceOracle::new(g.clone(), exact.clone());
+        let (g2, e2) = oracle.into_parts();
+        assert_eq!(g2, g);
+        assert_eq!(e2, exact);
     }
 
     #[test]

@@ -1,0 +1,816 @@
+//! Delta snapshots: the durable form of one applied update batch.
+//!
+//! A [`Delta`] records everything needed to move a servable state
+//! `(graph, estimate)` forward by one batch — and to *prove* it moved to
+//! the right place:
+//!
+//! * the [`state_fingerprint`] of the base state it applies to,
+//! * the canonical [`UpdateBatch`],
+//! * the estimate rows that changed (whether repaired row-by-row or taken
+//!   from a full rebuild),
+//! * the fingerprint of the resulting state.
+//!
+//! The file form (conventionally `*.ccdelta`) uses the same framing style
+//! as the `*.ccsnap` snapshot format: magic, format version, section count,
+//! then length-prefixed FNV-1a-checksummed sections:
+//!
+//! ```text
+//! magic "CCDELTA\n" (8 bytes)
+//! format version      u32
+//! section count       u32
+//! per section: tag u32 · payload length u64 · FNV-1a checksum u64 · payload
+//! ```
+//!
+//! Sections: header (n, strategy, base/result fingerprints), batch (ops),
+//! rows (repaired row indices + entries). Serialization is canonical, and
+//! [`Delta::apply`] verifies **both** fingerprints, so a delta can neither
+//! be applied to the wrong base nor silently produce a wrong result.
+//!
+//! Chains compose: [`replay`] folds `state + delta*` forward, and
+//! [`compact`] collapses a chain into one equivalent delta whose batch is
+//! the canonical base→final diff and whose rows carry the final values.
+
+use cc_graph::graph::Direction;
+use cc_graph::{DistMatrix, Graph, NodeId, Weight};
+
+use crate::update::{EdgeOp, UpdateBatch, UpdateError};
+
+/// File magic: identifies a delta regardless of format version.
+pub const MAGIC: [u8; 8] = *b"CCDELTA\n";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SEC_HEAD: u32 = 1;
+const SEC_BATCH: u32 = 2;
+const SEC_ROWS: u32 = 3;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_REWEIGHT: u8 = 3;
+
+/// FNV-1a 64-bit hash (the same function the snapshot format checksums
+/// with, re-implemented here so `cc_dynamic` stays independent of the
+/// serving crate).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Word-wise FNV-1a accumulator: each `u64` is one absorption step.
+/// Hashing the estimate per word instead of per byte keeps the two
+/// fingerprint computations in every delta application well under the cost
+/// of a single repaired row.
+struct WordHasher(u64);
+
+impl WordHasher {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn absorb(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Content fingerprint of a servable state: word-wise FNV-1a over a
+/// canonical encoding of the graph (n, direction, sorted edge triples) and
+/// the estimate (row-major entries). Two states agree iff their graphs and
+/// estimates are identical, independent of how either was produced — which
+/// is exactly the identity delta chains are checked against.
+pub fn state_fingerprint(graph: &Graph, estimate: &DistMatrix) -> u64 {
+    let mut h = WordHasher::new();
+    h.absorb(graph.n() as u64);
+    h.absorb(match graph.direction() {
+        Direction::Undirected => 0,
+        Direction::Directed => 1,
+    });
+    for (u, v, w) in graph.edges() {
+        h.absorb(u as u64);
+        h.absorb(v as u64);
+        h.absorb(w);
+    }
+    for &d in estimate.raw() {
+        h.absorb(d);
+    }
+    h.0
+}
+
+/// How the producing engine computed the delta's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaStrategy {
+    /// Only the affected rows were recomputed.
+    Repaired,
+    /// The whole estimate was rebuilt (the rows section still carries only
+    /// the rows that changed).
+    Rebuilt,
+}
+
+impl DeltaStrategy {
+    /// Machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaStrategy::Repaired => "repaired",
+            DeltaStrategy::Rebuilt => "rebuilt",
+        }
+    }
+}
+
+impl std::fmt::Display for DeltaStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One applied batch in durable, verifiable form; see the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Node count of the states this delta moves between.
+    pub n: usize,
+    /// How the rows were produced (provenance only; apply treats both the
+    /// same).
+    pub strategy: DeltaStrategy,
+    /// [`state_fingerprint`] of the base state.
+    pub base_fingerprint: u64,
+    /// [`state_fingerprint`] of the resulting state.
+    pub result_fingerprint: u64,
+    /// The canonical batch that was applied.
+    pub batch: UpdateBatch,
+    /// Replaced estimate rows: `(row index, row values)`, sorted by index.
+    pub rows: Vec<(NodeId, Vec<Weight>)>,
+}
+
+/// Everything that can go wrong reading or applying a delta.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The input ended before a declared length was satisfied.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A section's payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// Which section failed (`"header"`, `"batch"`, `"rows"`).
+        section: &'static str,
+    },
+    /// Structurally invalid content.
+    Malformed(String),
+    /// The delta's base fingerprint does not match the state it was
+    /// applied to.
+    BaseMismatch {
+        /// Fingerprint the delta expects.
+        expected: u64,
+        /// Fingerprint of the state it was given.
+        actual: u64,
+    },
+    /// Applying the batch + rows did not land on the recorded result
+    /// fingerprint (a corrupted or hand-edited rows section).
+    ResultMismatch {
+        /// Fingerprint the delta promises.
+        expected: u64,
+        /// Fingerprint actually produced.
+        actual: u64,
+    },
+    /// The embedded batch failed validation against the base graph.
+    Batch(UpdateError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Io(e) => write!(f, "i/o error: {e}"),
+            DeltaError::BadMagic => write!(f, "not a cc-dynamic delta (bad magic)"),
+            DeltaError::UnsupportedVersion(v) => {
+                write!(f, "unsupported delta format version {v}")
+            }
+            DeltaError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated delta: needed {needed} bytes, {available} available"
+                )
+            }
+            DeltaError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            DeltaError::Malformed(what) => write!(f, "malformed delta: {what}"),
+            DeltaError::BaseMismatch { expected, actual } => write!(
+                f,
+                "delta applies to state {expected:016x}, got {actual:016x}"
+            ),
+            DeltaError::ResultMismatch { expected, actual } => write!(
+                f,
+                "delta promises result {expected:016x}, produced {actual:016x}"
+            ),
+            DeltaError::Batch(e) => write!(f, "invalid batch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Io(e) => Some(e),
+            DeltaError::Batch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DeltaError {
+    fn from(e: std::io::Error) -> Self {
+        DeltaError::Io(e)
+    }
+}
+
+impl From<UpdateError> for DeltaError {
+    fn from(e: UpdateError) -> Self {
+        DeltaError::Batch(e)
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounded reader turning overruns into [`DeltaError::Truncated`].
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DeltaError> {
+        if self.remaining() < n {
+            return Err(DeltaError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DeltaError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DeltaError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DeltaError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Delta {
+    /// Serializes to the canonical byte form (see the [module docs](self)).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = Vec::new();
+        put_u64(&mut head, self.n as u64);
+        head.push(match self.strategy {
+            DeltaStrategy::Repaired => 0,
+            DeltaStrategy::Rebuilt => 1,
+        });
+        put_u64(&mut head, self.base_fingerprint);
+        put_u64(&mut head, self.result_fingerprint);
+
+        let mut batch = Vec::new();
+        put_u64(&mut batch, self.batch.ops.len() as u64);
+        for op in &self.batch.ops {
+            match *op {
+                EdgeOp::Insert(u, v, w) => {
+                    batch.push(OP_INSERT);
+                    put_u64(&mut batch, u as u64);
+                    put_u64(&mut batch, v as u64);
+                    put_u64(&mut batch, w);
+                }
+                EdgeOp::Delete(u, v) => {
+                    batch.push(OP_DELETE);
+                    put_u64(&mut batch, u as u64);
+                    put_u64(&mut batch, v as u64);
+                }
+                EdgeOp::Reweight(u, v, w) => {
+                    batch.push(OP_REWEIGHT);
+                    put_u64(&mut batch, u as u64);
+                    put_u64(&mut batch, v as u64);
+                    put_u64(&mut batch, w);
+                }
+            }
+        }
+
+        let mut rows = Vec::with_capacity(8 + self.rows.len() * (8 + 8 * self.n));
+        put_u64(&mut rows, self.rows.len() as u64);
+        for (idx, row) in &self.rows {
+            put_u64(&mut rows, *idx as u64);
+            for &d in row {
+                put_u64(&mut rows, d);
+            }
+        }
+
+        let sections = [(SEC_HEAD, head), (SEC_BATCH, batch), (SEC_ROWS, rows)];
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, sections.len() as u32);
+        for (tag, payload) in &sections {
+            put_u32(&mut out, *tag);
+            put_u64(&mut out, payload.len() as u64);
+            put_u64(&mut out, fnv1a(payload));
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Decodes a delta, validating magic, version, per-section checksums,
+    /// and structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Every decoding failure maps to a specific [`DeltaError`] variant; no
+    /// input panics.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DeltaError> {
+        let mut cur = Cursor::new(data);
+        if cur.take(MAGIC.len())? != MAGIC {
+            return Err(DeltaError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(DeltaError::UnsupportedVersion(version));
+        }
+        let section_count = cur.u32()?;
+        let mut head_payload: Option<&[u8]> = None;
+        let mut batch_payload: Option<&[u8]> = None;
+        let mut rows_payload: Option<&[u8]> = None;
+        for _ in 0..section_count {
+            let tag = cur.u32()?;
+            let len = cur.u64()? as usize;
+            let checksum = cur.u64()?;
+            let payload = cur.take(len)?;
+            let (slot, name) = match tag {
+                SEC_HEAD => (&mut head_payload, "header"),
+                SEC_BATCH => (&mut batch_payload, "batch"),
+                SEC_ROWS => (&mut rows_payload, "rows"),
+                other => {
+                    return Err(DeltaError::Malformed(format!(
+                        "unknown section tag {other}"
+                    )))
+                }
+            };
+            if fnv1a(payload) != checksum {
+                return Err(DeltaError::ChecksumMismatch { section: name });
+            }
+            if slot.replace(payload).is_some() {
+                return Err(DeltaError::Malformed(format!("duplicate {name} section")));
+            }
+        }
+        if cur.remaining() != 0 {
+            return Err(DeltaError::Malformed(format!(
+                "{} trailing bytes after the last section",
+                cur.remaining()
+            )));
+        }
+        let (n, strategy, base_fingerprint, result_fingerprint) = decode_head(
+            head_payload.ok_or_else(|| DeltaError::Malformed("missing header section".into()))?,
+        )?;
+        let batch = decode_batch(
+            batch_payload.ok_or_else(|| DeltaError::Malformed("missing batch section".into()))?,
+        )?;
+        let rows = decode_rows(
+            rows_payload.ok_or_else(|| DeltaError::Malformed("missing rows section".into()))?,
+            n,
+        )?;
+        Ok(Delta {
+            n,
+            strategy,
+            base_fingerprint,
+            result_fingerprint,
+            batch,
+            rows,
+        })
+    }
+
+    /// Writes the delta to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), DeltaError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a delta from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and decoding errors; see [`Delta::from_bytes`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, DeltaError> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&data)
+    }
+
+    /// Applies the delta to a base state, verifying the base fingerprint
+    /// before touching anything and the result fingerprint after. The
+    /// returned state is fully constructed before the caller sees it, so a
+    /// blue/green swap can never expose a half-applied update.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::BaseMismatch`] when applied to the wrong state,
+    /// [`DeltaError::Batch`] when the embedded batch does not validate,
+    /// [`DeltaError::ResultMismatch`] when the recorded rows do not
+    /// reproduce the promised result.
+    pub fn apply(
+        &self,
+        graph: &Graph,
+        estimate: &DistMatrix,
+    ) -> Result<(Graph, DistMatrix), DeltaError> {
+        let actual = state_fingerprint(graph, estimate);
+        if actual != self.base_fingerprint {
+            return Err(DeltaError::BaseMismatch {
+                expected: self.base_fingerprint,
+                actual,
+            });
+        }
+        if graph.n() != self.n {
+            return Err(DeltaError::Malformed(format!(
+                "delta is for n={}, state has n={}",
+                self.n,
+                graph.n()
+            )));
+        }
+        let (new_graph, _changes) = self.batch.apply_to(graph)?;
+        let mut new_estimate = estimate.clone();
+        for (idx, row) in &self.rows {
+            new_estimate.row_mut(*idx).copy_from_slice(row);
+        }
+        let produced = state_fingerprint(&new_graph, &new_estimate);
+        if produced != self.result_fingerprint {
+            return Err(DeltaError::ResultMismatch {
+                expected: self.result_fingerprint,
+                actual: produced,
+            });
+        }
+        Ok((new_graph, new_estimate))
+    }
+}
+
+fn decode_head(payload: &[u8]) -> Result<(usize, DeltaStrategy, u64, u64), DeltaError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.u64()? as usize;
+    let strategy = match cur.u8()? {
+        0 => DeltaStrategy::Repaired,
+        1 => DeltaStrategy::Rebuilt,
+        other => {
+            return Err(DeltaError::Malformed(format!(
+                "invalid strategy byte {other}"
+            )))
+        }
+    };
+    let base = cur.u64()?;
+    let result = cur.u64()?;
+    if cur.remaining() != 0 {
+        return Err(DeltaError::Malformed(
+            "trailing bytes in header section".into(),
+        ));
+    }
+    Ok((n, strategy, base, result))
+}
+
+fn decode_batch(payload: &[u8]) -> Result<UpdateBatch, DeltaError> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u64()? as usize;
+    // Cap pre-allocation by the bytes present (17 per op minimum): a lying
+    // count must surface as Truncated, not a capacity panic.
+    let mut ops = Vec::with_capacity(count.min(cur.remaining() / 17));
+    for _ in 0..count {
+        let tag = cur.u8()?;
+        let u = cur.u64()? as NodeId;
+        let v = cur.u64()? as NodeId;
+        ops.push(match tag {
+            OP_INSERT => EdgeOp::Insert(u, v, cur.u64()?),
+            OP_DELETE => EdgeOp::Delete(u, v),
+            OP_REWEIGHT => EdgeOp::Reweight(u, v, cur.u64()?),
+            other => return Err(DeltaError::Malformed(format!("invalid op tag {other}"))),
+        });
+    }
+    if cur.remaining() != 0 {
+        return Err(DeltaError::Malformed(
+            "trailing bytes in batch section".into(),
+        ));
+    }
+    Ok(UpdateBatch::new(ops))
+}
+
+fn decode_rows(payload: &[u8], n: usize) -> Result<Vec<(NodeId, Vec<Weight>)>, DeltaError> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u64()? as usize;
+    // Saturating math: a crafted header can declare an absurd n, and the
+    // per-row byte estimate must degrade to "no pre-allocation", never
+    // overflow (the per-cell reads below then fail as Truncated).
+    let per_row = n.saturating_mul(8).saturating_add(8);
+    let mut rows = Vec::with_capacity(count.min(cur.remaining() / per_row));
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..count {
+        let idx = cur.u64()? as NodeId;
+        if idx >= n {
+            return Err(DeltaError::Malformed(format!(
+                "row index {idx} out of range for n={n}"
+            )));
+        }
+        if prev.is_some_and(|p| p >= idx) {
+            return Err(DeltaError::Malformed(
+                "row indices must be strictly increasing".into(),
+            ));
+        }
+        prev = Some(idx);
+        let mut row = Vec::with_capacity(n.min(cur.remaining() / 8));
+        for _ in 0..n {
+            row.push(cur.u64()?);
+        }
+        rows.push((idx, row));
+    }
+    if cur.remaining() != 0 {
+        return Err(DeltaError::Malformed(
+            "trailing bytes in rows section".into(),
+        ));
+    }
+    Ok(rows)
+}
+
+/// Replays a delta chain: folds `state + deltas` forward in order, verifying
+/// every link's fingerprints.
+///
+/// # Errors
+///
+/// The first failing link's [`DeltaError`].
+pub fn replay(
+    graph: &Graph,
+    estimate: &DistMatrix,
+    deltas: &[Delta],
+) -> Result<(Graph, DistMatrix), DeltaError> {
+    let mut g = graph.clone();
+    let mut e = estimate.clone();
+    for d in deltas {
+        let (ng, ne) = d.apply(&g, &e)?;
+        g = ng;
+        e = ne;
+    }
+    Ok((g, e))
+}
+
+/// Collapses a delta chain into one equivalent delta: the batch is the
+/// canonical base→final graph diff, the rows are the union of the chain's
+/// row indices carrying the **final** values, and the fingerprints span the
+/// whole chain. `apply(base, compact(chain)) == replay(base, chain)`.
+///
+/// Returns the compacted delta together with the final state.
+///
+/// # Errors
+///
+/// Any replay failure; see [`replay`].
+pub fn compact(
+    graph: &Graph,
+    estimate: &DistMatrix,
+    deltas: &[Delta],
+) -> Result<(Delta, Graph, DistMatrix), DeltaError> {
+    let (final_graph, final_estimate) = replay(graph, estimate, deltas)?;
+    let mut indices: Vec<NodeId> = deltas
+        .iter()
+        .flat_map(|d| d.rows.iter().map(|(i, _)| *i))
+        .collect();
+    indices.sort_unstable();
+    indices.dedup();
+    let rows: Vec<(NodeId, Vec<Weight>)> = indices
+        .into_iter()
+        .map(|i| (i, final_estimate.row(i).to_vec()))
+        .collect();
+    let strategy = if deltas.iter().any(|d| d.strategy == DeltaStrategy::Rebuilt) {
+        DeltaStrategy::Rebuilt
+    } else {
+        DeltaStrategy::Repaired
+    };
+    let delta = Delta {
+        n: graph.n(),
+        strategy,
+        base_fingerprint: state_fingerprint(graph, estimate),
+        result_fingerprint: state_fingerprint(&final_graph, &final_estimate),
+        batch: UpdateBatch::diff(graph, &final_graph),
+        rows,
+    };
+    Ok((delta, final_graph, final_estimate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::apsp;
+    use cc_graph::graph::Direction;
+
+    fn state() -> (Graph, DistMatrix) {
+        let g = Graph::from_edges(
+            5,
+            Direction::Undirected,
+            &[(0, 1, 3), (1, 2, 1), (2, 3, 4), (3, 4, 2), (0, 4, 9)],
+        );
+        let e = apsp::exact_apsp(&g);
+        (g, e)
+    }
+
+    /// A hand-built delta moving `state()` forward by one reweight, rows
+    /// recomputed exactly.
+    fn sample_delta() -> (Delta, Graph, DistMatrix) {
+        let (g, e) = state();
+        let batch = UpdateBatch::new(vec![EdgeOp::Reweight(0, 1, 1)]).canonicalize();
+        let (ng, _) = batch.apply_to(&g).unwrap();
+        let ne = apsp::exact_apsp(&ng);
+        let rows: Vec<(NodeId, Vec<Weight>)> = (0..5)
+            .filter(|&i| e.row(i) != ne.row(i))
+            .map(|i| (i, ne.row(i).to_vec()))
+            .collect();
+        assert!(!rows.is_empty());
+        let delta = Delta {
+            n: 5,
+            strategy: DeltaStrategy::Repaired,
+            base_fingerprint: state_fingerprint(&g, &e),
+            result_fingerprint: state_fingerprint(&ng, &ne),
+            batch,
+            rows,
+        };
+        (delta, ng, ne)
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let (delta, _, _) = sample_delta();
+        let bytes = delta.to_bytes();
+        let back = Delta::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, delta);
+        assert_eq!(back.to_bytes(), bytes, "canonical form must be stable");
+    }
+
+    #[test]
+    fn apply_verifies_and_produces_the_recorded_state() {
+        let (delta, ng, ne) = sample_delta();
+        let (g, e) = state();
+        let (got_g, got_e) = delta.apply(&g, &e).expect("applies");
+        assert_eq!(got_g, ng);
+        assert_eq!(got_e, ne);
+        // Wrong base: apply to the *result* state.
+        assert!(matches!(
+            delta.apply(&got_g, &got_e),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+        // Corrupted rows: flip one value; result fingerprint must catch it.
+        let mut bad = delta.clone();
+        bad.rows[0].1[0] ^= 1;
+        assert!(matches!(
+            bad.apply(&g, &e),
+            Err(DeltaError::ResultMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn state_fingerprint_distinguishes_graph_and_estimate() {
+        let (g, e) = state();
+        let fp = state_fingerprint(&g, &e);
+        let mut e2 = e.clone();
+        e2.set(0, 1, 99);
+        assert_ne!(fp, state_fingerprint(&g, &e2));
+        let g2 = Graph::from_edges(5, Direction::Undirected, &[(0, 1, 3)]);
+        assert_ne!(fp, state_fingerprint(&g2, &e));
+        assert_eq!(fp, state_fingerprint(&g.clone(), &e.clone()));
+    }
+
+    #[test]
+    fn bad_magic_version_and_corruption_are_typed() {
+        let (delta, _, _) = sample_delta();
+        let bytes = delta.to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(Delta::from_bytes(&bad), Err(DeltaError::BadMagic)));
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            Delta::from_bytes(&bad),
+            Err(DeltaError::UnsupportedVersion(99))
+        ));
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            Delta::from_bytes(&bad),
+            Err(DeltaError::ChecksumMismatch { section: "rows" })
+        ));
+        let mut bad = bytes;
+        bad.push(0);
+        assert!(matches!(
+            Delta::from_bytes(&bad),
+            Err(DeltaError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_header_n_errors_instead_of_panicking() {
+        // A correctly-checksummed frame whose header declares n = 2^61 - 1:
+        // the rows decoder's pre-allocation estimate must saturate (not
+        // overflow) and the decode must fail cleanly, not abort.
+        let mut head = Vec::new();
+        put_u64(&mut head, (1u64 << 61) - 1);
+        head.push(0); // Repaired
+        put_u64(&mut head, 0);
+        put_u64(&mut head, 0);
+        let mut batch = Vec::new();
+        put_u64(&mut batch, 0);
+        let mut rows = Vec::new();
+        put_u64(&mut rows, 1); // one row claimed, no bytes behind it
+        let sections = [(SEC_HEAD, head), (SEC_BATCH, batch), (SEC_ROWS, rows)];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        put_u32(&mut bytes, FORMAT_VERSION);
+        put_u32(&mut bytes, sections.len() as u32);
+        for (tag, payload) in &sections {
+            put_u32(&mut bytes, *tag);
+            put_u64(&mut bytes, payload.len() as u64);
+            put_u64(&mut bytes, fnv1a(payload));
+            bytes.extend_from_slice(payload);
+        }
+        assert!(matches!(
+            Delta::from_bytes(&bytes),
+            Err(DeltaError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let (delta, _, _) = sample_delta();
+        let bytes = delta.to_bytes();
+        for len in 0..bytes.len() {
+            let err = Delta::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, DeltaError::Truncated { .. }),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_and_compact_agree() {
+        let (g, e) = state();
+        let (d1, g1, e1) = sample_delta();
+        // A second hand-built delta on top of the first.
+        let batch = UpdateBatch::new(vec![EdgeOp::Delete(0, 4), EdgeOp::Insert(1, 4, 2)]);
+        let (g2, _) = batch.canonicalize().apply_to(&g1).unwrap();
+        let e2 = apsp::exact_apsp(&g2);
+        let rows: Vec<(NodeId, Vec<Weight>)> = (0..5)
+            .filter(|&i| e1.row(i) != e2.row(i))
+            .map(|i| (i, e2.row(i).to_vec()))
+            .collect();
+        let d2 = Delta {
+            n: 5,
+            strategy: DeltaStrategy::Repaired,
+            base_fingerprint: state_fingerprint(&g1, &e1),
+            result_fingerprint: state_fingerprint(&g2, &e2),
+            batch: batch.canonicalize(),
+            rows,
+        };
+        let chain = [d1, d2];
+        let (rg, re) = replay(&g, &e, &chain).expect("replays");
+        assert_eq!(state_fingerprint(&rg, &re), state_fingerprint(&g2, &e2));
+        let (merged, cg, ce) = compact(&g, &e, &chain).expect("compacts");
+        assert_eq!((&cg, &ce), (&rg, &re));
+        let (ag, ae) = merged.apply(&g, &e).expect("compacted delta applies");
+        assert_eq!((ag, ae), (rg, re));
+        // Empty chain compacts to the identity delta.
+        let (id, ig, ie) = compact(&g, &e, &[]).expect("identity");
+        assert!(id.batch.is_empty() && id.rows.is_empty());
+        assert_eq!(id.base_fingerprint, id.result_fingerprint);
+        assert_eq!((ig, ie), (g, e));
+    }
+}

@@ -1,0 +1,616 @@
+//! Incremental oracle maintenance: apply an [`UpdateBatch`] to a servable
+//! `(graph, estimate)` state by recomputing only the rows that can change.
+//!
+//! # The repair rule
+//!
+//! For an **exact** estimate (δ = d) on an undirected graph, the affected
+//! source set is computed from the batch's changed edges without touching
+//! unaffected rows, using two facts about shortest paths:
+//!
+//! * **Improvement** (`d_new(s,t) < d_old(s,t)`): the new shortest path
+//!   must cross some changed edge `{u, v}` at its *new* weight, so
+//!   `d_new(s,t) = d_new(s,u) + w_new + d_new(v,t)` for some orientation.
+//!   The engine runs Dijkstra from every batch endpoint on the updated
+//!   graph (the "bounded Dijkstra from batch endpoints" pass — bounded to
+//!   the endpoints, not all sources) and flags `s` iff
+//!   `d_new(u,s) + w_new + d_new(v,t) < δ_old(s,t)` for some changed edge
+//!   and target. This test is exact: it flags `s` iff some pair improved.
+//! * **Deterioration** (`d_new(s,t) > d_old(s,t)`): the *old* shortest
+//!   path must have used some changed edge at its *old* weight, so
+//!   `δ_old(s,u) + w_old + δ_old(v,t) = δ_old(s,t)` for some orientation —
+//!   checked directly on the old estimate. This test is conservative
+//!   (ties through the edge also flag `s`), which only ever repairs more
+//!   rows than strictly needed.
+//!
+//! Unaffected rows are *proven* unchanged, so repairing the affected rows
+//! with fresh per-source Dijkstra (the same kernel
+//! [`cc_graph::apsp::exact_apsp_with`] builds full matrices from) yields an
+//! estimate **bit-identical** to a from-scratch rebuild on the post-update
+//! graph — the invariant `tests/dynamic_props.rs` pins across graph
+//! families, thread counts, and kernel modes.
+//!
+//! When the affected fraction exceeds
+//! [`DynamicConfig::repair_fraction`], or the estimate is an approximate
+//! pipeline artifact (whose global random structure per-row repair cannot
+//! reproduce), the engine falls back to a full pipeline re-entry through
+//! [`crate::rebuild::run_algorithm`] with the original algorithm, seed,
+//! and config — so the output is the same either way, only the wall-clock
+//! differs.
+
+use cc_graph::apsp::exact_rows_with;
+use cc_graph::{DistMatrix, Graph, NodeId, Weight, INF};
+use cc_matrix::engine::KernelMode;
+use cc_par::ExecPolicy;
+
+use crate::delta::{state_fingerprint, Delta, DeltaStrategy};
+use crate::rebuild::run_algorithm;
+use crate::update::{EdgeChange, UpdateBatch, UpdateError};
+
+/// Tuning knobs for [`IncrementalOracle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicConfig {
+    /// Fall back to a full rebuild when more than this fraction of rows is
+    /// affected (repairing most of the matrix row-by-row is slower than
+    /// one bulk rebuild).
+    pub repair_fraction: f64,
+    /// Execution policy for the repair Dijkstras, the affected-set scan,
+    /// and the rebuild pipelines. Wall-clock only.
+    pub exec: ExecPolicy,
+    /// Kernel dispatch for the rebuild pipelines. Wall-clock only.
+    pub kernel: KernelMode,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            repair_fraction: 0.25,
+            exec: ExecPolicy::from_env(),
+            kernel: KernelMode::from_env(),
+        }
+    }
+}
+
+/// Why a batch took the rebuild path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// The affected fraction exceeded [`DynamicConfig::repair_fraction`].
+    Churn,
+    /// The estimate is an approximate pipeline artifact; per-row repair
+    /// cannot reproduce its global random structure bit-for-bit.
+    Approximate,
+}
+
+/// How one [`IncrementalOracle::apply`] call was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyStrategy {
+    /// Per-source repair of the affected rows.
+    Repaired {
+        /// Rows the affected-set scan flagged (and recomputed).
+        affected: usize,
+    },
+    /// Full pipeline re-entry on the post-update graph.
+    Rebuilt {
+        /// What forced the rebuild.
+        reason: RebuildReason,
+    },
+}
+
+/// The result of applying one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyOutcome {
+    /// Repair or rebuild, with detail.
+    pub strategy: ApplyStrategy,
+    /// Edges the canonical batch effectively changed.
+    pub changed_edges: usize,
+    /// The durable delta: canonical batch + the estimate rows that
+    /// actually changed, with base/result fingerprints.
+    pub delta: Delta,
+}
+
+/// Lifetime counters of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicStats {
+    /// Batches served by per-row repair.
+    pub repairs: u64,
+    /// Batches served by full rebuild.
+    pub rebuilds: u64,
+}
+
+/// A dynamic-graph oracle: the current `(graph, estimate)` state plus the
+/// machinery to move it forward by update batches.
+///
+/// ```
+/// use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+/// use cc_dynamic::update::{EdgeOp, UpdateBatch};
+/// use cc_graph::graph::{Direction, Graph};
+/// use cc_graph::apsp;
+///
+/// let g = Graph::from_edges(4, Direction::Undirected,
+///     &[(0, 1, 5), (1, 2, 2), (2, 3, 2)]);
+/// let mut oracle = IncrementalOracle::new(
+///     g.clone(), apsp::exact_apsp(&g), "exact", 7, DynamicConfig::default());
+///
+/// // A shortcut edge appears; the engine repairs only the affected rows…
+/// let batch = UpdateBatch::new(vec![EdgeOp::Insert(0, 3, 1)]);
+/// let outcome = oracle.apply(&batch).expect("valid batch");
+///
+/// // …and the result is bit-identical to recomputing from scratch.
+/// assert_eq!(oracle.estimate(), &apsp::exact_apsp(oracle.graph()));
+/// assert_eq!(oracle.estimate().get(0, 3), 1);
+/// assert_eq!(outcome.changed_edges, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalOracle {
+    graph: Graph,
+    estimate: DistMatrix,
+    algo: String,
+    seed: u64,
+    cfg: DynamicConfig,
+    stats: DynamicStats,
+}
+
+impl IncrementalOracle {
+    /// Wraps a servable state. `algo` and `seed` are the provenance of
+    /// `estimate` (a snapshot's `meta.algo` / `meta.seed`); they determine
+    /// whether repair is possible (`"exact"` only) and which pipeline a
+    /// rebuild re-enters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if graph and estimate dimensions differ.
+    pub fn new(
+        graph: Graph,
+        estimate: DistMatrix,
+        algo: &str,
+        seed: u64,
+        cfg: DynamicConfig,
+    ) -> Self {
+        assert_eq!(
+            graph.n(),
+            estimate.n(),
+            "incremental oracle dimension mismatch"
+        );
+        Self {
+            graph,
+            estimate,
+            algo: algo.to_string(),
+            seed,
+            cfg,
+            stats: DynamicStats::default(),
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> &DistMatrix {
+        &self.estimate
+    }
+
+    /// The algorithm the estimate came from.
+    pub fn algo(&self) -> &str {
+        &self.algo
+    }
+
+    /// Lifetime repair/rebuild counters.
+    pub fn stats(&self) -> DynamicStats {
+        self.stats
+    }
+
+    /// [`state_fingerprint`] of the current state.
+    pub fn fingerprint(&self) -> u64 {
+        state_fingerprint(&self.graph, &self.estimate)
+    }
+
+    /// Whether batches can take the repair path at all: exact estimates on
+    /// undirected graphs only (see the [module docs](self)).
+    pub fn supports_repair(&self) -> bool {
+        self.algo == "exact"
+    }
+
+    /// Applies a batch: validates + canonicalizes it, computes the affected
+    /// rows, repairs or rebuilds, advances the state, and returns the
+    /// durable [`Delta`]. The state is untouched on error.
+    ///
+    /// # Errors
+    ///
+    /// Any batch validation failure ([`UpdateError`]); also
+    /// [`UpdateError::UnknownAlgorithm`] if a rebuild is needed but the
+    /// provenance algorithm is not in the dispatch table.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<ApplyOutcome, UpdateError> {
+        let n = self.graph.n();
+        let base_fingerprint = self.fingerprint();
+        let (new_graph, changes) = batch.apply_to(&self.graph)?;
+        let canonical = batch.canonicalize();
+        if changes.is_empty() {
+            // Identity delta; nothing to repair, no counter moves.
+            return Ok(ApplyOutcome {
+                strategy: ApplyStrategy::Repaired { affected: 0 },
+                changed_edges: 0,
+                delta: Delta {
+                    n,
+                    strategy: DeltaStrategy::Repaired,
+                    base_fingerprint,
+                    result_fingerprint: base_fingerprint,
+                    batch: canonical,
+                    rows: Vec::new(),
+                },
+            });
+        }
+
+        // Decide the path, producing the new estimate without touching the
+        // current one (the delta needs the old rows to diff against, and
+        // errors must leave the state intact).
+        let repairable = if !self.supports_repair() {
+            Err(RebuildReason::Approximate)
+        } else {
+            let (affected, endpoints, endpoint_rows) = self.affected_sources(&new_graph, &changes);
+            if affected.len() as f64 > self.cfg.repair_fraction * n as f64 {
+                Err(RebuildReason::Churn)
+            } else {
+                Ok((affected, endpoints, endpoint_rows))
+            }
+        };
+        let (strategy, new_estimate) = match repairable {
+            Ok((affected, endpoints, endpoint_rows)) => {
+                // Endpoint rows were already computed on the new graph for
+                // the affected-set scan; Dijkstra only the rest.
+                let fresh: Vec<NodeId> = affected
+                    .iter()
+                    .copied()
+                    .filter(|s| endpoints.binary_search(s).is_err())
+                    .collect();
+                let fresh_rows = exact_rows_with(&new_graph, &fresh, self.cfg.exec);
+                let mut est = self.estimate.clone();
+                for (&s, row) in endpoints.iter().zip(&endpoint_rows) {
+                    est.row_mut(s).copy_from_slice(row);
+                }
+                for (&s, row) in fresh.iter().zip(&fresh_rows) {
+                    est.row_mut(s).copy_from_slice(row);
+                }
+                (
+                    ApplyStrategy::Repaired {
+                        affected: affected.len(),
+                    },
+                    est,
+                )
+            }
+            Err(reason) => {
+                let (estimate, _bound, _rounds) = run_algorithm(
+                    &new_graph,
+                    &self.algo,
+                    self.seed,
+                    self.cfg.exec,
+                    self.cfg.kernel,
+                )?;
+                (ApplyStrategy::Rebuilt { reason }, estimate)
+            }
+        };
+
+        // Record only the rows that actually changed: canonical, minimal,
+        // and independent of which path produced them (a repaired row may
+        // equal the old one — the affected set is conservative — and is
+        // then dropped from the delta).
+        let rows: Vec<(NodeId, Vec<Weight>)> = (0..n)
+            .filter(|&s| new_estimate.row(s) != self.estimate.row(s))
+            .map(|s| (s, new_estimate.row(s).to_vec()))
+            .collect();
+        self.graph = new_graph;
+        self.estimate = new_estimate;
+        match strategy {
+            ApplyStrategy::Repaired { .. } => self.stats.repairs += 1,
+            ApplyStrategy::Rebuilt { .. } => self.stats.rebuilds += 1,
+        }
+        Ok(ApplyOutcome {
+            strategy,
+            changed_edges: changes.len(),
+            delta: Delta {
+                n,
+                strategy: match strategy {
+                    ApplyStrategy::Repaired { .. } => DeltaStrategy::Repaired,
+                    ApplyStrategy::Rebuilt { .. } => DeltaStrategy::Rebuilt,
+                },
+                base_fingerprint,
+                result_fingerprint: self.fingerprint(),
+                batch: canonical,
+                rows,
+            },
+        })
+    }
+
+    /// The sources whose estimate row can differ between the old and new
+    /// graphs; see the [module docs](self) for the two tests and why their
+    /// union is a superset of the truly-changed rows. Also returns the
+    /// batch endpoints and their freshly computed post-update rows so the
+    /// repair pass can reuse them instead of re-running those Dijkstras.
+    fn affected_sources(
+        &self,
+        new_graph: &Graph,
+        changes: &[EdgeChange],
+    ) -> (Vec<NodeId>, Vec<NodeId>, Vec<Vec<Weight>>) {
+        let n = self.graph.n();
+        // One Dijkstra per distinct batch endpoint, on the updated graph.
+        let mut endpoints: Vec<NodeId> = changes.iter().flat_map(|c| [c.u, c.v]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let endpoint_rows = exact_rows_with(new_graph, &endpoints, self.cfg.exec);
+        let row_of = |x: NodeId| -> &[Weight] {
+            &endpoint_rows[endpoints.binary_search(&x).expect("endpoint present")]
+        };
+
+        let old = &self.estimate;
+        // Each change needs exactly one of the two tests: an edge whose
+        // weight went *up* (or away) cannot create a strictly shorter path
+        // — any new shortest path through only such edges would have been
+        // at least as short before — and an edge whose weight went *down*
+        // (or appeared) cannot break an old shortest path — paths through
+        // it only got shorter. So increases/deletes run the deterioration
+        // test at the old weight, decreases/inserts the improvement test
+        // at the new weight.
+        enum Scan<'a> {
+            /// `(u, v, w_old, δ_old row of u, δ_old row of v)`
+            Deteriorate(NodeId, NodeId, Weight, &'a [Weight], &'a [Weight]),
+            /// `(w_new, d_new row of u, d_new row of v)`
+            Improve(Weight, &'a [Weight], &'a [Weight]),
+        }
+        let scans: Vec<Scan> = changes
+            .iter()
+            .map(|c| match (c.old, c.new) {
+                (Some(w_old), None) => {
+                    Scan::Deteriorate(c.u, c.v, w_old, old.row(c.u), old.row(c.v))
+                }
+                (Some(w_old), Some(w_new)) if w_new > w_old => {
+                    Scan::Deteriorate(c.u, c.v, w_old, old.row(c.u), old.row(c.v))
+                }
+                (_, Some(w_new)) => Scan::Improve(w_new, row_of(c.u), row_of(c.v)),
+                (None, None) => unreachable!("apply_to drops no-op changes"),
+            })
+            .collect();
+        let flags: Vec<bool> = self.cfg.exec.map_shards_collect(n, |sources| {
+            sources
+                .map(|s| {
+                    let row_s = old.row(s);
+                    for scan in &scans {
+                        match *scan {
+                            // δ_old(s,·) is symmetric on undirected exact
+                            // estimates, so row reads stand in for column
+                            // reads throughout.
+                            // Plain adds stand in for `wadd` in both
+                            // loops: every operand is at most INF
+                            // (= u64::MAX/4), so sums cannot wrap, and a
+                            // sum with an INF operand is ≥ INF — never
+                            // equal to a finite d_st and never < d_st ≤
+                            // INF — exactly the saturating semantics,
+                            // minus the branch.
+                            Scan::Deteriorate(u, v, w_old, row_u, row_v) => {
+                                let a_uv = row_s[u] + w_old;
+                                let a_vu = row_s[v] + w_old;
+                                for t in 0..n {
+                                    let d_st = row_s[t];
+                                    if d_st < INF
+                                        && (a_uv + row_v[t] == d_st || a_vu + row_u[t] == d_st)
+                                    {
+                                        return true;
+                                    }
+                                }
+                            }
+                            Scan::Improve(w_new, new_u, new_v) => {
+                                let b_uv = new_u[s] + w_new;
+                                let b_vu = new_v[s] + w_new;
+                                for t in 0..n {
+                                    let d_st = row_s[t];
+                                    if b_uv + new_v[t] < d_st || b_vu + new_u[t] < d_st {
+                                        return true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    false
+                })
+                .collect()
+        });
+        let mut affected: Vec<NodeId> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(s, _)| s)
+            .collect();
+        // Endpoints ride along: their rows are already computed and always
+        // worth refreshing.
+        for &x in &endpoints {
+            if !flags[x] {
+                affected.push(x);
+            }
+        }
+        affected.sort_unstable();
+        (affected, endpoints, endpoint_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{random_batch, EdgeOp, MutationProfile};
+    use cc_graph::apsp::exact_apsp;
+    use cc_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact_engine(n: usize, seed: u64, cfg: DynamicConfig) -> IncrementalOracle {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.15, 1..=20, &mut rng);
+        let e = exact_apsp(&g);
+        IncrementalOracle::new(g, e, "exact", seed, cfg)
+    }
+
+    #[test]
+    fn repair_matches_rebuild_for_single_ops() {
+        let mut oracle = exact_engine(30, 1, DynamicConfig::default());
+        for batch in [
+            UpdateBatch::new(vec![EdgeOp::Insert(0, 29, 1)]),
+            UpdateBatch::new(vec![EdgeOp::Reweight(0, 29, 7)]),
+            UpdateBatch::new(vec![EdgeOp::Delete(0, 29)]),
+        ] {
+            oracle.apply(&batch).expect("valid batch");
+            assert_eq!(
+                oracle.estimate(),
+                &exact_apsp(oracle.graph()),
+                "batch {batch:?}"
+            );
+        }
+        assert_eq!(oracle.stats().repairs + oracle.stats().rebuilds, 3);
+    }
+
+    #[test]
+    fn repair_matches_rebuild_for_random_batches() {
+        let mut oracle = exact_engine(36, 2, DynamicConfig::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        for step in 0..6 {
+            let batch = random_batch(oracle.graph(), 4, MutationProfile::TopologyHeavy, &mut rng);
+            let outcome = oracle.apply(&batch).expect("valid batch");
+            assert_eq!(
+                oracle.estimate(),
+                &exact_apsp(oracle.graph()),
+                "step {step} ({:?})",
+                outcome.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_an_identity_delta() {
+        let mut oracle = exact_engine(16, 3, DynamicConfig::default());
+        let before = oracle.fingerprint();
+        let outcome = oracle.apply(&UpdateBatch::default()).expect("empty ok");
+        assert_eq!(outcome.changed_edges, 0);
+        assert_eq!(outcome.delta.base_fingerprint, before);
+        assert_eq!(outcome.delta.result_fingerprint, before);
+        assert!(outcome.delta.rows.is_empty());
+        assert_eq!(oracle.stats(), DynamicStats::default());
+    }
+
+    #[test]
+    fn zero_repair_fraction_forces_rebuild_with_identical_output() {
+        let forced = DynamicConfig {
+            repair_fraction: 0.0,
+            ..Default::default()
+        };
+        let always_repair = DynamicConfig {
+            repair_fraction: 1.0,
+            ..Default::default()
+        };
+        let mut rebuilt = exact_engine(28, 4, forced);
+        let mut repaired = exact_engine(28, 4, always_repair);
+        let batch = random_batch(
+            rebuilt.graph(),
+            2,
+            MutationProfile::ReweightHeavy,
+            &mut StdRng::seed_from_u64(42),
+        );
+        let a = rebuilt.apply(&batch).expect("rebuild path");
+        let b = repaired.apply(&batch).expect("repair path");
+        assert!(matches!(
+            a.strategy,
+            ApplyStrategy::Rebuilt {
+                reason: RebuildReason::Churn
+            }
+        ));
+        assert!(matches!(b.strategy, ApplyStrategy::Repaired { .. }));
+        assert_eq!(rebuilt.estimate(), repaired.estimate());
+        // Identical deltas up to the strategy provenance field.
+        assert_eq!(a.delta.batch, b.delta.batch);
+        assert_eq!(a.delta.rows, b.delta.rows);
+        assert_eq!(a.delta.base_fingerprint, b.delta.base_fingerprint);
+        assert_eq!(a.delta.result_fingerprint, b.delta.result_fingerprint);
+        assert_eq!(rebuilt.stats().rebuilds, 1);
+        assert_eq!(repaired.stats().repairs, 1);
+    }
+
+    #[test]
+    fn approximate_estimates_always_rebuild() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnp_connected(24, 0.2, 1..=9, &mut rng);
+        let (est, _, _) = run_algorithm(
+            &g,
+            "spanner",
+            5,
+            ExecPolicy::from_env(),
+            KernelMode::from_env(),
+        )
+        .unwrap();
+        let mut oracle = IncrementalOracle::new(g, est, "spanner", 5, DynamicConfig::default());
+        assert!(!oracle.supports_repair());
+        let batch = UpdateBatch::new(vec![EdgeOp::Insert(0, 23, 3)]);
+        let outcome = oracle.apply(&batch).expect("valid");
+        assert!(matches!(
+            outcome.strategy,
+            ApplyStrategy::Rebuilt {
+                reason: RebuildReason::Approximate
+            }
+        ));
+        // The rebuilt estimate is exactly what a fresh pipeline run gives.
+        let (direct, _, _) = run_algorithm(
+            oracle.graph(),
+            "spanner",
+            5,
+            ExecPolicy::from_env(),
+            KernelMode::from_env(),
+        )
+        .unwrap();
+        assert_eq!(oracle.estimate(), &direct);
+        assert_eq!(oracle.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn delta_replays_onto_an_untouched_copy() {
+        let mut oracle = exact_engine(26, 6, DynamicConfig::default());
+        let base_graph = oracle.graph().clone();
+        let base_estimate = oracle.estimate().clone();
+        let batch = random_batch(
+            &base_graph,
+            3,
+            MutationProfile::TopologyHeavy,
+            &mut StdRng::seed_from_u64(17),
+        );
+        let outcome = oracle.apply(&batch).expect("valid");
+        let (g2, e2) = outcome
+            .delta
+            .apply(&base_graph, &base_estimate)
+            .expect("replays");
+        assert_eq!(&g2, oracle.graph());
+        assert_eq!(&e2, oracle.estimate());
+    }
+
+    #[test]
+    fn failed_batches_leave_the_state_untouched() {
+        let mut oracle = exact_engine(14, 7, DynamicConfig::default());
+        let before = oracle.fingerprint();
+        let bad = UpdateBatch::new(vec![EdgeOp::Insert(0, 99, 1)]);
+        assert!(oracle.apply(&bad).is_err());
+        assert_eq!(oracle.fingerprint(), before);
+        assert_eq!(oracle.stats(), DynamicStats::default());
+    }
+
+    #[test]
+    fn disconnecting_updates_produce_inf_rows() {
+        // A path graph cut in the middle: the far side becomes unreachable
+        // and the repaired rows must say so.
+        let g = Graph::from_edges(
+            4,
+            cc_graph::graph::Direction::Undirected,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+        );
+        let e = exact_apsp(&g);
+        let mut oracle = IncrementalOracle::new(g, e, "exact", 0, DynamicConfig::default());
+        oracle
+            .apply(&UpdateBatch::new(vec![EdgeOp::Delete(1, 2)]))
+            .expect("valid");
+        assert_eq!(oracle.estimate(), &exact_apsp(oracle.graph()));
+        assert_eq!(oracle.estimate().get(0, 3), INF);
+        assert_eq!(oracle.estimate().get(0, 1), 1);
+    }
+}

@@ -30,6 +30,18 @@ pub fn exact_apsp_with(g: &Graph, exec: ExecPolicy) -> DistMatrix {
     DistMatrix::from_raw(n, data)
 }
 
+/// Exact distance rows for a subset of sources: `result[i]` is the
+/// Dijkstra row of `sources[i]` on `g`, computed in parallel shards. This
+/// is the per-source repair kernel of the dynamic update engine
+/// (`cc_dynamic`): each row is exactly the row [`exact_apsp_with`] would
+/// produce, so patching rows into an existing exact matrix is
+/// bit-identical to a full recomputation.
+pub fn exact_rows_with(g: &Graph, sources: &[usize], exec: ExecPolicy) -> Vec<Vec<crate::Weight>> {
+    exec.map_shards_collect(sources.len(), |range| {
+        range.map(|i| dijkstra(g, sources[i])).collect()
+    })
+}
+
 /// Exact APSP via Floyd–Warshall. `O(n³)`; used to cross-check
 /// [`exact_apsp`] on small graphs.
 pub fn floyd_warshall(g: &Graph) -> DistMatrix {
@@ -81,6 +93,24 @@ mod tests {
         let m = exact_apsp(&g);
         assert_eq!(m.get(0, 2), 2);
         assert_eq!(m.get(2, 0), INF);
+    }
+
+    #[test]
+    fn exact_rows_match_full_apsp() {
+        let g = Graph::from_edges(
+            6,
+            Direction::Undirected,
+            &[(0, 1, 2), (1, 2, 3), (2, 3, 1), (3, 4, 4), (0, 5, 9)],
+        );
+        let full = exact_apsp(&g);
+        for exec in [ExecPolicy::Seq, ExecPolicy::with_threads(3)] {
+            let rows = exact_rows_with(&g, &[4, 0, 2], exec);
+            assert_eq!(rows.len(), 3);
+            assert_eq!(rows[0], full.row(4));
+            assert_eq!(rows[1], full.row(0));
+            assert_eq!(rows[2], full.row(2));
+        }
+        assert!(exact_rows_with(&g, &[], ExecPolicy::Seq).is_empty());
     }
 
     #[test]

@@ -18,11 +18,17 @@
 //!   per-query latency accounting;
 //! * [`loadgen`] — the deterministic closed-loop load generator (seeded
 //!   zipf/uniform mixes) whose results the `ccapsp bench-serve` subcommand
-//!   writes as `BENCH_serve.json` through [`cc_bench::report`].
+//!   writes as `BENCH_serve.json` through [`cc_bench::report`]; its
+//!   [`drive_readwrite`](loadgen::drive_readwrite) variant interleaves a
+//!   seeded mutation stream, landing each write batch as a verified
+//!   `cc_dynamic` delta via
+//!   [`OracleService::apply_delta`](service::OracleService::apply_delta)
+//!   (an in-place blue/green version bump that re-keys the hot-row cache).
 //!
 //! The serving invariant mirrors the compute layers' parallelism contract:
-//! for a fixed snapshot and [`loadgen::LoadSpec`], query *results* are
-//! bit-identical at every thread count — only timings move.
+//! for a fixed snapshot and [`loadgen::LoadSpec`] (and, on the write path,
+//! [`loadgen::ReadWriteSpec`]), query *results* are bit-identical at every
+//! thread count — only timings move.
 //!
 //! # Quick start
 //!

@@ -13,6 +13,8 @@
 //! the timing fields may differ.
 
 use cc_bench::report::BenchRecord;
+use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+use cc_dynamic::update::{random_batch, MutationProfile};
 use cc_graph::NodeId;
 use cc_par::ExecPolicy;
 use rand::rngs::StdRng;
@@ -93,6 +95,14 @@ impl Default for LoadSpec {
     }
 }
 
+/// Salt deriving the zipf permutation seed from the stream seed (an
+/// arbitrary odd 64-bit constant; see [`generate_queries`]).
+const ZIPF_PERM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Salt deriving the mutation-stream seed from the read-stream seed in
+/// [`drive_readwrite`].
+const WRITE_SALT: u64 = 0x5851_f42d_4c95_7f2d;
+
 /// Inverse-CDF zipf sampler over `n` ranks with a seeded rank→node
 /// permutation.
 pub struct ZipfSampler {
@@ -151,11 +161,20 @@ pub fn generate_queries(n: usize, spec: &LoadSpec) -> Vec<Query> {
     assert!(n > 0, "cannot generate load for an empty snapshot");
     let total = spec.mix.total();
     assert!(total > 0, "query mix has zero total weight");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // The zipf rank permutation gets its own rng, derived from the stream
+    // seed by a fixed salt, instead of sharing (and being re-seeded
+    // alongside) the query rng: the hot set is a function of the seed
+    // alone, never of how many draws preceded it, so back-to-back drives
+    // with distinct seeds can neither collide nor shear the permutation
+    // against the query stream.
     let sampler = match spec.skew {
         Skew::Uniform => None,
-        Skew::Zipf(s) => Some(ZipfSampler::new(n, s, &mut rng)),
+        Skew::Zipf(s) => {
+            let mut perm_rng = StdRng::seed_from_u64(spec.seed ^ ZIPF_PERM_SALT);
+            Some(ZipfSampler::new(n, s, &mut perm_rng))
+        }
     };
+    let mut rng = StdRng::seed_from_u64(spec.seed);
     let k = spec.k.clamp(1, n);
     let mut out = Vec::with_capacity(spec.queries);
     for _ in 0..spec.queries {
@@ -272,6 +291,183 @@ pub fn drive(
         p99_us: percentile_us(&latencies, 0.99),
         cache_hit_rate,
         fingerprint: fnv1a(&batch_prints),
+    }
+}
+
+/// Specification of a mixed read/write run: a read stream plus an
+/// interleaved seeded mutation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadWriteSpec {
+    /// The read side (queries, batch size, mix, skew, seed).
+    pub load: LoadSpec,
+    /// Expected write batches per read batch (`0.2` ⇒ one write batch
+    /// every 5 read batches; values ≥ 1 write that many batches between
+    /// consecutive read batches).
+    pub write_ratio: f64,
+    /// Edge ops per write batch.
+    pub ops_per_batch: usize,
+    /// Shape of the mutation stream.
+    pub profile: MutationProfile,
+}
+
+impl Default for ReadWriteSpec {
+    fn default() -> Self {
+        Self {
+            load: LoadSpec::default(),
+            write_ratio: 0.2,
+            ops_per_batch: 8,
+            profile: MutationProfile::ReweightHeavy,
+        }
+    }
+}
+
+/// The measured outcome of one [`drive_readwrite`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadWriteResult {
+    /// Read-side metrics (throughput, latency percentiles, cache, and the
+    /// response fingerprint — which now also witnesses *when* each write
+    /// landed relative to the reads).
+    pub read: ServeBenchResult,
+    /// Write batches applied.
+    pub write_batches: usize,
+    /// Edge changes applied across all write batches.
+    pub ops_applied: usize,
+    /// Write batches served by incremental row repair.
+    pub repairs: u64,
+    /// Write batches served by full pipeline rebuild.
+    pub rebuilds: u64,
+    /// Median write-batch latency (engine apply + service swap), ms.
+    pub write_p50_ms: f64,
+    /// 95th-percentile write-batch latency, ms.
+    pub write_p95_ms: f64,
+    /// [`cc_dynamic::state_fingerprint`] of the final servable state.
+    pub final_state_fingerprint: u64,
+}
+
+impl ReadWriteResult {
+    /// Packages the run as a [`BenchRecord`]; write metrics ride in
+    /// `extras` next to the read-side ones.
+    pub fn to_record(&self, experiment: &str, n: usize) -> BenchRecord {
+        let mut record = self.read.to_record(experiment, n);
+        record.extras.extend([
+            ("write_batches".into(), self.write_batches as f64),
+            ("ops_applied".into(), self.ops_applied as f64),
+            ("repairs".into(), self.repairs as f64),
+            ("rebuilds".into(), self.rebuilds as f64),
+            ("write_p50_ms".into(), self.write_p50_ms),
+            ("write_p95_ms".into(), self.write_p95_ms),
+        ]);
+        record
+    }
+}
+
+/// Drives the newest snapshot under `name` with the read stream while
+/// interleaving seeded write batches: each write runs through an
+/// [`IncrementalOracle`] (repair or rebuild) and lands in the service as a
+/// verified delta via [`OracleService::apply_delta`], so reads after it
+/// observe the bumped version. Everything — queries, mutations, and their
+/// interleaving — is a pure function of the spec, so the response
+/// fingerprint is identical across thread counts.
+///
+/// # Panics
+///
+/// Panics if `name` is not registered or `write_ratio` is negative or not
+/// finite. (Engine/service delta application cannot fail here: generated
+/// batches are valid by construction and both sides advance in lockstep.)
+pub fn drive_readwrite(
+    service: &mut OracleService,
+    name: &str,
+    spec: &ReadWriteSpec,
+    exec: ExecPolicy,
+) -> ReadWriteResult {
+    assert!(
+        spec.write_ratio.is_finite() && spec.write_ratio >= 0.0,
+        "write_ratio must be finite and non-negative"
+    );
+    let id = service
+        .resolve(name)
+        .expect("snapshot registered under name");
+    let base = service.export(id);
+    let algo = base.meta.algo.clone();
+    let seed = base.meta.seed;
+    let mut engine = IncrementalOracle::new(
+        base.graph,
+        base.estimate,
+        &algo,
+        seed,
+        DynamicConfig {
+            exec,
+            ..Default::default()
+        },
+    );
+    let queries = generate_queries(service.n(id), &spec.load);
+    let mut write_rng = StdRng::seed_from_u64(spec.load.seed ^ WRITE_SALT);
+    let before = service.cache_stats(id);
+    let mut latencies: Vec<u64> = Vec::with_capacity(queries.len());
+    let mut write_ns: Vec<u64> = Vec::new();
+    let mut batch_prints: Vec<u8> = Vec::new();
+    let mut ops_applied = 0usize;
+    let mut writes_due = 0.0f64;
+    let start = Instant::now();
+    for batch in queries.chunks(spec.load.batch.max(1)) {
+        writes_due += spec.write_ratio;
+        while writes_due >= 1.0 {
+            writes_due -= 1.0;
+            let mutation = random_batch(
+                engine.graph(),
+                spec.ops_per_batch,
+                spec.profile,
+                &mut write_rng,
+            );
+            let t = Instant::now();
+            let outcome = engine
+                .apply(&mutation)
+                .expect("generated batches are valid");
+            service
+                .apply_delta(name, &outcome.delta)
+                .expect("engine and service advance in lockstep");
+            write_ns.push(t.elapsed().as_nanos() as u64);
+            ops_applied += outcome.changed_edges;
+        }
+        let outcome = service.run_batch(id, batch, exec);
+        latencies.extend_from_slice(&outcome.latencies_ns);
+        batch_prints.extend_from_slice(&fingerprint(&outcome.responses).to_le_bytes());
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = service.cache_stats(id);
+    let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+    let cache_hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (after.hits - before.hits) as f64 / lookups as f64
+    };
+    latencies.sort_unstable();
+    let write_batches = write_ns.len();
+    write_ns.sort_unstable();
+    let stats = engine.stats();
+    ReadWriteResult {
+        read: ServeBenchResult {
+            queries: queries.len(),
+            threads: exec.threads(),
+            wall_ms,
+            qps: if wall_ms > 0.0 {
+                queries.len() as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            p50_us: percentile_us(&latencies, 0.50),
+            p95_us: percentile_us(&latencies, 0.95),
+            p99_us: percentile_us(&latencies, 0.99),
+            cache_hit_rate,
+            fingerprint: fnv1a(&batch_prints),
+        },
+        write_batches,
+        ops_applied,
+        repairs: stats.repairs,
+        rebuilds: stats.rebuilds,
+        write_p50_ms: percentile_us(&write_ns, 0.50) / 1e3,
+        write_p95_ms: percentile_us(&write_ns, 0.95) / 1e3,
+        final_state_fingerprint: engine.fingerprint(),
     }
 }
 
@@ -409,6 +605,149 @@ mod tests {
             assert_eq!(par.fingerprint, seq.fingerprint, "threads={threads}");
             assert_eq!(par.threads, threads);
         }
+    }
+
+    #[test]
+    fn back_to_back_drives_with_distinct_seeds_have_distinct_fingerprints() {
+        // Regression for the hoisted zipf-permutation seeding: consecutive
+        // drives against one service, differing only in the stream seed,
+        // must produce distinct query streams and hence distinct response
+        // fingerprints (cache warm-up must not matter either).
+        let (service, id) = OracleService::single(snapshot(30, 4));
+        let drive_seed = |seed: u64| {
+            let spec = LoadSpec {
+                queries: 800,
+                batch: 128,
+                seed,
+                ..Default::default()
+            };
+            drive(&service, id, &spec, ExecPolicy::Seq).fingerprint
+        };
+        let a = drive_seed(1);
+        let b = drive_seed(2);
+        let a_again = drive_seed(1);
+        assert_ne!(a, b, "distinct seeds must not collide");
+        assert_eq!(a, a_again, "same seed replays the same stream");
+        // The hot set itself differs per seed, not just the query order.
+        let hot = |seed: u64| {
+            let spec = LoadSpec {
+                queries: 1,
+                seed,
+                ..Default::default()
+            };
+            let mut perm_rng = StdRng::seed_from_u64(spec.seed ^ ZIPF_PERM_SALT);
+            ZipfSampler::new(30, 1.0, &mut perm_rng).perm.clone()
+        };
+        assert_ne!(hot(1), hot(2));
+    }
+
+    #[test]
+    fn readwrite_drive_is_deterministic_and_tracks_writes() {
+        let spec = ReadWriteSpec {
+            load: LoadSpec {
+                queries: 600,
+                batch: 64,
+                seed: 5,
+                ..Default::default()
+            },
+            write_ratio: 0.5,
+            ops_per_batch: 3,
+            profile: MutationProfile::TopologyHeavy,
+        };
+        let run = |threads: usize| {
+            let mut service = OracleService::default();
+            service.register("g", snapshot(26, 8));
+            let result =
+                drive_readwrite(&mut service, "g", &spec, ExecPolicy::with_threads(threads));
+            let final_snap = service.export(service.resolve("g").unwrap());
+            (result, final_snap)
+        };
+        let (seq, seq_snap) = run(1);
+        assert_eq!(
+            seq.write_batches, 5,
+            "0.5 writes/read-batch over 10 read batches"
+        );
+        assert!(seq.ops_applied > 0);
+        assert_eq!(seq.repairs + seq.rebuilds, seq.write_batches as u64);
+        assert!(seq.write_p50_ms <= seq.write_p95_ms);
+        // The served state really moved, and service/engine agree on it.
+        assert_ne!(
+            seq.final_state_fingerprint,
+            snapshot(26, 8).state_fingerprint()
+        );
+        assert_eq!(seq.final_state_fingerprint, seq_snap.state_fingerprint());
+        // The final estimate is exactly a from-scratch rebuild.
+        assert_eq!(seq_snap.estimate, apsp::exact_apsp(&seq_snap.graph));
+        for threads in [2, 4] {
+            let (par, par_snap) = run(threads);
+            assert_eq!(
+                par.read.fingerprint, seq.read.fingerprint,
+                "threads={threads}"
+            );
+            assert_eq!(par.final_state_fingerprint, seq.final_state_fingerprint);
+            assert_eq!(par_snap, seq_snap);
+            assert_eq!((par.repairs, par.rebuilds), (seq.repairs, seq.rebuilds));
+        }
+        // Pure-read spec degenerates to zero writes.
+        let mut service = OracleService::default();
+        service.register("g", snapshot(26, 8));
+        let none = drive_readwrite(
+            &mut service,
+            "g",
+            &ReadWriteSpec {
+                write_ratio: 0.0,
+                load: spec.load.clone(),
+                ..spec.clone()
+            },
+            ExecPolicy::Seq,
+        );
+        assert_eq!(none.write_batches, 0);
+        assert_eq!(
+            none.final_state_fingerprint,
+            snapshot(26, 8).state_fingerprint()
+        );
+    }
+
+    #[test]
+    fn readwrite_record_carries_write_extras() {
+        let mut service = OracleService::default();
+        service.register("g", snapshot(20, 9));
+        let result = drive_readwrite(
+            &mut service,
+            "g",
+            &ReadWriteSpec {
+                load: LoadSpec {
+                    queries: 100,
+                    batch: 25,
+                    ..Default::default()
+                },
+                write_ratio: 1.0,
+                ops_per_batch: 2,
+                profile: MutationProfile::ReweightHeavy,
+            },
+            ExecPolicy::Seq,
+        );
+        let rec = result.to_record("serve_readwrite", 20);
+        for key in [
+            "qps",
+            "write_batches",
+            "repairs",
+            "rebuilds",
+            "write_p50_ms",
+        ] {
+            assert!(
+                rec.extras.iter().any(|(k, _)| k == key),
+                "missing extra {key}"
+            );
+        }
+        assert_eq!(
+            rec.extras
+                .iter()
+                .find(|(k, _)| k == "write_batches")
+                .unwrap()
+                .1,
+            result.write_batches as f64
+        );
     }
 
     #[test]

@@ -132,14 +132,24 @@ impl CacheStats {
     }
 }
 
-/// A bounded LRU of fully-sorted estimate rows. Recency is a logical clock
-/// stamp; eviction scans for the minimum stamp (caches are small — tens of
-/// rows — so the O(capacity) scan is cheaper than maintaining a list).
+/// A bounded LRU of fully-sorted estimate rows, keyed by **(snapshot
+/// version, row)** — after a blue/green swap ([`OracleService::apply_delta`]
+/// bumps the entry's version in place) every lookup misses by construction,
+/// so a cached row from the previous estimate can never be served against
+/// the new one. Recency is a logical clock stamp; eviction scans for the
+/// minimum stamp (caches are small — tens of rows — so the O(capacity)
+/// scan is cheaper than maintaining a list).
 struct RowCache {
     cap: usize,
     clock: u64,
-    rows: HashMap<NodeId, (u64, Vec<(NodeId, Weight)>)>,
+    rows: HashMap<CacheKey, (u64, SortedRow)>,
 }
+
+/// `(snapshot version, source row)` — the cache key; see [`RowCache`].
+type CacheKey = (u32, NodeId);
+
+/// A fully-sorted `(node, distance)` estimate row.
+type SortedRow = Vec<(NodeId, Weight)>;
 
 impl RowCache {
     fn new(cap: usize) -> Self {
@@ -150,31 +160,64 @@ impl RowCache {
         }
     }
 
-    fn get(&mut self, u: NodeId) -> Option<&Vec<(NodeId, Weight)>> {
+    fn get(&mut self, version: u32, u: NodeId) -> Option<&SortedRow> {
         self.clock += 1;
         let clock = self.clock;
-        self.rows.get_mut(&u).map(|(stamp, row)| {
+        self.rows.get_mut(&(version, u)).map(|(stamp, row)| {
             *stamp = clock;
             &*row
         })
     }
 
-    fn insert(&mut self, u: NodeId, row: Vec<(NodeId, Weight)>) {
+    fn insert(&mut self, version: u32, u: NodeId, row: SortedRow) {
         if self.cap == 0 {
             return;
         }
-        if self.rows.len() >= self.cap && !self.rows.contains_key(&u) {
+        if self.rows.len() >= self.cap && !self.rows.contains_key(&(version, u)) {
+            // Rows from superseded versions age out first: they can never
+            // hit again (lookups carry the current version), so their
+            // stamps only go stale.
             if let Some(evict) = self
                 .rows
                 .iter()
-                .min_by_key(|(node, (stamp, _))| (*stamp, **node))
-                .map(|(node, _)| *node)
+                .min_by_key(|(key, (stamp, _))| (*stamp, **key))
+                .map(|(key, _)| *key)
             {
                 self.rows.remove(&evict);
             }
         }
         self.clock += 1;
-        self.rows.insert(u, (self.clock, row));
+        self.rows.insert((version, u), (self.clock, row));
+    }
+}
+
+/// Everything that can make [`OracleService::apply_delta`] fail.
+#[derive(Debug)]
+pub enum ApplyDeltaError {
+    /// No snapshot is registered under the given name.
+    UnknownSnapshot(String),
+    /// The delta did not validate against the live state; see
+    /// [`cc_dynamic::DeltaError`].
+    Delta(cc_dynamic::DeltaError),
+}
+
+impl std::fmt::Display for ApplyDeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyDeltaError::UnknownSnapshot(name) => {
+                write!(f, "no snapshot registered as {name:?}")
+            }
+            ApplyDeltaError::Delta(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyDeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApplyDeltaError::Delta(e) => Some(e),
+            ApplyDeltaError::UnknownSnapshot(_) => None,
+        }
     }
 }
 
@@ -260,6 +303,46 @@ impl OracleService {
         SnapshotId(idx)
     }
 
+    /// Applies a dynamic-update delta to the newest snapshot registered
+    /// under `name`, as an in-place blue/green version bump: the successor
+    /// oracle is fully constructed (both delta fingerprints verified)
+    /// before it replaces the live one, and the bumped version re-keys the
+    /// hot-row cache, so no query can ever observe a half-applied update or
+    /// a stale cached row. On any error the previous state stays live and
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplyDeltaError::UnknownSnapshot`] when `name` is not registered;
+    /// [`ApplyDeltaError::Delta`] for fingerprint/validation failures.
+    pub fn apply_delta(
+        &mut self,
+        name: &str,
+        delta: &cc_dynamic::Delta,
+    ) -> Result<SnapshotId, ApplyDeltaError> {
+        let id = self
+            .resolve(name)
+            .ok_or_else(|| ApplyDeltaError::UnknownSnapshot(name.to_string()))?;
+        let e = &mut self.entries[id.0];
+        // Take the state out without cloning; restore it verbatim on error.
+        let placeholder = DistanceOracle::new(
+            cc_graph::Graph::empty(0, cc_graph::graph::Direction::Undirected),
+            cc_graph::DistMatrix::infinite(0),
+        );
+        let (graph, estimate) = std::mem::replace(&mut e.oracle, placeholder).into_parts();
+        match delta.apply(&graph, &estimate) {
+            Ok((new_graph, new_estimate)) => {
+                e.oracle = DistanceOracle::new(new_graph, new_estimate);
+                e.version += 1;
+                Ok(id)
+            }
+            Err(err) => {
+                e.oracle = DistanceOracle::new(graph, estimate);
+                Err(ApplyDeltaError::Delta(err))
+            }
+        }
+    }
+
     /// The newest version registered under `name`.
     pub fn resolve(&self, name: &str) -> Option<SnapshotId> {
         self.by_name
@@ -299,6 +382,20 @@ impl OracleService {
         self.entries[id.0].oracle.graph().n()
     }
 
+    /// Clones a registered snapshot's current state back out (graph,
+    /// estimate, provenance) — after [`OracleService::apply_delta`] calls,
+    /// this is the *live* state, not the originally registered one. Used to
+    /// persist a mutated snapshot and to seed the dynamic engine in the
+    /// read/write load generator.
+    pub fn export(&self, id: SnapshotId) -> Snapshot {
+        let e = &self.entries[id.0];
+        Snapshot::new(
+            e.oracle.graph().clone(),
+            e.oracle.estimate().clone(),
+            e.meta.clone(),
+        )
+    }
+
     /// Cache counters of a registered snapshot.
     pub fn cache_stats(&self, id: SnapshotId) -> CacheStats {
         let e = &self.entries[id.0];
@@ -331,7 +428,7 @@ impl OracleService {
     fn k_nearest(&self, e: &Entry, u: NodeId, k: usize) -> Vec<(NodeId, Weight)> {
         {
             let mut cache = e.cache.lock().unwrap();
-            if let Some(row) = cache.get(u) {
+            if let Some(row) = cache.get(e.version, u) {
                 e.hits.fetch_add(1, Ordering::Relaxed);
                 return row.iter().take(k).copied().collect();
             }
@@ -342,7 +439,7 @@ impl OracleService {
         // but the row they compute is identical.
         let full = k_nearest_from_dists(estimate.row(u), estimate.n());
         let answer = full.iter().take(k).copied().collect();
-        e.cache.lock().unwrap().insert(u, full);
+        e.cache.lock().unwrap().insert(e.version, u, full);
         answer
     }
 
@@ -466,13 +563,13 @@ mod tests {
     #[test]
     fn lru_evicts_the_least_recently_used_row() {
         let mut cache = RowCache::new(2);
-        cache.insert(0, vec![(0, 0)]);
-        cache.insert(1, vec![(1, 0)]);
-        assert!(cache.get(0).is_some()); // 0 is now more recent than 1
-        cache.insert(2, vec![(2, 0)]); // evicts 1
-        assert!(cache.get(1).is_none());
-        assert!(cache.get(0).is_some());
-        assert!(cache.get(2).is_some());
+        cache.insert(1, 0, vec![(0, 0)]);
+        cache.insert(1, 1, vec![(1, 0)]);
+        assert!(cache.get(1, 0).is_some()); // 0 is now more recent than 1
+        cache.insert(1, 2, vec![(2, 0)]); // evicts 1
+        assert!(cache.get(1, 1).is_none());
+        assert!(cache.get(1, 0).is_some());
+        assert!(cache.get(1, 2).is_some());
     }
 
     #[test]
@@ -506,6 +603,85 @@ mod tests {
         // The old version stays queryable by id.
         assert_eq!(service.n(v1), 12);
         assert_eq!(service.n(v2), 14);
+    }
+
+    #[test]
+    fn apply_delta_swap_never_serves_a_stale_cached_row() {
+        use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+        use cc_dynamic::update::{EdgeOp, UpdateBatch};
+
+        // A path graph: reweighting an edge incident to node 0 changes
+        // node 0's whole distance row, so a stale k-nearest cache row is
+        // observable.
+        let g = Graph::from_edges(
+            5,
+            Direction::Undirected,
+            &[(0, 1, 5), (1, 2, 5), (2, 3, 5), (3, 4, 5)],
+        );
+        let exact = apsp::exact_apsp(&g);
+        let snap = Snapshot::new(
+            g.clone(),
+            exact.clone(),
+            SnapshotMeta {
+                algo: "exact".into(),
+                seed: 0,
+                stretch_bound: 1.0,
+                rounds: 0,
+                source: "test".into(),
+            },
+        );
+        let mut service = OracleService::default();
+        let id = service.register("g", snap);
+        let (_, v_before) = service.label(id);
+
+        // Warm the cache for node 0, twice, so the second is a hit.
+        let before = service.answer(id, &Query::KNearest(0, 5));
+        assert_eq!(service.answer(id, &Query::KNearest(0, 5)), before);
+        assert_eq!(service.cache_stats(id).hits, 1);
+
+        // Produce a verified delta with the dynamic engine and swap it in.
+        let mut engine = IncrementalOracle::new(g, exact, "exact", 0, DynamicConfig::default());
+        let outcome = engine
+            .apply(&UpdateBatch::new(vec![EdgeOp::Reweight(0, 1, 1)]))
+            .expect("valid batch");
+        let swapped = service.apply_delta("g", &outcome.delta).expect("applies");
+        assert_eq!(swapped, id, "in-place bump keeps the id");
+        let (_, v_after) = service.label(id);
+        assert_eq!(v_after, v_before + 1);
+
+        // The same query must now answer from the new estimate — a stale
+        // cache hit would still show distance 5 to node 1.
+        let after = service.answer(id, &Query::KNearest(0, 5));
+        assert_ne!(after, before);
+        assert_eq!(
+            after,
+            Response::KNearest(sssp::k_nearest(engine.graph(), 0, 5))
+        );
+        // And replaying the delta (now against the wrong base) fails
+        // cleanly with the old state... gone, the new one intact.
+        assert!(matches!(
+            service.apply_delta("g", &outcome.delta),
+            Err(ApplyDeltaError::Delta(
+                cc_dynamic::DeltaError::BaseMismatch { .. }
+            ))
+        ));
+        assert_eq!(service.answer(id, &Query::KNearest(0, 5)), after);
+        assert!(matches!(
+            service.apply_delta("missing", &outcome.delta),
+            Err(ApplyDeltaError::UnknownSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn row_cache_is_keyed_by_version() {
+        let mut cache = RowCache::new(4);
+        cache.insert(1, 0, vec![(0, 0), (1, 5)]);
+        assert!(cache.get(1, 0).is_some());
+        // Same row, newer version: miss by construction.
+        assert!(cache.get(2, 0).is_none());
+        cache.insert(2, 0, vec![(0, 0), (1, 1)]);
+        assert_eq!(cache.get(2, 0).unwrap()[1], (1, 1));
+        assert_eq!(cache.get(1, 0).unwrap()[1], (1, 5));
     }
 
     #[test]

@@ -215,6 +215,35 @@ impl Snapshot {
         self.graph.n()
     }
 
+    /// Content fingerprint of the servable state (graph + estimate,
+    /// excluding provenance metadata): the identity the dynamic engine's
+    /// `*.ccdelta` chains are anchored to. Two snapshots with the same
+    /// fingerprint answer every query identically, whatever produced them.
+    pub fn state_fingerprint(&self) -> u64 {
+        cc_dynamic::state_fingerprint(&self.graph, &self.estimate)
+    }
+
+    /// Applies a dynamic-update delta, producing the successor snapshot
+    /// (same provenance metadata, updated graph and estimate). The delta's
+    /// base fingerprint must match [`Snapshot::state_fingerprint`], and the
+    /// result is verified against the delta's recorded result fingerprint
+    /// before anything is returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`cc_dynamic::Delta::apply`].
+    pub fn apply_delta(
+        &self,
+        delta: &cc_dynamic::Delta,
+    ) -> Result<Snapshot, cc_dynamic::DeltaError> {
+        let (graph, estimate) = delta.apply(&self.graph, &self.estimate)?;
+        Ok(Snapshot {
+            graph,
+            estimate,
+            meta: self.meta.clone(),
+        })
+    }
+
     /// Serializes to the canonical byte form (see the [module docs](self)).
     pub fn to_bytes(&self) -> Vec<u8> {
         // Graph section: n, direction, edge count, (u, v, w) triples. The

@@ -10,8 +10,14 @@
 //!                 [--threads T] -o <out.ccsnap>          run pipeline → snapshot
 //! ccapsp query <snap.ccsnap> dist|route|knearest <u> <v|k>
 //!                                                        answer one query
+//! ccapsp update <snap.ccsnap> --ops <file>|--random K [--profile P]
+//!                 [--repair-fraction F] [--delta <d.ccdelta>] [-o <new.ccsnap>]
+//!                                                        apply an edge-update batch
+//! ccapsp compact <base.ccsnap> <d.ccdelta>... -o <out.ccsnap> [--delta <merged>]
+//!                                                        collapse a delta chain
 //! ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew S]
 //!                 [--k K] [--seed S] [--threads T] [--out FILE]
+//!                 [--write-ratio R] [--ops-per-batch K] [--profile P]
 //!                                                        load-generate → BENCH_serve.json
 //! ```
 //!
@@ -24,27 +30,27 @@
 //! default applies. `--kernel {auto,dense,sparse}` pins the min-plus kernel
 //! engine's dispatch the same way (`CC_KERNEL` environment default, `auto`
 //! when unset). Neither ever changes any output — estimates, bounds, round
-//! counts, and served query results are bit-identical across policies and
-//! kernels — only the wall-clock time.
+//! counts, served query results, and update deltas are bit-identical across
+//! policies and kernels — only the wall-clock time.
 
-use cc_apsp::pipeline::{approximate_apsp, apsp_large_bandwidth, PipelineConfig};
-use cc_apsp::smalldiam::{small_diameter_apsp, SmallDiamConfig};
-use cc_baselines::{exact as exact_baseline, spanner_only};
+use cc_dynamic::delta as ccdelta;
+use cc_dynamic::incremental::{ApplyStrategy, DynamicConfig, IncrementalOracle};
+use cc_dynamic::rebuild::{run_algorithm, ALGORITHMS as ALGOS};
+use cc_dynamic::update::{random_batch, MutationProfile, UpdateBatch};
+use cc_dynamic::Delta;
 use cc_graph::generators::Family;
 use cc_graph::graph::Direction;
 use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph, INF};
 use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
-use cc_serve::loadgen::{drive, LoadSpec, Skew};
+use cc_serve::loadgen::{drive, drive_readwrite, LoadSpec, ReadWriteSpec, Skew};
 use cc_serve::report::write_report;
 use cc_serve::service::{OracleService, Query, Response};
 use cc_serve::snapshot::{Snapshot, SnapshotMeta};
-use clique_sim::{Bandwidth, Clique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
-
-const ALGOS: &str = "thm11|thm81|smalldiam|spanner|exact";
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -56,10 +62,15 @@ fn usage() -> ExitCode {
          ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S] [--threads T] \
          [--kernel K] -o <out.ccsnap>\n  \
          ccapsp query <snap.ccsnap> dist|route|knearest <u> <v|k>\n  \
+         ccapsp update <snap.ccsnap> --ops <file>|--random K [--profile reweight|topology] \
+         [--seed S] [--threads T] [--kernel K] [--repair-fraction F] [--delta <d.ccdelta>] \
+         [-o <new.ccsnap>]\n  \
+         ccapsp compact <base.ccsnap> <d.ccdelta>... -o <out.ccsnap> [--delta <merged.ccdelta>]\n  \
          ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew uniform|zipf[:EXP]] \
-         [--k K] [--seed S] [--threads T] [--out FILE]\n\
+         [--k K] [--seed S] [--threads T] [--out FILE] [--write-ratio R] [--ops-per-batch K] \
+         [--profile P]\n\
          hint: `ccapsp <subcommand>` with missing arguments prints this listing; \
-         see the README's \"Serving\" section for the snapshot workflow",
+         see the README's \"Serving\" and \"Dynamic updates\" sections for the workflows",
         families = Family::ALL.map(|f| f.name()).join("|")
     );
     ExitCode::from(2)
@@ -73,6 +84,8 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("update") => cmd_update(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
@@ -206,7 +219,9 @@ fn parse_kernel(args: &[String]) -> Result<KernelMode, ExitCode> {
     }
 }
 
-/// Runs one named algorithm over `g`, returning
+/// Runs one named algorithm over `g` through the shared dispatch table
+/// (`cc_dynamic::rebuild::run_algorithm` — the same table the dynamic
+/// engine's rebuild fallback re-enters), returning
 /// `(estimate, stretch bound, rounds)`; `None` for an unknown name.
 fn run_algo(
     g: &Graph,
@@ -215,46 +230,7 @@ fn run_algo(
     exec: ExecPolicy,
     kernel: KernelMode,
 ) -> Option<(DistMatrix, f64, u64)> {
-    let cfg = PipelineConfig {
-        seed,
-        exec,
-        kernel,
-        ..Default::default()
-    };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = g.n();
-    Some(match algo {
-        "thm11" => {
-            let r = approximate_apsp(g, &cfg);
-            (r.estimate, r.stretch_bound, r.rounds)
-        }
-        "thm81" => {
-            let mut clique = Clique::new(n, Bandwidth::polylog(4, n));
-            let (est, bound) = apsp_large_bandwidth(&mut clique, g, &cfg, &mut rng);
-            (est, bound, clique.rounds())
-        }
-        "smalldiam" => {
-            let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let sd_cfg = SmallDiamConfig {
-                exec,
-                kernel,
-                ..Default::default()
-            };
-            let (est, bound) = small_diameter_apsp(&mut clique, g, &sd_cfg, &mut rng);
-            (est, bound, clique.rounds())
-        }
-        "spanner" => {
-            let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let (est, bound) = spanner_only::spanner_only_apsp_with(&mut clique, g, &mut rng, exec);
-            (est, bound, clique.rounds())
-        }
-        "exact" => {
-            let mut clique = Clique::new(n, Bandwidth::standard(n));
-            let est = exact_baseline::exact_apsp_squaring_kernel(&mut clique, g, exec, kernel);
-            (est, 1.0, clique.rounds())
-        }
-        _ => return None,
-    })
+    run_algorithm(g, algo, seed, exec, kernel).ok()
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -479,6 +455,209 @@ fn cmd_query(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn load_delta(path: &str) -> Result<Delta, ExitCode> {
+    Delta::load(path).map_err(|e| {
+        eprintln!("cannot load delta {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_update(args: &[String]) -> ExitCode {
+    let flags = [
+        "--ops",
+        "--random",
+        "--profile",
+        "--seed",
+        "--threads",
+        "--kernel",
+        "--repair-fraction",
+        "--delta",
+        "-o",
+        "--out",
+    ];
+    let [path] = positionals(args, &flags)[..] else {
+        return usage();
+    };
+    let snapshot = match load_snapshot(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let exec = match parse_exec(args) {
+        Ok(exec) => exec,
+        Err(code) => return code,
+    };
+    let kernel = match parse_kernel(args) {
+        Ok(kernel) => kernel,
+        Err(code) => return code,
+    };
+    let seed: u64 = match num_flag(args, "--seed", 1) {
+        Ok(seed) => seed,
+        Err(code) => return code,
+    };
+    let repair_fraction: f64 = match num_flag(args, "--repair-fraction", 0.25) {
+        Ok(f) if (0.0..=1.0).contains(&f) => f,
+        Ok(f) => {
+            eprintln!("--repair-fraction expects a value in [0, 1], got {f}");
+            return usage();
+        }
+        Err(code) => return code,
+    };
+    let profile = match flag(args, "--profile") {
+        None => MutationProfile::ReweightHeavy,
+        Some(p) => match MutationProfile::parse(p) {
+            Some(p) => p,
+            None => {
+                eprintln!("--profile expects reweight|topology, got {p:?}");
+                return usage();
+            }
+        },
+    };
+    let batch = match (flag(args, "--ops"), flag(args, "--random")) {
+        (Some(file), None) => {
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match UpdateBatch::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot parse {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(k)) => {
+            let Ok(k) = k.parse::<usize>() else {
+                eprintln!("--random expects a number of ops, got {k:?}");
+                return usage();
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_batch(&snapshot.graph, k, profile, &mut rng)
+        }
+        _ => {
+            eprintln!("update needs exactly one batch source: --ops <file> or --random K");
+            return usage();
+        }
+    };
+    let meta = snapshot.meta.clone();
+    let mut engine = IncrementalOracle::new(
+        snapshot.graph,
+        snapshot.estimate,
+        &meta.algo,
+        meta.seed,
+        DynamicConfig {
+            repair_fraction,
+            exec,
+            kernel,
+        },
+    );
+    let start = Instant::now();
+    let outcome = match engine.apply(&batch) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot apply batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let n = engine.graph().n();
+    println!("snapshot       {} nodes, algo {}", n, meta.algo);
+    println!(
+        "batch          {} ops, {} effective edge changes",
+        batch.canonicalize().len(),
+        outcome.changed_edges
+    );
+    match outcome.strategy {
+        ApplyStrategy::Repaired { affected } => {
+            println!("strategy       repaired {affected}/{n} rows");
+        }
+        ApplyStrategy::Rebuilt { reason } => println!("strategy       rebuilt ({reason:?})"),
+    }
+    println!("rows in delta  {}", outcome.delta.rows.len());
+    println!("wall           {wall_ms:.1} ms");
+    println!(
+        "state          {:016x} -> {:016x}",
+        outcome.delta.base_fingerprint, outcome.delta.result_fingerprint
+    );
+    if let Some(delta_out) = flag(args, "--delta") {
+        if let Err(e) = outcome.delta.save(delta_out) {
+            eprintln!("cannot write {delta_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote          {delta_out}");
+    }
+    if let Some(out) = flag(args, "-o").or_else(|| flag(args, "--out")) {
+        let updated = Snapshot::new(engine.graph().clone(), engine.estimate().clone(), meta);
+        if let Err(e) = updated.save(out) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote          {out}");
+    } else if flag(args, "--delta").is_none() {
+        println!("note           dry run: no --delta or -o output requested");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compact(args: &[String]) -> ExitCode {
+    let flags = ["--delta", "-o", "--out"];
+    let positional = positionals(args, &flags);
+    let Some((&base_path, delta_paths)) = positional.split_first() else {
+        return usage();
+    };
+    if delta_paths.is_empty() {
+        eprintln!("compact needs at least one <d.ccdelta> after the base snapshot");
+        return usage();
+    }
+    let Some(out) = flag(args, "-o").or_else(|| flag(args, "--out")) else {
+        eprintln!("compact needs an output path (-o <out.ccsnap>)");
+        return usage();
+    };
+    let base = match load_snapshot(base_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut deltas = Vec::with_capacity(delta_paths.len());
+    for p in delta_paths {
+        match load_delta(p) {
+            Ok(d) => deltas.push(d),
+            Err(code) => return code,
+        }
+    }
+    let (merged, graph, estimate) = match ccdelta::compact(&base.graph, &base.estimate, &deltas) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot replay delta chain: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let final_snapshot = Snapshot::new(graph, estimate, base.meta.clone());
+    let fp = final_snapshot.state_fingerprint();
+    if let Err(e) = final_snapshot.save(out) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "compacted      {} deltas: {} ops, {} rows",
+        deltas.len(),
+        merged.batch.len(),
+        merged.rows.len()
+    );
+    println!("state          {fp:016x}");
+    println!("wrote          {out}");
+    if let Some(delta_out) = flag(args, "--delta") {
+        if let Err(e) = merged.save(delta_out) {
+            eprintln!("cannot write {delta_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote          {delta_out}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_bench_serve(args: &[String]) -> ExitCode {
     let flags = [
         "--queries",
@@ -488,6 +667,9 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
         "--seed",
         "--threads",
         "--out",
+        "--write-ratio",
+        "--ops-per-batch",
+        "--profile",
     ];
     let [path] = positionals(args, &flags)[..] else {
         return usage();
@@ -531,12 +713,57 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
             return code
         }
     };
+    let write_ratio: f64 = match num_flag::<f64>(args, "--write-ratio", 0.0) {
+        Ok(r) if r.is_finite() && r >= 0.0 => r,
+        Ok(r) => {
+            eprintln!("--write-ratio expects a non-negative number, got {r}");
+            return usage();
+        }
+        Err(code) => return code,
+    };
+    let ops_per_batch: usize = match num_flag(args, "--ops-per-batch", 8) {
+        Ok(k) => k,
+        Err(code) => return code,
+    };
+    let profile = match flag(args, "--profile") {
+        None => MutationProfile::ReweightHeavy,
+        Some(p) => match MutationProfile::parse(p) {
+            Some(p) => p,
+            None => {
+                eprintln!("--profile expects reweight|topology, got {p:?}");
+                return usage();
+            }
+        },
+    };
     let out = flag(args, "--out").unwrap_or("BENCH_serve.json");
     let n = snapshot.n();
-    let (service, id) = OracleService::single(snapshot);
-    let result = drive(&service, id, &spec, exec);
+    let (mut service, id) = OracleService::single(snapshot);
     println!("snapshot       {n} nodes, algo {}", service.meta(id).algo);
     println!("exec           {exec}");
+    let (result, record) = if write_ratio > 0.0 {
+        let rw_spec = ReadWriteSpec {
+            load: spec.clone(),
+            write_ratio,
+            ops_per_batch,
+            profile,
+        };
+        let rw = drive_readwrite(&mut service, "default", &rw_spec, exec);
+        println!(
+            "writes         {} batches ({} edge changes, profile {profile}, ratio {write_ratio})",
+            rw.write_batches, rw.ops_applied
+        );
+        println!(
+            "write path     {} repaired / {} rebuilt, p50 {:.2} ms / p95 {:.2} ms",
+            rw.repairs, rw.rebuilds, rw.write_p50_ms, rw.write_p95_ms
+        );
+        println!("final state    {:016x}", rw.final_state_fingerprint);
+        let record = rw.to_record("serve_readwrite", n);
+        (rw.read, record)
+    } else {
+        let read = drive(&service, id, &spec, exec);
+        let record = read.to_record("serve_mixed", n);
+        (read, record)
+    };
     println!(
         "queries        {} (batch {}, {:?})",
         result.queries, spec.batch, spec.skew
@@ -549,7 +776,6 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     );
     println!("cache hit      {:.1}%", result.cache_hit_rate * 100.0);
     println!("fingerprint    {:016x}", result.fingerprint);
-    let record = result.to_record("serve_mixed", n);
     if let Err(e) = write_report(out, &[record]) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

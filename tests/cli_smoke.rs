@@ -218,7 +218,16 @@ fn usage_lists_every_subcommand() {
     let none = ccapsp(&[]);
     assert_eq!(none.status.code(), Some(2));
     let usage = String::from_utf8_lossy(&none.stderr).into_owned();
-    for sub in ["gen", "info", "run", "snapshot", "query", "bench-serve"] {
+    for sub in [
+        "gen",
+        "info",
+        "run",
+        "snapshot",
+        "query",
+        "update",
+        "compact",
+        "bench-serve",
+    ] {
         assert!(
             usage.contains(&format!("ccapsp {sub}")),
             "usage missing {sub}: {usage}"
@@ -258,4 +267,191 @@ fn bad_invocations_exit_nonzero_with_usage() {
         ccapsp(&["info", "/nonexistent/graph.edges"]).status.code(),
         Some(1)
     );
+}
+
+/// The `state  <base> -> <result>` line's result fingerprint.
+fn result_fingerprint(out: &str) -> String {
+    out.lines()
+        .find(|l| l.starts_with("state"))
+        .and_then(|l| l.split("-> ").nth(1))
+        .expect("update prints a state line")
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn update_compact_chain_reproduces_the_direct_snapshot() {
+    let s0 = TempEdges::with_ext("dyn_s0", "ccsnap");
+    let s = TempEdges::with_ext("dyn_s", "ccsnap");
+    let d1 = TempEdges::with_ext("dyn_d1", "ccdelta");
+    let d2 = TempEdges::with_ext("dyn_d2", "ccdelta");
+    let d3 = TempEdges::with_ext("dyn_d3", "ccdelta");
+    let compacted = TempEdges::with_ext("dyn_comp", "ccsnap");
+
+    let made = ccapsp(&[
+        "snapshot",
+        "--n",
+        "48",
+        "--seed",
+        "7",
+        "--algo",
+        "exact",
+        "-o",
+        s0.as_str(),
+    ]);
+    assert!(made.status.success(), "snapshot failed: {made:?}");
+
+    // Three updates, chaining through the updated snapshot each time.
+    let mut last_fingerprint = String::new();
+    for (i, (delta, seed)) in [(&d1, "1"), (&d2, "2"), (&d3, "3")].iter().enumerate() {
+        let input = if i == 0 { s0.as_str() } else { s.as_str() };
+        let up = ccapsp(&[
+            "update",
+            input,
+            "--random",
+            "3",
+            "--seed",
+            seed,
+            "--delta",
+            delta.as_str(),
+            "-o",
+            s.as_str(),
+        ]);
+        assert!(up.status.success(), "update {i} failed: {up:?}");
+        let out = stdout(&up);
+        assert!(out.contains("strategy"), "update output: {out}");
+        last_fingerprint = result_fingerprint(&out);
+    }
+
+    // Compacting the chain reproduces the chained snapshot's state.
+    let comp = ccapsp(&[
+        "compact",
+        s0.as_str(),
+        d1.as_str(),
+        d2.as_str(),
+        d3.as_str(),
+        "-o",
+        compacted.as_str(),
+    ]);
+    assert!(comp.status.success(), "compact failed: {comp:?}");
+    let comp_out = stdout(&comp);
+    assert!(
+        comp_out.contains(&format!("state          {last_fingerprint}")),
+        "compacted state {comp_out} != chained {last_fingerprint}"
+    );
+
+    // The compacted snapshot serves queries.
+    let q = ccapsp(&["query", compacted.as_str(), "dist", "0", "5"]);
+    assert!(q.status.success(), "query failed: {q:?}");
+    assert!(stdout(&q).contains("dist 0 -> 5"));
+
+    // Replaying a delta against the wrong base fails loudly.
+    let wrong = ccapsp(&["compact", compacted.as_str(), d1.as_str(), "-o", s.as_str()]);
+    assert_eq!(wrong.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&wrong.stderr).contains("applies to state"));
+}
+
+#[test]
+fn update_reads_ops_files_and_rejects_bad_ones() {
+    let snap = TempEdges::with_ext("dyn_ops", "ccsnap");
+    let ops = TempEdges::with_ext("dyn_ops", "txt");
+    assert!(ccapsp(&[
+        "snapshot",
+        "--n",
+        "24",
+        "--seed",
+        "3",
+        "--algo",
+        "exact",
+        "-o",
+        snap.as_str(),
+    ])
+    .status
+    .success());
+
+    // A valid file: insert a fresh long-range edge (24-node gnp generated
+    // with seed 3 has no (0, 23)-style guarantee, so reweight via delete if
+    // needed — insert to a fresh pair is the only op valid on any graph
+    // when the pair is absent; pick one and fall back across candidates).
+    let mut applied = false;
+    for (u, v) in [(0, 23), (1, 22), (2, 21), (3, 20)] {
+        std::fs::write(ops.as_str(), format!("# one op\ninsert {u} {v} 2\n")).unwrap();
+        let up = ccapsp(&["update", snap.as_str(), "--ops", ops.as_str()]);
+        if up.status.success() {
+            let out = stdout(&up);
+            assert!(out.contains("dry run"), "no-output update: {out}");
+            applied = true;
+            break;
+        }
+        assert!(String::from_utf8_lossy(&up.stderr).contains("already exists"));
+    }
+    assert!(applied, "no candidate insert pair was free");
+
+    // A malformed file is a runtime failure with a line number.
+    std::fs::write(ops.as_str(), "insert 0 nope 2\n").unwrap();
+    let bad = ccapsp(&["update", snap.as_str(), "--ops", ops.as_str()]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("line 1"));
+
+    // --ops and --random together is a usage error.
+    assert_eq!(
+        ccapsp(&[
+            "update",
+            snap.as_str(),
+            "--ops",
+            ops.as_str(),
+            "--random",
+            "2"
+        ])
+        .status
+        .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn bench_serve_write_ratio_reports_the_write_path() {
+    let snap = TempEdges::with_ext("dyn_rw", "ccsnap");
+    let report = TempEdges::with_ext("dyn_rw", "json");
+    assert!(ccapsp(&[
+        "snapshot",
+        "--n",
+        "32",
+        "--seed",
+        "9",
+        "--algo",
+        "exact",
+        "-o",
+        snap.as_str(),
+    ])
+    .status
+    .success());
+    let bench = ccapsp(&[
+        "bench-serve",
+        snap.as_str(),
+        "--queries",
+        "2000",
+        "--batch",
+        "256",
+        "--write-ratio",
+        "0.5",
+        "--ops-per-batch",
+        "2",
+        "--profile",
+        "topology",
+        "--out",
+        report.as_str(),
+    ]);
+    assert!(bench.status.success(), "bench-serve failed: {bench:?}");
+    let out = stdout(&bench);
+    assert!(out.contains("write path"), "missing write stats: {out}");
+    assert!(out.contains("final state"), "missing final state: {out}");
+    let json = std::fs::read_to_string(report.as_str()).unwrap();
+    assert!(
+        json.contains("\"experiment\":\"serve_readwrite\""),
+        "{json}"
+    );
+    for key in ["\"repairs\"", "\"rebuilds\"", "\"write_p50_ms\""] {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
 }

@@ -1,0 +1,235 @@
+//! Property tests for the dynamic update engine: batch canonicalization
+//! laws, the incremental-vs-rebuild bit-identity invariant across graph
+//! families × thread counts × kernel modes, and delta-chain replay/
+//! compaction fingerprints.
+
+use cc_dynamic::delta::{compact, replay, state_fingerprint, Delta};
+use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+use cc_dynamic::update::{random_batch, EdgeOp, MutationProfile, UpdateBatch};
+use cc_graph::generators::Family;
+use cc_graph::graph::Direction;
+use cc_graph::{apsp, Graph};
+use cc_matrix::engine::KernelMode;
+use cc_par::ExecPolicy;
+use cc_serve::snapshot::{Snapshot, SnapshotMeta};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The golden-fixture families the equivalence invariant is pinned on.
+const FAMILIES: [Family; 4] = [
+    Family::Gnp,
+    Family::PowerLaw,
+    Family::Grid,
+    Family::Geometric,
+];
+
+/// Ops over a small id/weight domain; many collide on the same pair, which
+/// is what exercises last-write-wins.
+fn arbitrary_ops() -> impl Strategy<Value = Vec<EdgeOp>> {
+    proptest::collection::vec((0usize..3, 0usize..8, 0usize..8, 1u64..40), 0..24).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, u, v, w)| match kind {
+                0 => EdgeOp::Insert(u, v, w),
+                1 => EdgeOp::Delete(u, v),
+                _ => EdgeOp::Reweight(u, v, w),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Canonicalization is idempotent, normalizes endpoint order, and keeps
+    /// exactly the last op per pair.
+    #[test]
+    fn canonicalization_is_idempotent_and_last_write_wins(ops in arbitrary_ops()) {
+        let batch = UpdateBatch::new(ops.clone());
+        let canonical = batch.canonicalize();
+        prop_assert_eq!(canonical.canonicalize(), canonical.clone());
+        // At most one op per unordered pair, sorted by key.
+        let keys: Vec<_> = canonical.ops.iter().map(EdgeOp::key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&keys, &sorted);
+        // Last write wins: for every key, the canonical op matches the last
+        // declaration-order op with that key (endpoints normalized).
+        for (i, op) in canonical.ops.iter().enumerate() {
+            let last = ops.iter().rev().find(|o| o.key() == keys[i]).unwrap();
+            let expect = match *last {
+                EdgeOp::Insert(_, _, w) => EdgeOp::Insert(keys[i].0, keys[i].1, w),
+                EdgeOp::Delete(_, _) => EdgeOp::Delete(keys[i].0, keys[i].1),
+                EdgeOp::Reweight(_, _, w) => EdgeOp::Reweight(keys[i].0, keys[i].1, w),
+            };
+            prop_assert_eq!(*op, expect);
+        }
+    }
+
+    /// Reordering ops that touch distinct pairs does not change the
+    /// canonical form.
+    #[test]
+    fn canonicalization_is_order_insensitive_across_distinct_pairs(ops in arbitrary_ops()) {
+        // Keep the first op per pair so every surviving pair is distinct.
+        let mut seen = std::collections::HashSet::new();
+        let distinct: Vec<EdgeOp> = ops
+            .into_iter()
+            .filter(|op| seen.insert(op.key()))
+            .collect();
+        let forward = UpdateBatch::new(distinct.clone()).canonicalize();
+        let mut reversed = distinct.clone();
+        reversed.reverse();
+        prop_assert_eq!(UpdateBatch::new(reversed).canonicalize(), forward.clone());
+        let mut rotated = distinct;
+        let mid = rotated.len() / 2;
+        if mid > 0 {
+            rotated.rotate_left(mid);
+        }
+        prop_assert_eq!(UpdateBatch::new(rotated).canonicalize(), forward);
+    }
+
+    /// Parse/render is a lossless round trip.
+    #[test]
+    fn ops_text_round_trips(ops in arbitrary_ops()) {
+        let batch = UpdateBatch::new(ops);
+        prop_assert_eq!(UpdateBatch::parse(&batch.render()).unwrap(), batch);
+    }
+}
+
+/// One update session on one family: mutate an exact state through several
+/// random batches under the given exec/kernel config, asserting after every
+/// batch that the incremental estimate is bit-identical to a from-scratch
+/// recomputation on the post-update graph. Returns the final state
+/// fingerprint so callers can compare across configs.
+fn drive_family(family: Family, seed: u64, threads: usize, kernel: KernelMode) -> u64 {
+    let n = 36;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = family.generate(n, n as u64, &mut rng);
+    let estimate = apsp::exact_apsp(&g);
+    let exec = ExecPolicy::with_threads(threads);
+    let mut engine = IncrementalOracle::new(
+        g,
+        estimate,
+        "exact",
+        seed,
+        DynamicConfig {
+            exec,
+            kernel,
+            ..Default::default()
+        },
+    );
+    let mut mutation_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    for (step, profile) in [
+        MutationProfile::ReweightHeavy,
+        MutationProfile::TopologyHeavy,
+        MutationProfile::ReweightHeavy,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let batch = random_batch(engine.graph(), 4, profile, &mut mutation_rng);
+        let outcome = engine.apply(&batch).expect("generated batches are valid");
+        let rebuilt = apsp::exact_apsp_with(engine.graph(), exec);
+        assert_eq!(
+            engine.estimate().raw(),
+            rebuilt.raw(),
+            "family {} step {step} ({:?}) diverged from a from-scratch rebuild",
+            family.name(),
+            outcome.strategy
+        );
+    }
+    engine.fingerprint()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// The tentpole invariant: incremental output is byte-identical to a
+    /// from-scratch rebuild on the post-update graph, for every golden
+    /// fixture family, at 1 and 4 threads, under forced dense and sparse
+    /// kernels — and the final state is identical across all those configs.
+    #[test]
+    fn incremental_equals_rebuild_across_families_threads_kernels(seed in 1u64..500) {
+        for family in FAMILIES {
+            let mut prints = Vec::new();
+            for threads in [1usize, 4] {
+                for kernel in [KernelMode::Dense, KernelMode::Sparse] {
+                    prints.push(drive_family(family, seed, threads, kernel));
+                }
+            }
+            prop_assert!(
+                prints.windows(2).all(|w| w[0] == w[1]),
+                "family {} fingerprints diverged across configs: {:?}",
+                family.name(),
+                prints
+            );
+        }
+    }
+
+    /// Delta chains: replay reproduces the engine's final state, compaction
+    /// reproduces the direct snapshot fingerprint, and the serving-layer
+    /// snapshot apply path agrees.
+    #[test]
+    fn delta_chains_replay_and_compact_to_the_direct_state(seed in 1u64..500) {
+        let n = 32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Family::Gnp.generate(n, n as u64, &mut rng);
+        let estimate = apsp::exact_apsp(&g);
+        let mut engine = IncrementalOracle::new(
+            g.clone(),
+            estimate.clone(),
+            "exact",
+            seed,
+            DynamicConfig::default(),
+        );
+        let mut mutation_rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let mut deltas: Vec<Delta> = Vec::new();
+        for profile in [
+            MutationProfile::TopologyHeavy,
+            MutationProfile::ReweightHeavy,
+            MutationProfile::TopologyHeavy,
+        ] {
+            let batch = random_batch(engine.graph(), 3, profile, &mut mutation_rng);
+            deltas.push(engine.apply(&batch).expect("valid").delta);
+        }
+
+        // Chain replay lands exactly on the engine's state.
+        let (rg, re) = replay(&g, &estimate, &deltas).expect("chain replays");
+        prop_assert_eq!(&rg, engine.graph());
+        prop_assert_eq!(&re, engine.estimate());
+
+        // Compaction reproduces the direct snapshot fingerprint.
+        let (merged, cg, ce) = compact(&g, &estimate, &deltas).expect("compacts");
+        let direct = state_fingerprint(engine.graph(), engine.estimate());
+        prop_assert_eq!(state_fingerprint(&cg, &ce), direct);
+        let (ag, ae) = merged.apply(&g, &estimate).expect("merged applies");
+        prop_assert_eq!(state_fingerprint(&ag, &ae), direct);
+
+        // And the serving-layer snapshot path agrees delta by delta.
+        let meta = SnapshotMeta {
+            algo: "exact".into(),
+            seed,
+            stretch_bound: 1.0,
+            rounds: 0,
+            source: "dynamic_props".into(),
+        };
+        let mut snap = Snapshot::new(g, estimate, meta);
+        for d in &deltas {
+            snap = snap.apply_delta(d).expect("snapshot applies delta");
+        }
+        prop_assert_eq!(snap.state_fingerprint(), direct);
+    }
+}
+
+/// Directed graphs are rejected up front — the repair math assumes
+/// symmetric distances.
+#[test]
+fn directed_graphs_are_rejected() {
+    let g = Graph::from_edges(4, Direction::Directed, &[(0, 1, 1), (1, 2, 1)]);
+    let estimate = apsp::exact_apsp(&g);
+    let mut engine = IncrementalOracle::new(g, estimate, "exact", 1, DynamicConfig::default());
+    assert!(engine
+        .apply(&UpdateBatch::new(vec![EdgeOp::Insert(0, 3, 1)]))
+        .is_err());
+}
