@@ -48,6 +48,7 @@ pub mod ablation;
 pub mod estimate;
 pub mod hopset;
 pub mod knearest;
+pub mod landmark;
 pub mod oracle;
 pub mod params;
 pub mod pipeline;
@@ -59,3 +60,5 @@ pub mod spanner;
 pub mod zeroweight;
 
 pub use estimate::ApspResult;
+pub use landmark::LandmarkSketch;
+pub use oracle::{OracleBackend, OracleKind};

@@ -10,13 +10,192 @@
 //! follows a shortest path; with an α-approximation the detour is bounded
 //! in practice (measured by [`DistanceOracle::routing_quality`]).
 
-use cc_graph::{wadd, DistMatrix, Graph, NodeId, Weight, INF};
+use cc_graph::{wadd, DistMatrix, Graph, NodeId, StretchStats, Weight, INF};
+use cc_par::ExecPolicy;
+
+use crate::landmark::LandmarkSketch;
+
+/// Which oracle backend a run should produce — the `--oracle` /
+/// `CC_ORACLE` axis, mirroring the `--kernel` / `CC_KERNEL` pattern of
+/// [`cc_matrix::engine::KernelMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleKind {
+    /// Dense n×n [`DistMatrix`] estimate: exact answers for whatever the
+    /// pipeline computed, 8n² bytes resident.
+    #[default]
+    Dense,
+    /// Sublinear [`LandmarkSketch`]: Θ(n√n) expected words, provable
+    /// 3-approximate answers.
+    Landmark,
+}
+
+impl OracleKind {
+    /// Parses a CLI/env spelling (`dense` | `landmark`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dense" => Some(OracleKind::Dense),
+            "landmark" => Some(OracleKind::Landmark),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, for usage strings and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Dense => "dense",
+            OracleKind::Landmark => "landmark",
+        }
+    }
+
+    /// The `CC_ORACLE` environment default: `dense` when unset or
+    /// unrecognized.
+    pub fn from_env() -> Self {
+        std::env::var("CC_ORACLE")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The estimate store behind a [`DistanceOracle`]: either the classic dense
+/// matrix or a sublinear landmark sketch. Every layer above (snapshots, the
+/// serving engine, the dynamic engine, the benches) is generic over this
+/// enum; the dense arm answers bit-identically to the pre-refactor code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleBackend {
+    /// Dense n×n estimate matrix.
+    Dense(DistMatrix),
+    /// Landmark sketch (see [`crate::landmark`]).
+    Landmark(LandmarkSketch),
+}
+
+impl OracleBackend {
+    /// Number of nodes the backend covers.
+    pub fn n(&self) -> usize {
+        match self {
+            OracleBackend::Dense(m) => m.n(),
+            OracleBackend::Landmark(s) => s.n(),
+        }
+    }
+
+    /// Which kind of backend this is.
+    pub fn kind(&self) -> OracleKind {
+        match self {
+            OracleBackend::Dense(_) => OracleKind::Dense,
+            OracleBackend::Landmark(_) => OracleKind::Landmark,
+        }
+    }
+
+    /// The distance estimate δ(u, v).
+    #[inline]
+    pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
+        match self {
+            OracleBackend::Dense(m) => m.get(u, v),
+            OracleBackend::Landmark(s) => s.query(u, v),
+        }
+    }
+
+    /// The dense matrix, when this is a dense backend (the serving layer's
+    /// zero-copy row path and the dynamic engine's row repair use this).
+    pub fn as_dense(&self) -> Option<&DistMatrix> {
+        match self {
+            OracleBackend::Dense(m) => Some(m),
+            OracleBackend::Landmark(_) => None,
+        }
+    }
+
+    /// The landmark sketch, when this is a landmark backend.
+    pub fn as_landmark(&self) -> Option<&LandmarkSketch> {
+        match self {
+            OracleBackend::Dense(_) => None,
+            OracleBackend::Landmark(s) => Some(s),
+        }
+    }
+
+    /// Materializes the estimate row δ(u, ·). Dense backends copy their row;
+    /// landmark backends compute it in O(L·n). Prefer
+    /// [`OracleBackend::as_dense`] when a borrowed row suffices.
+    pub fn dist_row(&self, u: NodeId) -> Vec<Weight> {
+        match self {
+            OracleBackend::Dense(m) => m.row(u).to_vec(),
+            OracleBackend::Landmark(s) => s.dist_row(u),
+        }
+    }
+
+    /// Approximate resident memory of the estimate payload in bytes.
+    pub fn approx_mem_bytes(&self) -> u64 {
+        match self {
+            OracleBackend::Dense(m) => m.approx_mem_bytes(),
+            OracleBackend::Landmark(s) => s.approx_mem_bytes(),
+        }
+    }
+
+    /// Audits the backend's stretch against exact distances computed from
+    /// `sources` seeded-sampled source vertices (all of them when `sources
+    /// ≥ n`) — the affordable audit at sketch scale, reported with the same
+    /// [`StretchStats`] semantics as the dense matrix audits.
+    ///
+    /// Deterministic per `(graph, sources, seed)`; `exec` parallelizes the
+    /// exact rows only.
+    pub fn sampled_stretch(
+        &self,
+        graph: &Graph,
+        sources: usize,
+        seed: u64,
+        exec: ExecPolicy,
+    ) -> StretchStats {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = graph.n();
+        let picked: Vec<NodeId> = if sources >= n {
+            (0..n).collect()
+        } else {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ids: Vec<NodeId> = (0..n).collect();
+            for i in 0..sources {
+                let j = rng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            let mut picked = ids[..sources].to_vec();
+            picked.sort_unstable();
+            picked
+        };
+        let exact_rows = cc_graph::apsp::exact_rows_with(graph, &picked, exec);
+        let mut ratios = Vec::new();
+        let mut under = 0usize;
+        let mut missing = 0usize;
+        for (row, &u) in exact_rows.iter().zip(&picked) {
+            let est_row = self.dist_row(u);
+            for (v, &d) in row.iter().enumerate() {
+                if u == v || d == 0 || d >= INF {
+                    continue;
+                }
+                let e = est_row[v];
+                if e >= INF {
+                    missing += 1;
+                    continue;
+                }
+                if e < d {
+                    under += 1;
+                }
+                ratios.push(e as f64 / d as f64);
+            }
+        }
+        StretchStats::from_tally(ratios, under, missing)
+    }
+}
 
 /// A queryable distance oracle backed by an APSP estimate.
 #[derive(Debug, Clone)]
 pub struct DistanceOracle {
     graph: Graph,
-    estimate: DistMatrix,
+    backend: OracleBackend,
 }
 
 /// Outcome of routing a batch of random queries through the oracle.
@@ -40,12 +219,17 @@ impl DistanceOracle {
     ///
     /// Panics if dimensions differ.
     pub fn new(graph: Graph, estimate: DistMatrix) -> Self {
-        assert_eq!(
-            graph.n(),
-            estimate.n(),
-            "oracle estimate dimension mismatch"
-        );
-        Self { graph, estimate }
+        Self::with_backend(graph, OracleBackend::Dense(estimate))
+    }
+
+    /// Wraps a graph and any [`OracleBackend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn with_backend(graph: Graph, backend: OracleBackend) -> Self {
+        assert_eq!(graph.n(), backend.n(), "oracle estimate dimension mismatch");
+        Self { graph, backend }
     }
 
     /// The underlying graph.
@@ -53,23 +237,51 @@ impl DistanceOracle {
         &self.graph
     }
 
+    /// The underlying backend.
+    pub fn backend(&self) -> &OracleBackend {
+        &self.backend
+    }
+
     /// The underlying estimate matrix (the serving layer reads rows from it
-    /// for k-nearest queries).
+    /// for k-nearest queries on the dense path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a landmark backend, which has no dense matrix — callers
+    /// that must handle both use [`DistanceOracle::backend`].
     pub fn estimate(&self) -> &DistMatrix {
-        &self.estimate
+        self.backend
+            .as_dense()
+            .expect("estimate(): landmark backend has no dense matrix")
     }
 
     /// Decomposes the oracle back into its graph and estimate, without
-    /// cloning either. The serving layer's delta application path uses this
-    /// to take the current state out of a live entry, apply an update
-    /// batch, and construct the successor oracle from the result.
+    /// cloning either.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a landmark backend; the serving layer's delta application
+    /// path uses [`DistanceOracle::into_backend_parts`], which handles both.
     pub fn into_parts(self) -> (Graph, DistMatrix) {
-        (self.graph, self.estimate)
+        match self.backend {
+            OracleBackend::Dense(m) => (self.graph, m),
+            OracleBackend::Landmark(_) => {
+                panic!("into_parts(): landmark backend has no dense matrix")
+            }
+        }
+    }
+
+    /// Decomposes the oracle into its graph and backend, without cloning
+    /// either. The serving layer's delta application path uses this to take
+    /// the current state out of a live entry, apply an update batch, and
+    /// construct the successor oracle from the result.
+    pub fn into_backend_parts(self) -> (Graph, OracleBackend) {
+        (self.graph, self.backend)
     }
 
     /// The distance estimate δ(u, v).
     pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
-        self.estimate.get(u, v)
+        self.backend.query(u, v)
     }
 
     /// The greedy next hop from `u` toward `v`: the neighbor `x` minimizing
@@ -78,7 +290,7 @@ impl DistanceOracle {
     pub fn next_hop(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
         self.graph
             .neighbors(u)
-            .map(|(x, w)| (wadd(w, self.estimate.get(x, v)), x))
+            .map(|(x, w)| (wadd(w, self.backend.query(x, v)), x))
             .filter(|&(cost, _)| cost < INF)
             .min()
             .map(|(_, x)| x)
@@ -110,7 +322,7 @@ impl DistanceOracle {
                 .graph
                 .neighbors(cur)
                 .filter(|&(x, _)| !visited[x])
-                .map(|(x, w)| (wadd(w, self.estimate.get(x, v)), x))
+                .map(|(x, w)| (wadd(w, self.backend.query(x, v)), x))
                 .filter(|&(cost, _)| cost < INF)
                 .min()
                 .map(|(_, x)| x)?;
@@ -307,6 +519,92 @@ mod tests {
                 assert_eq!(sorted.len(), path.len(), "revisit in {path:?}");
             }
         }
+    }
+
+    #[test]
+    fn oracle_kind_parses_and_reads_env_spellings() {
+        assert_eq!(OracleKind::parse("dense"), Some(OracleKind::Dense));
+        assert_eq!(OracleKind::parse("landmark"), Some(OracleKind::Landmark));
+        assert_eq!(OracleKind::parse("sketchy"), None);
+        assert_eq!(OracleKind::Dense.name(), "dense");
+        assert_eq!(OracleKind::Landmark.to_string(), "landmark");
+        assert_eq!(OracleKind::default(), OracleKind::Dense);
+    }
+
+    #[test]
+    fn dense_backend_answers_identically_to_the_old_dense_oracle() {
+        let g = geometric(30, 6);
+        let exact = apsp::exact_apsp(&g);
+        let oracle = DistanceOracle::new(g.clone(), exact.clone());
+        assert_eq!(oracle.backend().kind(), OracleKind::Dense);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(oracle.query(u, v), exact.get(u, v));
+            }
+            assert_eq!(oracle.backend().dist_row(u), exact.row(u).to_vec());
+        }
+        assert_eq!(
+            oracle.backend().approx_mem_bytes(),
+            exact.approx_mem_bytes()
+        );
+    }
+
+    #[test]
+    fn landmark_backend_routes_and_never_underestimates() {
+        let g = geometric(40, 8);
+        let exact = apsp::exact_apsp(&g);
+        let sketch = crate::landmark::LandmarkSketch::build(&g, 17, cc_par::ExecPolicy::Seq);
+        let oracle = DistanceOracle::with_backend(g.clone(), OracleBackend::Landmark(sketch));
+        assert_eq!(oracle.backend().kind(), OracleKind::Landmark);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                let d = exact.get(u, v);
+                let e = oracle.query(u, v);
+                assert!(e >= d, "underestimate at ({u},{v})");
+                if d < INF {
+                    // Route must terminate; when delivered it uses real edges.
+                    if let Some(path) = oracle.route(u, v) {
+                        assert_eq!(*path.first().unwrap(), u);
+                        assert_eq!(*path.last().unwrap(), v);
+                        assert!(path.len() <= g.n());
+                    }
+                }
+            }
+        }
+        let stats = oracle
+            .backend()
+            .sampled_stretch(&g, 16, 3, cc_par::ExecPolicy::Seq);
+        assert_eq!(stats.underestimates, 0);
+        assert_eq!(stats.missing, 0);
+        assert!(stats.max_stretch <= 3.0 + 1e-9, "{stats}");
+    }
+
+    #[test]
+    fn sampled_stretch_with_all_sources_matches_full_matrix_audit() {
+        let g = geometric(25, 12);
+        let exact = apsp::exact_apsp(&g);
+        let sketch = crate::landmark::LandmarkSketch::build(&g, 2, cc_par::ExecPolicy::Seq);
+        let backend = OracleBackend::Landmark(sketch.clone());
+        let sampled = backend.sampled_stretch(&g, g.n(), 0, cc_par::ExecPolicy::Seq);
+        // Materialize the sketch into a dense matrix and audit it fully.
+        let mut dense = DistMatrix::infinite(g.n());
+        for u in 0..g.n() {
+            let row = sketch.dist_row(u);
+            for (v, &d) in row.iter().enumerate() {
+                dense.set(u, v, d);
+            }
+        }
+        let full = dense.stretch_vs(&exact);
+        assert_eq!(sampled, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "landmark backend has no dense matrix")]
+    fn estimate_accessor_panics_on_landmark_backend() {
+        let g = geometric(10, 1);
+        let sketch = crate::landmark::LandmarkSketch::build(&g, 0, cc_par::ExecPolicy::Seq);
+        let oracle = DistanceOracle::with_backend(g, OracleBackend::Landmark(sketch));
+        let _ = oracle.estimate();
     }
 
     #[test]

@@ -73,6 +73,14 @@ pub struct PipelineConfig {
     /// bit-identical across modes. Defaults to the `CC_KERNEL` environment
     /// default ([`KernelMode::from_env`]).
     pub kernel: KernelMode,
+    /// Which oracle backend the run's servable artifact should use (the
+    /// `--oracle` / `CC_ORACLE` axis). The pipeline's *internal* estimates
+    /// are always dense; this selects what snapshot-producing callers
+    /// package for serving: the dense matrix itself, or a sublinear
+    /// [`crate::landmark::LandmarkSketch`] built straight from the graph.
+    /// Defaults to the `CC_ORACLE` environment default
+    /// ([`crate::oracle::OracleKind::from_env`]).
+    pub oracle: crate::oracle::OracleKind,
 }
 
 impl Default for PipelineConfig {
@@ -84,6 +92,7 @@ impl Default for PipelineConfig {
             k0: None,
             exec: ExecPolicy::from_env(),
             kernel: KernelMode::from_env(),
+            oracle: crate::oracle::OracleKind::from_env(),
         }
     }
 }

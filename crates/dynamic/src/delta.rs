@@ -30,8 +30,11 @@
 //! [`compact`] collapses a chain into one equivalent delta whose batch is
 //! the canonical base→final diff and whose rows carry the final values.
 
+use cc_apsp::landmark::LandmarkSketch;
+use cc_apsp::oracle::OracleBackend;
 use cc_graph::graph::Direction;
 use cc_graph::{DistMatrix, Graph, NodeId, Weight};
+use cc_par::ExecPolicy;
 
 use crate::update::{EdgeOp, UpdateBatch, UpdateError};
 
@@ -84,6 +87,14 @@ impl WordHasher {
 /// is exactly the identity delta chains are checked against.
 pub fn state_fingerprint(graph: &Graph, estimate: &DistMatrix) -> u64 {
     let mut h = WordHasher::new();
+    absorb_graph(&mut h, graph);
+    for &d in estimate.raw() {
+        h.absorb(d);
+    }
+    h.0
+}
+
+fn absorb_graph(h: &mut WordHasher, graph: &Graph) {
     h.absorb(graph.n() as u64);
     h.absorb(match graph.direction() {
         Direction::Undirected => 0,
@@ -94,10 +105,25 @@ pub fn state_fingerprint(graph: &Graph, estimate: &DistMatrix) -> u64 {
         h.absorb(v as u64);
         h.absorb(w);
     }
-    for &d in estimate.raw() {
-        h.absorb(d);
+}
+
+/// Backend-aware [`state_fingerprint`]: identical to the dense fingerprint
+/// for `OracleBackend::Dense` (so existing `*.ccdelta` chains and pinned
+/// fixtures keep their identities), and a canonical word-wise hash of the
+/// sketch's serialized content for `OracleBackend::Landmark` (prefixed with
+/// a domain tag so a dense state and a landmark state can never collide by
+/// construction).
+pub fn backend_state_fingerprint(graph: &Graph, backend: &OracleBackend) -> u64 {
+    match backend {
+        OracleBackend::Dense(m) => state_fingerprint(graph, m),
+        OracleBackend::Landmark(sketch) => {
+            let mut h = WordHasher::new();
+            absorb_graph(&mut h, graph);
+            h.absorb(u64::from_le_bytes(*b"LANDMARK"));
+            sketch.fold_words(|w| h.absorb(w));
+            h.0
+        }
     }
-    h.0
 }
 
 /// How the producing engine computed the delta's rows.
@@ -480,6 +506,63 @@ impl Delta {
         }
         Ok((new_graph, new_estimate))
     }
+
+    /// Backend-aware [`Delta::apply`]: the dense arm is exactly `apply`
+    /// (same verification, same result); the landmark arm applies the batch
+    /// to the graph and **rebuilds the sketch** from `(new graph, sketch
+    /// seed)` — sketch construction is a deterministic pure function of
+    /// those two, which is why a landmark delta ships no rows — then
+    /// verifies the result fingerprint like any other link.
+    ///
+    /// # Errors
+    ///
+    /// As [`Delta::apply`]; additionally [`DeltaError::Malformed`] when a
+    /// delta carrying dense rows is applied to a landmark backend.
+    pub fn apply_backend(
+        &self,
+        graph: &Graph,
+        backend: &OracleBackend,
+    ) -> Result<(Graph, OracleBackend), DeltaError> {
+        match backend {
+            OracleBackend::Dense(estimate) => {
+                let (g, e) = self.apply(graph, estimate)?;
+                Ok((g, OracleBackend::Dense(e)))
+            }
+            OracleBackend::Landmark(sketch) => {
+                let actual = backend_state_fingerprint(graph, backend);
+                if actual != self.base_fingerprint {
+                    return Err(DeltaError::BaseMismatch {
+                        expected: self.base_fingerprint,
+                        actual,
+                    });
+                }
+                if graph.n() != self.n {
+                    return Err(DeltaError::Malformed(format!(
+                        "delta is for n={}, state has n={}",
+                        self.n,
+                        graph.n()
+                    )));
+                }
+                if !self.rows.is_empty() {
+                    return Err(DeltaError::Malformed(
+                        "delta carries dense rows but the state is a landmark sketch".into(),
+                    ));
+                }
+                let (new_graph, _changes) = self.batch.apply_to(graph)?;
+                let rebuilt =
+                    LandmarkSketch::build(&new_graph, sketch.seed(), ExecPolicy::from_env());
+                let new_backend = OracleBackend::Landmark(rebuilt);
+                let produced = backend_state_fingerprint(&new_graph, &new_backend);
+                if produced != self.result_fingerprint {
+                    return Err(DeltaError::ResultMismatch {
+                        expected: self.result_fingerprint,
+                        actual: produced,
+                    });
+                }
+                Ok((new_graph, new_backend))
+            }
+        }
+    }
 }
 
 fn decode_head(payload: &[u8]) -> Result<(usize, DeltaStrategy, u64, u64), DeltaError> {
@@ -626,6 +709,66 @@ pub fn compact(
         rows,
     };
     Ok((delta, final_graph, final_estimate))
+}
+
+/// Backend-aware [`replay`]: folds `state + deltas` forward with
+/// [`Delta::apply_backend`], verifying every link's fingerprints.
+///
+/// # Errors
+///
+/// The first failing link's [`DeltaError`].
+pub fn replay_backend(
+    graph: &Graph,
+    backend: &OracleBackend,
+    deltas: &[Delta],
+) -> Result<(Graph, OracleBackend), DeltaError> {
+    let mut g = graph.clone();
+    let mut b = backend.clone();
+    for d in deltas {
+        let (ng, nb) = d.apply_backend(&g, &b)?;
+        g = ng;
+        b = nb;
+    }
+    Ok((g, b))
+}
+
+/// Backend-aware [`compact`]: the dense arm delegates to `compact`; the
+/// landmark arm replays the chain, emits the canonical base→final batch with
+/// **no rows** (the receiver rebuilds the sketch deterministically), and
+/// spans the chain with backend fingerprints. In both arms
+/// `apply_backend(base, compacted) == replay_backend(base, chain)`.
+///
+/// # Errors
+///
+/// Any replay failure; see [`replay_backend`].
+pub fn compact_backend(
+    graph: &Graph,
+    backend: &OracleBackend,
+    deltas: &[Delta],
+) -> Result<(Delta, Graph, OracleBackend), DeltaError> {
+    match backend {
+        OracleBackend::Dense(estimate) => {
+            let (delta, g, e) = compact(graph, estimate, deltas)?;
+            Ok((delta, g, OracleBackend::Dense(e)))
+        }
+        OracleBackend::Landmark(_) => {
+            let (final_graph, final_backend) = replay_backend(graph, backend, deltas)?;
+            let strategy = if deltas.iter().any(|d| d.strategy == DeltaStrategy::Rebuilt) {
+                DeltaStrategy::Rebuilt
+            } else {
+                DeltaStrategy::Repaired
+            };
+            let delta = Delta {
+                n: graph.n(),
+                strategy,
+                base_fingerprint: backend_state_fingerprint(graph, backend),
+                result_fingerprint: backend_state_fingerprint(&final_graph, &final_backend),
+                batch: UpdateBatch::diff(graph, &final_graph),
+                rows: Vec::new(),
+            };
+            Ok((delta, final_graph, final_backend))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -778,6 +921,107 @@ mod tests {
                 "prefix of {len} bytes gave {err:?}"
             );
         }
+    }
+
+    fn landmark_state(seed: u64) -> (Graph, OracleBackend) {
+        let (g, _) = state();
+        let sketch = LandmarkSketch::build(&g, seed, ExecPolicy::Seq);
+        (g, OracleBackend::Landmark(sketch))
+    }
+
+    /// A landmark delta: batch only, no rows; result = deterministic
+    /// sketch rebuild on the updated graph.
+    fn landmark_delta(
+        g: &Graph,
+        b: &OracleBackend,
+        ops: Vec<EdgeOp>,
+    ) -> (Delta, Graph, OracleBackend) {
+        let seed = b.as_landmark().unwrap().seed();
+        let batch = UpdateBatch::new(ops).canonicalize();
+        let (ng, _) = batch.apply_to(g).unwrap();
+        let nb = OracleBackend::Landmark(LandmarkSketch::build(&ng, seed, ExecPolicy::Seq));
+        let delta = Delta {
+            n: g.n(),
+            strategy: DeltaStrategy::Rebuilt,
+            base_fingerprint: backend_state_fingerprint(g, b),
+            result_fingerprint: backend_state_fingerprint(&ng, &nb),
+            batch,
+            rows: Vec::new(),
+        };
+        (delta, ng, nb)
+    }
+
+    #[test]
+    fn landmark_apply_backend_rebuilds_and_verifies() {
+        let (g, b) = landmark_state(42);
+        let (delta, ng, nb) = landmark_delta(&g, &b, vec![EdgeOp::Reweight(0, 1, 1)]);
+        let (got_g, got_b) = delta.apply_backend(&g, &b).expect("applies");
+        assert_eq!(got_g, ng);
+        assert_eq!(got_b, nb);
+        // Wrong base state is caught before anything is rebuilt.
+        assert!(matches!(
+            delta.apply_backend(&got_g, &got_b),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+        // A dense-rows delta cannot apply to a landmark state.
+        let mut with_rows = delta.clone();
+        with_rows.rows = vec![(0, vec![0; 5])];
+        assert!(matches!(
+            with_rows.apply_backend(&g, &b),
+            Err(DeltaError::Malformed(_))
+        ));
+        // A tampered result fingerprint is a ResultMismatch.
+        let mut lying = delta.clone();
+        lying.result_fingerprint ^= 1;
+        assert!(matches!(
+            lying.apply_backend(&g, &b),
+            Err(DeltaError::ResultMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_apply_backend_matches_dense_apply() {
+        let (delta, ng, ne) = sample_delta();
+        let (g, e) = state();
+        let backend = OracleBackend::Dense(e.clone());
+        let (got_g, got_b) = delta.apply_backend(&g, &backend).expect("applies");
+        assert_eq!(got_g, ng);
+        assert_eq!(got_b, OracleBackend::Dense(ne));
+        assert_eq!(
+            backend_state_fingerprint(&g, &backend),
+            state_fingerprint(&g, &e),
+            "dense backend fingerprint must equal the legacy dense fingerprint"
+        );
+    }
+
+    #[test]
+    fn landmark_and_dense_fingerprints_never_collide() {
+        let (g, e) = state();
+        let dense = OracleBackend::Dense(e);
+        let (_, landmark) = landmark_state(0);
+        assert_ne!(
+            backend_state_fingerprint(&g, &dense),
+            backend_state_fingerprint(&g, &landmark)
+        );
+    }
+
+    #[test]
+    fn landmark_replay_and_compact_agree() {
+        let (g, b) = landmark_state(9);
+        let (d1, g1, b1) = landmark_delta(&g, &b, vec![EdgeOp::Reweight(0, 1, 1)]);
+        let (d2, g2, b2) = landmark_delta(
+            &g1,
+            &b1,
+            vec![EdgeOp::Delete(0, 4), EdgeOp::Insert(1, 4, 2)],
+        );
+        let chain = [d1, d2];
+        let (rg, rb) = replay_backend(&g, &b, &chain).expect("replays");
+        assert_eq!((&rg, &rb), (&g2, &b2));
+        let (merged, cg, cb) = compact_backend(&g, &b, &chain).expect("compacts");
+        assert_eq!((&cg, &cb), (&rg, &rb));
+        assert!(merged.rows.is_empty(), "landmark compaction ships no rows");
+        let (ag, ab) = merged.apply_backend(&g, &b).expect("compacted applies");
+        assert_eq!((ag, ab), (rg, rb));
     }
 
     #[test]

@@ -37,12 +37,14 @@
 //! and config — so the output is the same either way, only the wall-clock
 //! differs.
 
+use cc_apsp::landmark::LandmarkSketch;
+use cc_apsp::oracle::OracleBackend;
 use cc_graph::apsp::exact_rows_with;
 use cc_graph::{DistMatrix, Graph, NodeId, Weight, INF};
 use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
 
-use crate::delta::{state_fingerprint, Delta, DeltaStrategy};
+use crate::delta::{backend_state_fingerprint, Delta, DeltaStrategy};
 use crate::rebuild::run_algorithm;
 use crate::update::{EdgeChange, UpdateBatch, UpdateError};
 
@@ -142,7 +144,7 @@ pub struct DynamicStats {
 #[derive(Debug, Clone)]
 pub struct IncrementalOracle {
     graph: Graph,
-    estimate: DistMatrix,
+    backend: OracleBackend,
     algo: String,
     seed: u64,
     cfg: DynamicConfig,
@@ -150,10 +152,10 @@ pub struct IncrementalOracle {
 }
 
 impl IncrementalOracle {
-    /// Wraps a servable state. `algo` and `seed` are the provenance of
-    /// `estimate` (a snapshot's `meta.algo` / `meta.seed`); they determine
-    /// whether repair is possible (`"exact"` only) and which pipeline a
-    /// rebuild re-enters.
+    /// Wraps a servable dense state. `algo` and `seed` are the provenance
+    /// of `estimate` (a snapshot's `meta.algo` / `meta.seed`); they
+    /// determine whether repair is possible (`"exact"` only) and which
+    /// pipeline a rebuild re-enters.
     ///
     /// # Panics
     ///
@@ -165,14 +167,31 @@ impl IncrementalOracle {
         seed: u64,
         cfg: DynamicConfig,
     ) -> Self {
+        Self::with_backend(graph, OracleBackend::Dense(estimate), algo, seed, cfg)
+    }
+
+    /// Wraps any servable backend. Landmark backends have no repair path:
+    /// every effective batch rebuilds the sketch deterministically from
+    /// `(new graph, sketch seed)` and ships a row-free delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if graph and backend dimensions differ.
+    pub fn with_backend(
+        graph: Graph,
+        backend: OracleBackend,
+        algo: &str,
+        seed: u64,
+        cfg: DynamicConfig,
+    ) -> Self {
         assert_eq!(
             graph.n(),
-            estimate.n(),
+            backend.n(),
             "incremental oracle dimension mismatch"
         );
         Self {
             graph,
-            estimate,
+            backend,
             algo: algo.to_string(),
             seed,
             cfg,
@@ -185,9 +204,20 @@ impl IncrementalOracle {
         &self.graph
     }
 
-    /// The current estimate.
+    /// The current backend.
+    pub fn backend(&self) -> &OracleBackend {
+        &self.backend
+    }
+
+    /// The current dense estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend is a landmark sketch; use [`Self::backend`].
     pub fn estimate(&self) -> &DistMatrix {
-        &self.estimate
+        self.backend
+            .as_dense()
+            .expect("estimate(): landmark backend has no dense matrix")
     }
 
     /// The algorithm the estimate came from.
@@ -200,15 +230,15 @@ impl IncrementalOracle {
         self.stats
     }
 
-    /// [`state_fingerprint`] of the current state.
+    /// [`backend_state_fingerprint`] of the current state.
     pub fn fingerprint(&self) -> u64 {
-        state_fingerprint(&self.graph, &self.estimate)
+        backend_state_fingerprint(&self.graph, &self.backend)
     }
 
-    /// Whether batches can take the repair path at all: exact estimates on
-    /// undirected graphs only (see the [module docs](self)).
+    /// Whether batches can take the repair path at all: exact dense
+    /// estimates on undirected graphs only (see the [module docs](self)).
     pub fn supports_repair(&self) -> bool {
-        self.algo == "exact"
+        matches!(self.backend, OracleBackend::Dense(_)) && self.algo == "exact"
     }
 
     /// Applies a batch: validates + canonicalizes it, computes the affected
@@ -240,6 +270,29 @@ impl IncrementalOracle {
                 },
             });
         }
+        if let OracleBackend::Landmark(sketch) = &self.backend {
+            // No per-row repair for sketches: rebuild deterministically from
+            // the sketch's own seed and ship a row-free delta (the receiver
+            // rebuilds the same way; see `Delta::apply_backend`).
+            let rebuilt = LandmarkSketch::build(&new_graph, sketch.seed(), self.cfg.exec);
+            self.graph = new_graph;
+            self.backend = OracleBackend::Landmark(rebuilt);
+            self.stats.rebuilds += 1;
+            return Ok(ApplyOutcome {
+                strategy: ApplyStrategy::Rebuilt {
+                    reason: RebuildReason::Approximate,
+                },
+                changed_edges: changes.len(),
+                delta: Delta {
+                    n,
+                    strategy: DeltaStrategy::Rebuilt,
+                    base_fingerprint,
+                    result_fingerprint: self.fingerprint(),
+                    batch: canonical,
+                    rows: Vec::new(),
+                },
+            });
+        }
 
         // Decide the path, producing the new estimate without touching the
         // current one (the delta needs the old rows to diff against, and
@@ -264,7 +317,7 @@ impl IncrementalOracle {
                     .filter(|s| endpoints.binary_search(s).is_err())
                     .collect();
                 let fresh_rows = exact_rows_with(&new_graph, &fresh, self.cfg.exec);
-                let mut est = self.estimate.clone();
+                let mut est = self.estimate().clone();
                 for (&s, row) in endpoints.iter().zip(&endpoint_rows) {
                     est.row_mut(s).copy_from_slice(row);
                 }
@@ -295,11 +348,11 @@ impl IncrementalOracle {
         // equal the old one — the affected set is conservative — and is
         // then dropped from the delta).
         let rows: Vec<(NodeId, Vec<Weight>)> = (0..n)
-            .filter(|&s| new_estimate.row(s) != self.estimate.row(s))
+            .filter(|&s| new_estimate.row(s) != self.estimate().row(s))
             .map(|s| (s, new_estimate.row(s).to_vec()))
             .collect();
         self.graph = new_graph;
-        self.estimate = new_estimate;
+        self.backend = OracleBackend::Dense(new_estimate);
         match strategy {
             ApplyStrategy::Repaired { .. } => self.stats.repairs += 1,
             ApplyStrategy::Rebuilt { .. } => self.stats.rebuilds += 1,
@@ -341,7 +394,7 @@ impl IncrementalOracle {
             &endpoint_rows[endpoints.binary_search(&x).expect("endpoint present")]
         };
 
-        let old = &self.estimate;
+        let old = self.estimate();
         // Each change needs exactly one of the two tests: an edge whose
         // weight went *up* (or away) cannot create a strictly shorter path
         // — any new shortest path through only such edges would have been
@@ -583,6 +636,67 @@ mod tests {
             .expect("replays");
         assert_eq!(&g2, oracle.graph());
         assert_eq!(&e2, oracle.estimate());
+    }
+
+    #[test]
+    fn landmark_backends_rebuild_with_row_free_replayable_deltas() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::gnp_connected(30, 0.15, 1..=20, &mut rng);
+        let sketch = LandmarkSketch::build(&g, 9, ExecPolicy::Seq);
+        let mut oracle = IncrementalOracle::with_backend(
+            g.clone(),
+            OracleBackend::Landmark(sketch),
+            "landmark",
+            9,
+            DynamicConfig::default(),
+        );
+        assert!(!oracle.supports_repair());
+        let base_graph = oracle.graph().clone();
+        let base_backend = oracle.backend().clone();
+
+        let batch = UpdateBatch::new(vec![EdgeOp::Insert(0, 29, 1), EdgeOp::Insert(5, 25, 2)]);
+        let outcome = oracle.apply(&batch).expect("valid batch");
+        assert!(matches!(
+            outcome.strategy,
+            ApplyStrategy::Rebuilt {
+                reason: RebuildReason::Approximate
+            }
+        ));
+        assert!(outcome.delta.rows.is_empty(), "sketch deltas ship no rows");
+        assert_eq!(oracle.stats().rebuilds, 1);
+
+        // The new state is exactly a fresh deterministic build…
+        let expect = LandmarkSketch::build(oracle.graph(), 9, ExecPolicy::Seq);
+        assert_eq!(oracle.backend(), &OracleBackend::Landmark(expect));
+        // …and the delta replays onto an untouched copy of the base state.
+        let (g2, b2) = outcome
+            .delta
+            .apply_backend(&base_graph, &base_backend)
+            .expect("replays");
+        assert_eq!(&g2, oracle.graph());
+        assert_eq!(&b2, oracle.backend());
+
+        // Empty batches stay identity deltas with no counter moves.
+        let before = oracle.fingerprint();
+        let idle = oracle.apply(&UpdateBatch::default()).expect("empty ok");
+        assert_eq!(idle.changed_edges, 0);
+        assert_eq!(idle.delta.result_fingerprint, before);
+        assert_eq!(oracle.stats().rebuilds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "landmark backend has no dense matrix")]
+    fn estimate_accessor_panics_on_landmark_backend() {
+        let g = Graph::from_edges(3, cc_graph::graph::Direction::Undirected, &[(0, 1, 1)]);
+        let sketch = LandmarkSketch::build(&g, 1, ExecPolicy::Seq);
+        let oracle = IncrementalOracle::with_backend(
+            g,
+            OracleBackend::Landmark(sketch),
+            "landmark",
+            1,
+            DynamicConfig::default(),
+        );
+        let _ = oracle.estimate();
     }
 
     #[test]

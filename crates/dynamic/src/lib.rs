@@ -32,6 +32,6 @@ pub mod incremental;
 pub mod rebuild;
 pub mod update;
 
-pub use delta::{state_fingerprint, Delta, DeltaError, DeltaStrategy};
+pub use delta::{backend_state_fingerprint, state_fingerprint, Delta, DeltaError, DeltaStrategy};
 pub use incremental::{ApplyOutcome, ApplyStrategy, DynamicConfig, IncrementalOracle};
 pub use update::{EdgeOp, MutationProfile, UpdateBatch, UpdateError};

@@ -106,6 +106,14 @@ impl DistMatrix {
         &self.data
     }
 
+    /// Approximate resident memory of the matrix in bytes: the n² weight
+    /// cells (struct overhead excluded). The oracle-backend memory accounting
+    /// in `BENCH_serve.json` / `BENCH_oracle.json` reports this number for
+    /// dense backends.
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<Weight>()) as u64
+    }
+
     /// Replaces every entry with `min(self, other)` entrywise.
     pub fn entrywise_min(&mut self, other: &DistMatrix) {
         assert_eq!(self.n, other.n);
@@ -228,6 +236,87 @@ impl StretchStats {
             under += shard_under;
             missing += shard_missing;
         }
+        Self::from_tally(ratios, under, missing)
+    }
+
+    /// Audits a **seeded random sample** of ordered pairs instead of all n²
+    /// of them — the only affordable mode once estimates leave the dense
+    /// regime (a full audit of an n = 50k sketch is 2.5 × 10⁹ pairs).
+    ///
+    /// Samples up to `max_pairs` distinct ordered pairs `(u, v)`, `u ≠ v`,
+    /// with an RNG seeded by `seed`, then applies exactly the same per-pair
+    /// tally as [`StretchStats::audit_with`] (pairs with `d = 0` or
+    /// `d = ∞` are skipped, not resampled, so the reported
+    /// [`pairs`](Self::pairs) can be smaller than `max_pairs`). The result
+    /// is a deterministic function of `(n, max_pairs, seed)` and the two
+    /// matrices.
+    ///
+    /// When `max_pairs` covers every ordered pair, the sample *is* the full
+    /// pair set and the result is identical to [`StretchStats::audit`] —
+    /// the convergence law the sampled-audit proptest pins down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn audit_sampled(
+        estimate: &DistMatrix,
+        exact: &DistMatrix,
+        max_pairs: usize,
+        seed: u64,
+    ) -> StretchStats {
+        assert_eq!(estimate.n(), exact.n(), "estimate/exact dimension mismatch");
+        let n = exact.n();
+        let universe = n.saturating_mul(n.saturating_sub(1));
+        let mut ratios: Vec<f64> = Vec::new();
+        let mut under = 0usize;
+        let mut missing = 0usize;
+        let mut tally = |u: NodeId, v: NodeId| {
+            let d = exact.get(u, v);
+            if d == 0 || d >= INF {
+                return;
+            }
+            let e = estimate.get(u, v);
+            if e >= INF {
+                missing += 1;
+                return;
+            }
+            if e < d {
+                under += 1;
+            }
+            ratios.push(e as f64 / d as f64);
+        };
+        if max_pairs >= universe {
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v {
+                        tally(u, v);
+                    }
+                }
+            }
+        } else {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut seen = std::collections::HashSet::with_capacity(max_pairs);
+            while seen.len() < max_pairs {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && seen.insert(u * n + v) {
+                    tally(u, v);
+                }
+            }
+        }
+        Self::from_tally(ratios, under, missing)
+    }
+
+    /// Finalizes a tally of per-pair stretch ratios (δ/d over audited pairs)
+    /// into summary statistics. The ratio list is sorted before any float
+    /// accumulation, which fixes the summation order whatever order the
+    /// ratios were collected in. Public so callers auditing estimates that
+    /// never materialize as a [`DistMatrix`] (e.g. sublinear oracle sketches
+    /// audited row-by-row against sampled exact sources) produce the same
+    /// statistics the matrix audits do.
+    pub fn from_tally(mut ratios: Vec<f64>, under: usize, missing: usize) -> StretchStats {
         ratios.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         let pairs = ratios.len() + missing;
         let max = ratios.last().copied().unwrap_or(1.0);
@@ -344,6 +433,49 @@ mod tests {
         assert!((s.max_stretch - 3.0).abs() < 1e-12);
         assert!(s.is_valid_approximation(3.0));
         assert!(!s.is_valid_approximation(2.9));
+    }
+
+    #[test]
+    fn approx_mem_bytes_is_cell_payload() {
+        assert_eq!(DistMatrix::infinite(10).approx_mem_bytes(), 800);
+        assert_eq!(DistMatrix::infinite(0).approx_mem_bytes(), 0);
+    }
+
+    #[test]
+    fn sampled_audit_with_full_coverage_equals_full_audit() {
+        let mut exact = DistMatrix::infinite(4);
+        for (u, v, d) in [(0, 1, 10), (0, 2, 4), (1, 2, 6), (2, 3, 1)] {
+            exact.set(u, v, d);
+            exact.set(v, u, d);
+        }
+        let mut est = exact.clone();
+        est.set(0, 1, 25);
+        est.set(1, 0, 25);
+        est.set(2, 3, INF);
+        let full = est.stretch_vs(&exact);
+        let sampled = StretchStats::audit_sampled(&est, &exact, 4 * 3, 99);
+        assert_eq!(sampled, full);
+        // Oversampling beyond the universe is the same full audit.
+        assert_eq!(StretchStats::audit_sampled(&est, &exact, 10_000, 7), full);
+    }
+
+    #[test]
+    fn sampled_audit_is_deterministic_per_seed_and_bounded() {
+        let mut exact = DistMatrix::infinite(12);
+        for u in 0..12 {
+            for v in 0..12 {
+                if u != v {
+                    exact.set(u, v, (u + v) as Weight);
+                }
+            }
+        }
+        let est = exact.clone();
+        let a = StretchStats::audit_sampled(&est, &exact, 20, 5);
+        let b = StretchStats::audit_sampled(&est, &exact, 20, 5);
+        assert_eq!(a, b);
+        assert!(a.pairs <= 20);
+        let c = StretchStats::audit_sampled(&est, &exact, 20, 6);
+        assert!(c.pairs <= 20);
     }
 
     #[test]

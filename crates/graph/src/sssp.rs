@@ -78,6 +78,49 @@ pub fn dijkstra_with_hops(g: &Graph, src: NodeId) -> Vec<(Weight, usize)> {
     best
 }
 
+/// Dijkstra from `src` truncated to the open ball of radius `bound`:
+/// returns `(node, dist)` for exactly the nodes with `d(src, node) < bound`
+/// (including `src` at distance 0 when `bound > 0`), sorted by node ID.
+///
+/// The search never relaxes past the bound, so the cost is proportional to
+/// the ball, not the graph — this is what makes Thorup–Zwick-style bunch
+/// construction (`B(u) = {v : d(u,v) < d(u, A)}`) affordable at scale.
+///
+/// ```
+/// use cc_graph::graph::{Graph, Direction};
+/// use cc_graph::sssp::dijkstra_within;
+/// let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 2), (1, 2, 2), (0, 2, 5)]);
+/// assert_eq!(dijkstra_within(&g, 0, 3), vec![(0, 0), (1, 2)]);
+/// assert_eq!(dijkstra_within(&g, 0, 0), vec![]);
+/// ```
+pub fn dijkstra_within(g: &Graph, src: NodeId, bound: Weight) -> Vec<(NodeId, Weight)> {
+    if bound == 0 {
+        return Vec::new();
+    }
+    let mut dist = vec![INF; g.n()];
+    dist[src] = 0;
+    let mut touched = vec![src];
+    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = wadd(d, w);
+            if nd < bound && nd < dist[v] {
+                if dist[v] >= INF {
+                    touched.push(v);
+                }
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    touched.sort_unstable();
+    touched.into_iter().map(|v| (v, dist[v])).collect()
+}
+
 /// The `k` nearest nodes to `src` (including `src` itself at distance 0),
 /// ties broken by node ID, as `(node, dist)` sorted by `(dist, node)`.
 ///
@@ -260,6 +303,33 @@ mod tests {
             &[(0, 4, 1), (0, 2, 1), (0, 1, 1), (0, 3, 1)],
         );
         assert_eq!(k_nearest(&g, 0, 3), vec![(0, 0), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn dijkstra_within_matches_filtered_full_search() {
+        let g = diamond();
+        for src in 0..g.n() {
+            let full = dijkstra(&g, src);
+            for bound in 0..8u64 {
+                let expect: Vec<(NodeId, Weight)> = full
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, d)| d < bound)
+                    .collect();
+                assert_eq!(
+                    dijkstra_within(&g, src, bound),
+                    expect,
+                    "src {src} bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_within_inf_bound_is_the_reachable_set() {
+        let g = Graph::from_edges(4, Direction::Undirected, &[(0, 1, 1)]);
+        assert_eq!(dijkstra_within(&g, 0, INF), vec![(0, 0), (1, 1)]);
     }
 
     #[test]

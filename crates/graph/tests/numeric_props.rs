@@ -3,7 +3,7 @@
 //! ([`cc_graph::log2_ceil`]), and the stretch audit
 //! ([`cc_graph::DistMatrix::stretch_vs`]).
 
-use cc_graph::{log2_ceil, wadd, DistMatrix, Weight, INF};
+use cc_graph::{log2_ceil, wadd, DistMatrix, StretchStats, Weight, INF};
 use proptest::prelude::*;
 
 proptest! {
@@ -75,6 +75,44 @@ proptest! {
             prop_assert!((stats.mean_stretch - 1.0).abs() < 1e-12);
         }
         prop_assert!(stats.is_valid_approximation(1.0));
+    }
+
+    /// The sampled audit converges to the full audit: once `max_pairs`
+    /// covers the whole ordered-pair universe, `audit_sampled` reports
+    /// exactly the same statistics as the exhaustive `audit`, for any
+    /// estimate/exact pair and any seed.
+    #[test]
+    fn sampled_audit_converges_to_full_audit(
+        n in 1usize..10,
+        exact_cells in proptest::collection::vec((0u8..4, 1u64..200), 100),
+        est_cells in proptest::collection::vec((0u8..4, 1u64..600), 100),
+        seed in any::<u64>(),
+        slack in 0usize..50,
+    ) {
+        let matrix = |cells: &[(u8, u64)]| {
+            let data: Vec<Weight> = (0..n * n)
+                .map(|i| {
+                    let (u, v) = (i / n, i % n);
+                    let (sel, w) = cells[i % cells.len()];
+                    if u == v { 0 } else if sel == 0 { INF } else { w }
+                })
+                .collect();
+            DistMatrix::from_raw(n, data)
+        };
+        let (exact, est) = (matrix(&exact_cells), matrix(&est_cells));
+        let full = StretchStats::audit(&est, &exact);
+        let covering = n * (n.max(1) - 1) + slack;
+        prop_assert_eq!(StretchStats::audit_sampled(&est, &exact, covering, seed), full);
+        // An under-covering sample still never audits more pairs than asked
+        // for, and stays deterministic per seed.
+        if covering > 0 {
+            let half = StretchStats::audit_sampled(&est, &exact, covering / 2, seed);
+            prop_assert!(half.pairs <= covering / 2);
+            prop_assert_eq!(
+                half,
+                StretchStats::audit_sampled(&est, &exact, covering / 2, seed)
+            );
+        }
     }
 }
 

@@ -213,6 +213,9 @@ pub struct ServeBenchResult {
     pub p99_us: f64,
     /// Hot-row cache hit rate over the run (`KNearest` lookups).
     pub cache_hit_rate: f64,
+    /// Resident size estimate (bytes) of the served distance structure
+    /// (`8n²` dense, sketch footprint for landmark backends).
+    pub estimate_mem_bytes: u64,
     /// Fingerprint of all responses in order — identical across thread
     /// counts for a fixed spec and snapshot.
     pub fingerprint: u64,
@@ -235,6 +238,7 @@ impl ServeBenchResult {
                 ("p95_us".into(), self.p95_us),
                 ("p99_us".into(), self.p99_us),
                 ("cache_hit_rate".into(), self.cache_hit_rate),
+                ("estimate_mem_bytes".into(), self.estimate_mem_bytes as f64),
             ],
         }
     }
@@ -290,6 +294,7 @@ pub fn drive(
         p95_us: percentile_us(&latencies, 0.95),
         p99_us: percentile_us(&latencies, 0.99),
         cache_hit_rate,
+        estimate_mem_bytes: service.estimate_mem_bytes(id),
         fingerprint: fnv1a(&batch_prints),
     }
 }
@@ -390,9 +395,9 @@ pub fn drive_readwrite(
     let base = service.export(id);
     let algo = base.meta.algo.clone();
     let seed = base.meta.seed;
-    let mut engine = IncrementalOracle::new(
+    let mut engine = IncrementalOracle::with_backend(
         base.graph,
-        base.estimate,
+        base.backend,
         &algo,
         seed,
         DynamicConfig {
@@ -459,6 +464,7 @@ pub fn drive_readwrite(
             p95_us: percentile_us(&latencies, 0.95),
             p99_us: percentile_us(&latencies, 0.99),
             cache_hit_rate,
+            estimate_mem_bytes: service.estimate_mem_bytes(id),
             fingerprint: fnv1a(&batch_prints),
         },
         write_batches,
@@ -677,7 +683,10 @@ mod tests {
         );
         assert_eq!(seq.final_state_fingerprint, seq_snap.state_fingerprint());
         // The final estimate is exactly a from-scratch rebuild.
-        assert_eq!(seq_snap.estimate, apsp::exact_apsp(&seq_snap.graph));
+        assert_eq!(
+            seq_snap.dense_estimate().expect("dense snapshot"),
+            &apsp::exact_apsp(&seq_snap.graph)
+        );
         for threads in [2, 4] {
             let (par, par_snap) = run(threads);
             assert_eq!(
@@ -761,6 +770,7 @@ mod tests {
             p95_us: 3.0,
             p99_us: 9.0,
             cache_hit_rate: 0.75,
+            estimate_mem_bytes: 131_072,
             fingerprint: 42,
         };
         let rec = result.to_record("serve_mixed", 128);
@@ -771,6 +781,10 @@ mod tests {
             .extras
             .iter()
             .any(|(k, v)| k == "cache_hit_rate" && *v == 0.75));
+        assert!(rec
+            .extras
+            .iter()
+            .any(|(k, v)| k == "estimate_mem_bytes" && *v == 131_072.0));
     }
 
     #[test]

@@ -295,7 +295,7 @@ impl OracleService {
             name: name.to_string(),
             version: versions.len() as u32,
             meta: snapshot.meta,
-            oracle: DistanceOracle::new(snapshot.graph, snapshot.estimate),
+            oracle: DistanceOracle::with_backend(snapshot.graph, snapshot.backend),
             cache: Mutex::new(RowCache::new(self.cfg.cache_rows)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -329,15 +329,15 @@ impl OracleService {
             cc_graph::Graph::empty(0, cc_graph::graph::Direction::Undirected),
             cc_graph::DistMatrix::infinite(0),
         );
-        let (graph, estimate) = std::mem::replace(&mut e.oracle, placeholder).into_parts();
-        match delta.apply(&graph, &estimate) {
-            Ok((new_graph, new_estimate)) => {
-                e.oracle = DistanceOracle::new(new_graph, new_estimate);
+        let (graph, backend) = std::mem::replace(&mut e.oracle, placeholder).into_backend_parts();
+        match delta.apply_backend(&graph, &backend) {
+            Ok((new_graph, new_backend)) => {
+                e.oracle = DistanceOracle::with_backend(new_graph, new_backend);
                 e.version += 1;
                 Ok(id)
             }
             Err(err) => {
-                e.oracle = DistanceOracle::new(graph, estimate);
+                e.oracle = DistanceOracle::with_backend(graph, backend);
                 Err(ApplyDeltaError::Delta(err))
             }
         }
@@ -389,11 +389,19 @@ impl OracleService {
     /// read/write load generator.
     pub fn export(&self, id: SnapshotId) -> Snapshot {
         let e = &self.entries[id.0];
-        Snapshot::new(
+        Snapshot::with_backend(
             e.oracle.graph().clone(),
-            e.oracle.estimate().clone(),
+            e.oracle.backend().clone(),
             e.meta.clone(),
         )
+    }
+
+    /// Resident size estimate (bytes) of a registered snapshot's distance
+    /// structure — `8n²` for a dense matrix, the sketch footprint for a
+    /// landmark backend. Reported in the serve/bench records so memory is
+    /// comparable across backends.
+    pub fn estimate_mem_bytes(&self, id: SnapshotId) -> u64 {
+        self.entries[id.0].oracle.backend().approx_mem_bytes()
     }
 
     /// Cache counters of a registered snapshot.
@@ -434,10 +442,17 @@ impl OracleService {
             }
         }
         e.misses.fetch_add(1, Ordering::Relaxed);
-        let estimate = e.oracle.estimate();
         // Sort outside the lock; concurrent misses may duplicate the work
-        // but the row they compute is identical.
-        let full = k_nearest_from_dists(estimate.row(u), estimate.n());
+        // but the row they compute is identical. Dense backends expose the
+        // row zero-copy; landmark backends materialize it per miss (which
+        // the cache then amortizes).
+        let full = match e.oracle.backend().as_dense() {
+            Some(matrix) => k_nearest_from_dists(matrix.row(u), matrix.n()),
+            None => {
+                let row = e.oracle.backend().dist_row(u);
+                k_nearest_from_dists(&row, row.len())
+            }
+        };
         let answer = full.iter().take(k).copied().collect();
         e.cache.lock().unwrap().insert(e.version, u, full);
         answer
@@ -501,7 +516,7 @@ mod tests {
     #[test]
     fn dist_matches_the_estimate_matrix() {
         let snap = exact_snapshot(24, 1);
-        let expect = snap.estimate.clone();
+        let expect = snap.dense_estimate().expect("dense snapshot").clone();
         let (service, id) = OracleService::single(snap);
         for u in 0..24 {
             for v in 0..24 {
@@ -704,6 +719,77 @@ mod tests {
         }
         // Spot-check one response against a direct answer.
         assert_eq!(seq.responses[0], service.answer(id, &queries[0]));
+    }
+
+    #[test]
+    fn landmark_snapshots_serve_all_query_kinds_and_accept_deltas() {
+        use cc_apsp::landmark::LandmarkSketch;
+        use cc_apsp::oracle::OracleBackend;
+        use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+        use cc_dynamic::update::{EdgeOp, UpdateBatch};
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::gnp_connected(24, 0.2, 1..=9, &mut rng);
+        let sketch = LandmarkSketch::build(&g, 31, ExecPolicy::Seq);
+        let snap = Snapshot::with_backend(
+            g.clone(),
+            OracleBackend::Landmark(sketch.clone()),
+            SnapshotMeta {
+                algo: "landmark".into(),
+                seed: 31,
+                stretch_bound: 3.0,
+                rounds: 0,
+                source: "test".into(),
+            },
+        );
+        let mem = snap.backend.approx_mem_bytes();
+        let (mut service, id) = {
+            let mut service = OracleService::default();
+            let id = service.register("lm", snap);
+            (service, id)
+        };
+        assert_eq!(service.estimate_mem_bytes(id), mem);
+
+        // Dist answers come straight from the sketch; k-nearest agrees with
+        // sorting the materialized row; routes that deliver are real walks.
+        assert_eq!(
+            service.answer(id, &Query::Dist(0, 5)),
+            Response::Dist(sketch.query(0, 5))
+        );
+        let row = sketch.dist_row(3);
+        assert_eq!(
+            service.answer(id, &Query::KNearest(3, 4)),
+            Response::KNearest(
+                k_nearest_from_dists(&row, row.len())
+                    .into_iter()
+                    .take(4)
+                    .collect()
+            )
+        );
+        // Cache hit on repeat, same answer.
+        let first = service.answer(id, &Query::KNearest(3, 4));
+        assert_eq!(first, service.answer(id, &Query::KNearest(3, 4)));
+        assert!(service.cache_stats(id).hits >= 1);
+
+        // A delta produced by a landmark engine applies through the service
+        // and swaps the backend in place.
+        let mut engine = IncrementalOracle::with_backend(
+            g,
+            OracleBackend::Landmark(sketch),
+            "landmark",
+            31,
+            DynamicConfig::default(),
+        );
+        let outcome = engine
+            .apply(&UpdateBatch::new(vec![EdgeOp::Insert(0, 23, 1)]))
+            .expect("valid batch");
+        service.apply_delta("lm", &outcome.delta).expect("applies");
+        let exported = service.export(id);
+        assert_eq!(&exported.backend, engine.backend());
+        assert_eq!(
+            service.answer(id, &Query::Dist(0, 23)),
+            Response::Dist(engine.backend().query(0, 23))
+        );
     }
 
     #[test]

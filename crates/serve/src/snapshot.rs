@@ -1,8 +1,9 @@
 //! Versioned binary snapshots: the servable artifact of a pipeline run.
 //!
 //! A [`Snapshot`] packages everything a query node needs — the graph, the
-//! APSP estimate δ, and the run's provenance ([`SnapshotMeta`]) — into a
-//! single self-validating file (conventionally `*.ccsnap`):
+//! oracle backend (dense matrix or landmark sketch), and the run's
+//! provenance ([`SnapshotMeta`]) — into a single self-validating file
+//! (conventionally `*.ccsnap`):
 //!
 //! ```text
 //! magic "CCSNAP\0\n" (8 bytes)
@@ -13,10 +14,15 @@
 //!
 //! All integers are little-endian. Three sections are defined (graph,
 //! estimate, metadata); each carries its own checksum so corruption is
-//! localized in the error. Serialization is canonical — the same snapshot
-//! always produces the same bytes — which is what the round-trip property
-//! test (`save → load → save` is bit-identical) pins down.
+//! localized in the error. Since format version 2 the estimate payload
+//! opens with a backend tag byte (`0` dense matrix, `1` landmark sketch);
+//! version-1 files — always dense, no tag — still load (the writer always
+//! emits the current version). Serialization is canonical — the same
+//! snapshot always produces the same bytes — which is what the round-trip
+//! property test (`save → load → save` is bit-identical) pins down.
 
+use cc_apsp::landmark::LandmarkSketch;
+use cc_apsp::oracle::OracleBackend;
 use cc_graph::graph::{Direction, Graph};
 use cc_graph::{DistMatrix, NodeId, Weight};
 use std::path::Path;
@@ -24,12 +30,19 @@ use std::path::Path;
 /// File magic: identifies a snapshot regardless of format version.
 pub const MAGIC: [u8; 8] = *b"CCSNAP\0\n";
 
-/// Current (and only) format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (tagged estimate section).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The original format: untagged, always-dense estimate section. Still
+/// accepted on read; never written.
+pub const LEGACY_VERSION: u32 = 1;
 
 const SEC_GRAPH: u32 = 1;
 const SEC_ESTIMATE: u32 = 2;
 const SEC_META: u32 = 3;
+
+const BACKEND_DENSE: u8 = 0;
+const BACKEND_LANDMARK: u8 = 1;
 
 /// FNV-1a 64-bit hash; the per-section checksum (and the response
 /// fingerprint in [`crate::service`]).
@@ -56,13 +69,14 @@ pub struct SnapshotMeta {
     pub source: String,
 }
 
-/// A servable pipeline artifact: graph + estimate + provenance.
+/// A servable pipeline artifact: graph + oracle backend + provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// The graph queries are routed on.
     pub graph: Graph,
-    /// The APSP estimate δ the oracle answers from.
-    pub estimate: DistMatrix,
+    /// The distance structure the oracle answers from: a dense APSP matrix
+    /// or a landmark sketch.
+    pub backend: OracleBackend,
     /// Provenance of the producing run.
     pub meta: SnapshotMeta,
 }
@@ -198,14 +212,23 @@ impl Snapshot {
     /// Panics if the estimate dimension differs from the graph's node count
     /// (the same contract as [`cc_apsp::oracle::DistanceOracle::new`]).
     pub fn new(graph: Graph, estimate: DistMatrix, meta: SnapshotMeta) -> Self {
+        Self::with_backend(graph, OracleBackend::Dense(estimate), meta)
+    }
+
+    /// Packages a graph and any oracle backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend dimension differs from the graph's node count.
+    pub fn with_backend(graph: Graph, backend: OracleBackend, meta: SnapshotMeta) -> Self {
         assert_eq!(
             graph.n(),
-            estimate.n(),
+            backend.n(),
             "snapshot estimate dimension mismatch"
         );
         Self {
             graph,
-            estimate,
+            backend,
             meta,
         }
     }
@@ -215,31 +238,40 @@ impl Snapshot {
         self.graph.n()
     }
 
-    /// Content fingerprint of the servable state (graph + estimate,
+    /// The dense estimate, when the backend is dense.
+    pub fn dense_estimate(&self) -> Option<&DistMatrix> {
+        self.backend.as_dense()
+    }
+
+    /// Content fingerprint of the servable state (graph + backend,
     /// excluding provenance metadata): the identity the dynamic engine's
     /// `*.ccdelta` chains are anchored to. Two snapshots with the same
     /// fingerprint answer every query identically, whatever produced them.
+    /// For dense backends this is exactly the pre-backend
+    /// [`cc_dynamic::state_fingerprint`], so existing delta chains stay
+    /// anchored.
     pub fn state_fingerprint(&self) -> u64 {
-        cc_dynamic::state_fingerprint(&self.graph, &self.estimate)
+        cc_dynamic::backend_state_fingerprint(&self.graph, &self.backend)
     }
 
     /// Applies a dynamic-update delta, producing the successor snapshot
-    /// (same provenance metadata, updated graph and estimate). The delta's
+    /// (same provenance metadata, updated graph and backend). The delta's
     /// base fingerprint must match [`Snapshot::state_fingerprint`], and the
     /// result is verified against the delta's recorded result fingerprint
     /// before anything is returned.
     ///
     /// # Errors
     ///
-    /// See [`cc_dynamic::Delta::apply`].
+    /// See [`cc_dynamic::Delta::apply`] and
+    /// [`cc_dynamic::Delta::apply_backend`].
     pub fn apply_delta(
         &self,
         delta: &cc_dynamic::Delta,
     ) -> Result<Snapshot, cc_dynamic::DeltaError> {
-        let (graph, estimate) = delta.apply(&self.graph, &self.estimate)?;
+        let (graph, backend) = delta.apply_backend(&self.graph, &self.backend)?;
         Ok(Snapshot {
             graph,
-            estimate,
+            backend,
             meta: self.meta.clone(),
         })
     }
@@ -263,11 +295,46 @@ impl Snapshot {
             put_u64(&mut graph, w);
         }
 
-        // Estimate section: n then the row-major entries.
-        let mut estimate = Vec::with_capacity(8 + 8 * self.estimate.raw().len());
-        put_u64(&mut estimate, self.estimate.n() as u64);
-        for &d in self.estimate.raw() {
-            put_u64(&mut estimate, d);
+        // Estimate section: backend tag, then the backend-specific layout.
+        let mut estimate = Vec::new();
+        match &self.backend {
+            OracleBackend::Dense(matrix) => {
+                // Dense: n then the row-major entries (the v1 layout,
+                // shifted one byte by the tag).
+                estimate.reserve(1 + 8 + 8 * matrix.raw().len());
+                estimate.push(BACKEND_DENSE);
+                put_u64(&mut estimate, matrix.n() as u64);
+                for &d in matrix.raw() {
+                    put_u64(&mut estimate, d);
+                }
+            }
+            OracleBackend::Landmark(sketch) => {
+                // Landmark: n, seed, landmark count L, the L landmark ids,
+                // the L×n distance rows, then per vertex its bunch as a
+                // count followed by (id, dist) pairs. `nearest` is derived
+                // and not serialized.
+                estimate.push(BACKEND_LANDMARK);
+                put_u64(&mut estimate, sketch.n() as u64);
+                put_u64(&mut estimate, sketch.seed());
+                let landmarks = sketch.landmarks();
+                put_u64(&mut estimate, landmarks.len() as u64);
+                for &l in landmarks {
+                    put_u64(&mut estimate, l as u64);
+                }
+                for i in 0..landmarks.len() {
+                    for &d in sketch.landmark_row(i) {
+                        put_u64(&mut estimate, d);
+                    }
+                }
+                for u in 0..sketch.n() {
+                    let bunch = sketch.bunch(u);
+                    put_u64(&mut estimate, bunch.len() as u64);
+                    for &(v, d) in bunch {
+                        put_u64(&mut estimate, v as u64);
+                        put_u64(&mut estimate, d);
+                    }
+                }
+            }
         }
 
         // Meta section.
@@ -309,7 +376,7 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = cur.u32()?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != LEGACY_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let section_count = cur.u32()?;
@@ -351,21 +418,22 @@ impl Snapshot {
         // allocation). The graph decoder then validates its own n against it
         // *before* building the CSR, so no length field in the file can
         // trigger an allocation bigger than the file itself.
-        let estimate = decode_estimate(
+        let backend = decode_backend(
             estimate_payload
                 .ok_or_else(|| SnapshotError::Malformed("missing estimate section".into()))?,
+            version,
         )?;
         let graph = decode_graph(
             graph_payload
                 .ok_or_else(|| SnapshotError::Malformed("missing graph section".into()))?,
-            estimate.n(),
+            backend.n(),
         )?;
         let meta = decode_meta(
             meta_payload.ok_or_else(|| SnapshotError::Malformed("missing meta section".into()))?,
         )?;
         Ok(Snapshot {
             graph,
-            estimate,
+            backend,
             meta,
         })
     }
@@ -431,8 +499,32 @@ fn decode_graph(payload: &[u8], expected_n: usize) -> Result<Graph, SnapshotErro
     Ok(Graph::from_edges(n, direction, &edges))
 }
 
-fn decode_estimate(payload: &[u8]) -> Result<DistMatrix, SnapshotError> {
+fn decode_backend(payload: &[u8], version: u32) -> Result<OracleBackend, SnapshotError> {
     let mut cur = Cursor::new(payload);
+    // Version-1 estimate sections have no tag byte and are always dense.
+    let tag = if version == LEGACY_VERSION {
+        BACKEND_DENSE
+    } else {
+        cur.u8()?
+    };
+    let backend = match tag {
+        BACKEND_DENSE => OracleBackend::Dense(decode_dense(&mut cur)?),
+        BACKEND_LANDMARK => OracleBackend::Landmark(decode_landmark(&mut cur)?),
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "unknown oracle backend tag {other}"
+            )))
+        }
+    };
+    if cur.remaining() != 0 {
+        return Err(SnapshotError::Malformed(
+            "trailing bytes in estimate section".into(),
+        ));
+    }
+    Ok(backend)
+}
+
+fn decode_dense(cur: &mut Cursor<'_>) -> Result<DistMatrix, SnapshotError> {
     let n = cur.u64()? as usize;
     let cells = n
         .checked_mul(n)
@@ -442,12 +534,40 @@ fn decode_estimate(payload: &[u8]) -> Result<DistMatrix, SnapshotError> {
     for _ in 0..cells {
         data.push(cur.u64()?);
     }
-    if cur.remaining() != 0 {
-        return Err(SnapshotError::Malformed(
-            "trailing bytes in estimate section".into(),
-        ));
-    }
     Ok(DistMatrix::from_raw(n, data))
+}
+
+fn decode_landmark(cur: &mut Cursor<'_>) -> Result<LandmarkSketch, SnapshotError> {
+    let n = cur.u64()? as usize;
+    let seed = cur.u64()?;
+    let count = cur.u64()? as usize;
+    // Every pre-allocation below is capped by the bytes actually present,
+    // so lying length fields surface as Truncated, never as capacity
+    // panics or oversized allocations.
+    let mut landmarks: Vec<NodeId> = Vec::with_capacity(count.min(cur.remaining() / 8));
+    for _ in 0..count {
+        landmarks.push(cur.u64()? as usize);
+    }
+    let cells = count
+        .checked_mul(n)
+        .ok_or_else(|| SnapshotError::Malformed("landmark row length overflows".into()))?;
+    let mut rows: Vec<Weight> = Vec::with_capacity(cells.min(cur.remaining() / 8));
+    for _ in 0..cells {
+        rows.push(cur.u64()?);
+    }
+    let mut bunches: Vec<Vec<(NodeId, Weight)>> = Vec::with_capacity(n.min(cur.remaining() / 8));
+    for _ in 0..n {
+        let len = cur.u64()? as usize;
+        let mut bunch: Vec<(NodeId, Weight)> = Vec::with_capacity(len.min(cur.remaining() / 16));
+        for _ in 0..len {
+            let v = cur.u64()? as usize;
+            let d = cur.u64()?;
+            bunch.push((v, d));
+        }
+        bunches.push(bunch);
+    }
+    LandmarkSketch::from_parts(n, seed, landmarks, rows, bunches)
+        .map_err(|e| SnapshotError::Malformed(format!("landmark sketch: {e}")))
 }
 
 fn decode_meta(payload: &[u8]) -> Result<SnapshotMeta, SnapshotError> {
@@ -571,10 +691,10 @@ mod tests {
 
     /// A syntactically valid frame around arbitrary section payloads (with
     /// correct checksums), for crafting adversarial inputs.
-    fn frame(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    fn frame_v(version: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
-        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, version);
         put_u32(&mut out, sections.len() as u32);
         for (tag, payload) in sections {
             put_u32(&mut out, *tag);
@@ -583,6 +703,10 @@ mod tests {
             out.extend_from_slice(payload);
         }
         out
+    }
+
+    fn frame(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+        frame_v(FORMAT_VERSION, sections)
     }
 
     #[test]
@@ -602,7 +726,7 @@ mod tests {
         put_u64(&mut meta, 0);
         // A well-formed 4×4 estimate so the graph decoder's dimension check
         // passes and the lying edge count is actually reached.
-        let mut ok_estimate = Vec::new();
+        let mut ok_estimate = vec![0u8]; // dense backend tag
         put_u64(&mut ok_estimate, 4);
         for _ in 0..16 {
             put_u64(&mut ok_estimate, 0);
@@ -622,7 +746,7 @@ mod tests {
         put_u64(&mut ok_graph, 4);
         ok_graph.push(0);
         put_u64(&mut ok_graph, 0);
-        let mut lying_estimate = Vec::new();
+        let mut lying_estimate = vec![0u8];
         put_u64(&mut lying_estimate, 1 << 31);
         let bytes = frame(&[
             (SEC_GRAPH, ok_graph),
@@ -641,7 +765,7 @@ mod tests {
         put_u64(&mut huge_graph, 1 << 40);
         huge_graph.push(0);
         put_u64(&mut huge_graph, 0);
-        let mut tiny_estimate = Vec::new();
+        let mut tiny_estimate = vec![0u8];
         put_u64(&mut tiny_estimate, 1);
         put_u64(&mut tiny_estimate, 0); // the single cell
         let bytes = frame(&[
@@ -651,6 +775,183 @@ mod tests {
         ]);
         match Snapshot::from_bytes(&bytes) {
             Err(SnapshotError::Malformed(msg)) => assert!(msg.contains("nodes"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    fn landmark_sample() -> Snapshot {
+        use cc_graph::generators;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generators::gnp_connected(18, 0.2, 1..=9, &mut rng);
+        let sketch = LandmarkSketch::build(&g, 13, cc_par::ExecPolicy::Seq);
+        Snapshot::with_backend(
+            g,
+            OracleBackend::Landmark(sketch),
+            SnapshotMeta {
+                algo: "landmark".into(),
+                seed: 13,
+                stretch_bound: 3.0,
+                rounds: 0,
+                source: "unit-test".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn landmark_snapshots_round_trip() {
+        let snap = landmark_sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_bytes(), bytes, "canonical form must be stable");
+    }
+
+    #[test]
+    fn landmark_every_truncation_point_errors_cleanly() {
+        let bytes = landmark_sample().to_bytes();
+        for len in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_estimate_byte_flips_are_checksum_mismatches() {
+        let snap = landmark_sample();
+        let clean = snap.to_bytes();
+        // Locate the estimate section's payload in the framed bytes and
+        // flip every byte in it, one at a time.
+        let mut pos = MAGIC.len() + 4 + 4;
+        let (mut est_start, mut est_len) = (0usize, 0usize);
+        for _ in 0..3 {
+            let tag = u32::from_le_bytes(clean[pos..pos + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(clean[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            let payload_at = pos + 4 + 8 + 8;
+            if tag == SEC_ESTIMATE {
+                est_start = payload_at;
+                est_len = len;
+            }
+            pos = payload_at + len;
+        }
+        assert!(est_len > 0, "estimate section not found");
+        for off in (0..est_len).step_by(97.max(est_len / 64)) {
+            let mut corrupt = clean.clone();
+            corrupt[est_start + off] ^= 0x01;
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&corrupt),
+                    Err(SnapshotError::ChecksumMismatch {
+                        section: "estimate"
+                    })
+                ),
+                "flip at estimate offset {off} was not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_backend_tags_are_malformed() {
+        let snap = sample();
+        let mut bytes = snap.to_bytes();
+        // The estimate section is the second section; find its payload's
+        // first byte (the backend tag) and set it to an unknown value, then
+        // re-checksum so the tag check (not the checksum) fires.
+        let mut pos = MAGIC.len() + 4 + 4;
+        for _ in 0..3 {
+            let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            let payload_at = pos + 4 + 8 + 8;
+            if tag == SEC_ESTIMATE {
+                bytes[payload_at] = 7;
+                let sum = fnv1a(&bytes[payload_at..payload_at + len]);
+                bytes[pos + 12..pos + 20].copy_from_slice(&sum.to_le_bytes());
+                break;
+            }
+            pos = payload_at + len;
+        }
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::Malformed(msg)) => assert!(msg.contains("backend tag"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_dense_frames_still_decode() {
+        let snap = sample();
+        let v2 = snap.to_bytes();
+        // Rebuild the same snapshot as a version-1 file: same graph and
+        // meta payloads, estimate payload without the leading tag byte.
+        let mut pos = MAGIC.len() + 4 + 4;
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+        for _ in 0..3 {
+            let tag = u32::from_le_bytes(v2[pos..pos + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(v2[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            let payload_at = pos + 4 + 8 + 8;
+            let mut payload = v2[payload_at..payload_at + len].to_vec();
+            if tag == SEC_ESTIMATE {
+                payload.remove(0); // drop the v2 backend tag
+            }
+            sections.push((tag, payload));
+            pos = payload_at + len;
+        }
+        let v1 = frame_v(LEGACY_VERSION, &sections);
+        let back = Snapshot::from_bytes(&v1).expect("legacy decode");
+        assert_eq!(back, snap);
+        // Re-encoding a legacy snapshot produces the current format.
+        assert_eq!(back.to_bytes(), v2);
+    }
+
+    #[test]
+    fn lying_landmark_lengths_error_instead_of_panicking() {
+        let mut ok_graph = Vec::new();
+        put_u64(&mut ok_graph, 4);
+        ok_graph.push(0);
+        put_u64(&mut ok_graph, 0);
+        let mut meta = Vec::new();
+        put_str(&mut meta, "x");
+        put_str(&mut meta, "y");
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, 3.0f64.to_bits());
+        put_u64(&mut meta, 0);
+        // A landmark estimate declaring 2^60 landmarks with no id bytes
+        // behind it: Truncated, not an allocation blow-up.
+        let mut lying = vec![1u8]; // landmark backend tag
+        put_u64(&mut lying, 4); // n
+        put_u64(&mut lying, 0); // seed
+        put_u64(&mut lying, 1 << 60); // landmark count — a lie
+        let bytes = frame(&[
+            (SEC_GRAPH, ok_graph.clone()),
+            (SEC_ESTIMATE, lying),
+            (SEC_META, meta.clone()),
+        ]);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // Structurally complete but invalid content (landmark id out of
+        // range) must be Malformed via the sketch validator.
+        let mut bad = vec![1u8];
+        put_u64(&mut bad, 4); // n
+        put_u64(&mut bad, 0); // seed
+        put_u64(&mut bad, 1); // one landmark
+        put_u64(&mut bad, 9); // id 9 out of range for n=4
+        for _ in 0..4 {
+            put_u64(&mut bad, 0); // its row
+        }
+        for _ in 0..4 {
+            put_u64(&mut bad, 0); // empty bunches
+        }
+        let bytes = frame(&[(SEC_GRAPH, ok_graph), (SEC_ESTIMATE, bad), (SEC_META, meta)]);
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapshotError::Malformed(msg)) => {
+                assert!(msg.contains("landmark sketch"), "{msg}")
+            }
             other => panic!("expected Malformed, got {other:?}"),
         }
     }

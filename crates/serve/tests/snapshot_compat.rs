@@ -1,0 +1,47 @@
+//! Cross-version compatibility: a version-1 `.ccsnap` file written by the
+//! pre-backend (dense-only, untagged estimate section) format must keep
+//! loading bit-for-bit after the version-2 bump.
+//!
+//! The fixture was produced by the v1 writer via
+//! `ccapsp snapshot --n 12 --family gnp --algo exact --seed 5` and is
+//! checked in as an opaque byte blob; every expectation below was pinned
+//! from the run that wrote it.
+
+use cc_serve::snapshot::{Snapshot, FORMAT_VERSION, LEGACY_VERSION, MAGIC};
+
+fn fixture_bytes() -> Vec<u8> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/v1_dense_gnp12.ccsnap"
+    );
+    std::fs::read(path).expect("pinned v1 fixture present")
+}
+
+#[test]
+fn pinned_v1_dense_snapshot_still_loads() {
+    let bytes = fixture_bytes();
+    // It really is a v1 file, not a re-encoded one.
+    assert_eq!(&bytes[..MAGIC.len()], &MAGIC);
+    let version = u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    assert_eq!(version, LEGACY_VERSION);
+    assert_ne!(version, FORMAT_VERSION, "fixture must predate the bump");
+
+    let snap = Snapshot::from_bytes(&bytes).expect("legacy decode");
+    assert_eq!(snap.n(), 12);
+    assert_eq!(snap.meta.algo, "exact");
+    assert_eq!(snap.meta.seed, 5);
+    assert_eq!(snap.meta.stretch_bound, 1.0);
+    assert_eq!(snap.meta.rounds, 9);
+    assert_eq!(snap.meta.source, "gnp(n=12,seed=5)");
+
+    // Spot-pinned distances from the producing run.
+    let est = snap.dense_estimate().expect("v1 snapshots are dense");
+    assert_eq!(est.get(0, 11), 12);
+    assert_eq!(est.get(3, 7), 5);
+
+    // Re-encoding upgrades to the current version and stays loadable.
+    let upgraded = snap.to_bytes();
+    let v2 = u32::from_le_bytes(upgraded[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    assert_eq!(v2, FORMAT_VERSION);
+    assert_eq!(Snapshot::from_bytes(&upgraded).expect("re-decode"), snap);
+}

@@ -4,7 +4,9 @@
 
 use cc_graph::graph::{Direction, Graph};
 use cc_graph::{DistMatrix, NodeId, Weight, INF};
-use cc_serve::snapshot::{Snapshot, SnapshotError, SnapshotMeta, FORMAT_VERSION, MAGIC};
+use cc_serve::snapshot::{
+    Snapshot, SnapshotError, SnapshotMeta, FORMAT_VERSION, LEGACY_VERSION, MAGIC,
+};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary weighted graph — possibly disconnected, directed
@@ -58,6 +60,32 @@ fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
     })
 }
 
+/// Strategy: a snapshot whose backend is a landmark sketch built from an
+/// arbitrary undirected graph (sketches assume symmetric distances).
+fn arb_landmark_snapshot() -> impl Strategy<Value = Snapshot> {
+    (1usize..20, any::<u64>()).prop_flat_map(|(n, seed)| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1..=50 as Weight), 0..4 * n);
+        (Just(n), Just(seed), edges).prop_map(|(n, seed, edges)| {
+            let edges: Vec<(NodeId, NodeId, Weight)> =
+                edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            let g = Graph::from_edges(n, Direction::Undirected, &edges);
+            let sketch =
+                cc_apsp::landmark::LandmarkSketch::build(&g, seed, cc_par::ExecPolicy::Seq);
+            Snapshot::with_backend(
+                g,
+                cc_apsp::oracle::OracleBackend::Landmark(sketch),
+                SnapshotMeta {
+                    algo: "landmark".into(),
+                    seed,
+                    stretch_bound: 3.0,
+                    rounds: 0,
+                    source: format!("prop(seed={seed})"),
+                },
+            )
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
@@ -69,6 +97,36 @@ proptest! {
         let back = Snapshot::from_bytes(&bytes).expect("decode of freshly encoded snapshot");
         prop_assert_eq!(&back, &snap);
         prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// The same round-trip law for landmark-backed snapshots.
+    #[test]
+    fn landmark_save_load_round_trip_is_bit_identical(snap in arb_landmark_snapshot()) {
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("decode of freshly encoded snapshot");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// Truncating a landmark snapshot anywhere is Truncated, and flipping a
+    /// payload byte is a checksum mismatch — the corruption guarantees hold
+    /// for the new estimate-section layout too.
+    #[test]
+    fn landmark_corruption_is_detected(snap in arb_landmark_snapshot(), cut in 0u64..1000, off in 0usize..8, flip in 1u8..=255) {
+        let bytes = snap.to_bytes();
+        let len = (bytes.len() - 1) * cut as usize / 1000;
+        let err = Snapshot::from_bytes(&bytes[..len]).unwrap_err();
+        prop_assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "prefix {} of {} gave {:?}", len, bytes.len(), err
+        );
+        let payload_start = MAGIC.len() + 4 + 4 + (4 + 8 + 8);
+        let mut corrupt = bytes.clone();
+        corrupt[payload_start + off] ^= flip;
+        prop_assert!(matches!(
+            Snapshot::from_bytes(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
     }
 
     /// Every strict prefix of a valid snapshot is Truncated — never a panic,
@@ -115,9 +173,13 @@ proptest! {
     /// Any version other than FORMAT_VERSION is rejected as unsupported.
     #[test]
     fn other_versions_are_rejected(snap in arb_snapshot(), version in any::<u32>()) {
-        // The vendored proptest has no prop_assume; dodge the one valid
-        // version deterministically instead.
-        let version = if version == FORMAT_VERSION { version + 1 } else { version };
+        // The vendored proptest has no prop_assume; dodge the accepted
+        // versions (current and legacy) deterministically instead.
+        let version = if version == FORMAT_VERSION || version == LEGACY_VERSION {
+            FORMAT_VERSION + 1 + version
+        } else {
+            version
+        };
         let mut bytes = snap.to_bytes();
         bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&version.to_le_bytes());
         prop_assert!(matches!(

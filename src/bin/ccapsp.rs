@@ -19,6 +19,9 @@
 //!                 [--k K] [--seed S] [--threads T] [--out FILE]
 //!                 [--write-ratio R] [--ops-per-batch K] [--profile P]
 //!                                                        load-generate → BENCH_serve.json
+//! ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S]
+//!                 [--queries Q] [--sources S] [--threads T] [--out FILE]
+//!                                                        dense vs landmark → BENCH_oracle.json
 //! ```
 //!
 //! Algorithms (`--algo`): `thm11` (default, Theorem 1.1), `thm81`
@@ -32,7 +35,15 @@
 //! when unset). Neither ever changes any output — estimates, bounds, round
 //! counts, served query results, and update deltas are bit-identical across
 //! policies and kernels — only the wall-clock time.
+//!
+//! `--oracle {dense,landmark}` selects the servable oracle backend
+//! (`CC_ORACLE` environment default, `dense` when unset). Unlike `--kernel`
+//! this *does* change outputs: a landmark snapshot stores a ~√n-landmark
+//! sketch (Θ(n^1.5) expected words instead of n²) whose answers carry a
+//! stretch-3 guarantee instead of the dense estimate's bound.
 
+use cc_apsp::landmark::LandmarkSketch;
+use cc_apsp::oracle::{OracleBackend, OracleKind};
 use cc_dynamic::delta as ccdelta;
 use cc_dynamic::incremental::{ApplyStrategy, DynamicConfig, IncrementalOracle};
 use cc_dynamic::rebuild::{run_algorithm, ALGORITHMS as ALGOS};
@@ -45,10 +56,11 @@ use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
 use cc_serve::loadgen::{drive, drive_readwrite, LoadSpec, ReadWriteSpec, Skew};
 use cc_serve::report::write_report;
+use cc_serve::report::BenchRecord;
 use cc_serve::service::{OracleService, Query, Response};
 use cc_serve::snapshot::{Snapshot, SnapshotMeta};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -58,17 +70,19 @@ fn usage() -> ExitCode {
          ccapsp gen <family:{families}> <n> <seed> <out.edges>\n  \
          ccapsp info <graph.edges>\n  \
          ccapsp run <graph.edges> [--algo {ALGOS}] [--seed S] [--threads T] \
-         [--kernel auto|dense|sparse]\n  \
+         [--kernel auto|dense|sparse] [--oracle dense|landmark]\n  \
          ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S] [--threads T] \
-         [--kernel K] -o <out.ccsnap>\n  \
+         [--kernel K] [--oracle dense|landmark] -o <out.ccsnap>\n  \
          ccapsp query <snap.ccsnap> dist|route|knearest <u> <v|k>\n  \
          ccapsp update <snap.ccsnap> --ops <file>|--random K [--profile reweight|topology] \
-         [--seed S] [--threads T] [--kernel K] [--repair-fraction F] [--delta <d.ccdelta>] \
-         [-o <new.ccsnap>]\n  \
+         [--seed S] [--threads T] [--kernel K] [--oracle dense|landmark] [--repair-fraction F] \
+         [--delta <d.ccdelta>] [-o <new.ccsnap>]\n  \
          ccapsp compact <base.ccsnap> <d.ccdelta>... -o <out.ccsnap> [--delta <merged.ccdelta>]\n  \
          ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew uniform|zipf[:EXP]] \
          [--k K] [--seed S] [--threads T] [--out FILE] [--write-ratio R] [--ops-per-batch K] \
-         [--profile P]\n\
+         [--profile P]\n  \
+         ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S] [--queries Q] \
+         [--sources S] [--threads T] [--out FILE]\n\
          hint: `ccapsp <subcommand>` with missing arguments prints this listing; \
          see the README's \"Serving\" and \"Dynamic updates\" sections for the workflows",
         families = Family::ALL.map(|f| f.name()).join("|")
@@ -87,6 +101,7 @@ fn main() -> ExitCode {
         Some("update") => cmd_update(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some("bench-oracle") => cmd_bench_oracle(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
             usage()
@@ -219,6 +234,20 @@ fn parse_kernel(args: &[String]) -> Result<KernelMode, ExitCode> {
     }
 }
 
+/// Parses `--oracle` (absent → the `CC_ORACLE` environment default).
+fn parse_oracle(args: &[String]) -> Result<OracleKind, ExitCode> {
+    match flag(args, "--oracle") {
+        Some(s) => match OracleKind::parse(s) {
+            Some(kind) => Ok(kind),
+            None => {
+                eprintln!("--oracle expects dense|landmark, got {s:?}");
+                Err(usage())
+            }
+        },
+        None => Ok(OracleKind::from_env()),
+    }
+}
+
 /// Runs one named algorithm over `g` through the shared dispatch table
 /// (`cc_dynamic::rebuild::run_algorithm` — the same table the dynamic
 /// engine's rebuild fallback re-enters), returning
@@ -253,6 +282,35 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(kernel) => kernel,
         Err(code) => return code,
     };
+    let oracle = match parse_oracle(args) {
+        Ok(oracle) => oracle,
+        Err(code) => return code,
+    };
+    if oracle == OracleKind::Landmark {
+        // Landmark runs build the sketch directly from the graph; the
+        // pipeline algorithms produce dense estimates only.
+        if flag(args, "--algo").is_some() {
+            println!("note           --oracle landmark builds a sketch; --algo is ignored");
+        }
+        let start = Instant::now();
+        let sketch = LandmarkSketch::build(&g, seed, exec);
+        let build_ms = start.elapsed().as_secs_f64() * 1e3;
+        let backend = OracleBackend::Landmark(sketch);
+        println!("oracle         landmark");
+        println!("exec           {exec}");
+        println!("build          {build_ms:.1} ms");
+        println!("memory         {} bytes", backend.approx_mem_bytes());
+        println!("guarantee      3.0×");
+        if g.n() <= 2048 {
+            let stats = backend.sampled_stretch(&g, g.n(), seed, exec);
+            println!(
+                "measured       max {:.3} / mean {:.3} / p99 {:.3}",
+                stats.max_stretch, stats.mean_stretch, stats.p99_stretch
+            );
+            println!("valid          {}", stats.is_valid_approximation(3.0));
+        }
+        return ExitCode::SUCCESS;
+    }
     let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec, kernel) else {
         eprintln!("unknown algorithm {algo:?}");
         return usage();
@@ -304,6 +362,7 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
             "--seed",
             "--threads",
             "--kernel",
+            "--oracle",
             "-o",
             "--out",
         ],
@@ -348,21 +407,50 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
         let g = family.generate(n, n as u64, &mut rng);
         (g, format!("{family_name}(n={n},seed={seed})"))
     };
-    let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec, kernel) else {
-        eprintln!("unknown algorithm {algo:?}");
-        return usage();
+    let oracle = match parse_oracle(args) {
+        Ok(oracle) => oracle,
+        Err(code) => return code,
     };
     let n = g.n();
-    let snapshot = Snapshot::new(
-        g,
-        estimate,
-        SnapshotMeta {
-            algo: algo.to_string(),
-            seed,
-            stretch_bound: bound,
-            rounds,
-            source,
-        },
+    let snapshot = if oracle == OracleKind::Landmark {
+        // Landmark snapshots skip the dense pipeline entirely: the sketch
+        // is the servable artifact, built straight from the graph.
+        if flag(args, "--algo").is_some() {
+            println!("note           --oracle landmark builds a sketch; --algo is ignored");
+        }
+        let sketch = LandmarkSketch::build(&g, seed, exec);
+        Snapshot::with_backend(
+            g,
+            OracleBackend::Landmark(sketch),
+            SnapshotMeta {
+                algo: "landmark".to_string(),
+                seed,
+                stretch_bound: 3.0,
+                rounds: 0,
+                source,
+            },
+        )
+    } else {
+        let Some((estimate, bound, rounds)) = run_algo(&g, algo, seed, exec, kernel) else {
+            eprintln!("unknown algorithm {algo:?}");
+            return usage();
+        };
+        Snapshot::new(
+            g,
+            estimate,
+            SnapshotMeta {
+                algo: algo.to_string(),
+                seed,
+                stretch_bound: bound,
+                rounds,
+                source,
+            },
+        )
+    };
+    let (algo, bound, rounds) = (
+        snapshot.meta.algo.clone(),
+        snapshot.meta.stretch_bound,
+        snapshot.meta.rounds,
     );
     let encoded = snapshot.to_bytes();
     let bytes = encoded.len();
@@ -470,6 +558,7 @@ fn cmd_update(args: &[String]) -> ExitCode {
         "--seed",
         "--threads",
         "--kernel",
+        "--oracle",
         "--repair-fraction",
         "--delta",
         "-o",
@@ -482,6 +571,24 @@ fn cmd_update(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
+    // The backend is baked into the snapshot; an explicit --oracle flag is
+    // only a consistency check (the environment default is not — it must
+    // not reject snapshots made under a different CC_ORACLE).
+    if flag(args, "--oracle").is_some() {
+        let requested = match parse_oracle(args) {
+            Ok(o) => o,
+            Err(code) => return code,
+        };
+        let actual = snapshot.backend.kind();
+        if requested != actual {
+            eprintln!(
+                "snapshot {path} has a {} backend, but --oracle {} was requested",
+                actual.name(),
+                requested.name()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     let exec = match parse_exec(args) {
         Ok(exec) => exec,
         Err(code) => return code,
@@ -543,9 +650,9 @@ fn cmd_update(args: &[String]) -> ExitCode {
         }
     };
     let meta = snapshot.meta.clone();
-    let mut engine = IncrementalOracle::new(
+    let mut engine = IncrementalOracle::with_backend(
         snapshot.graph,
-        snapshot.estimate,
+        snapshot.backend,
         &meta.algo,
         meta.seed,
         DynamicConfig {
@@ -590,7 +697,8 @@ fn cmd_update(args: &[String]) -> ExitCode {
         println!("wrote          {delta_out}");
     }
     if let Some(out) = flag(args, "-o").or_else(|| flag(args, "--out")) {
-        let updated = Snapshot::new(engine.graph().clone(), engine.estimate().clone(), meta);
+        let updated =
+            Snapshot::with_backend(engine.graph().clone(), engine.backend().clone(), meta);
         if let Err(e) = updated.save(out) {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::FAILURE;
@@ -627,14 +735,15 @@ fn cmd_compact(args: &[String]) -> ExitCode {
             Err(code) => return code,
         }
     }
-    let (merged, graph, estimate) = match ccdelta::compact(&base.graph, &base.estimate, &deltas) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot replay delta chain: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let final_snapshot = Snapshot::new(graph, estimate, base.meta.clone());
+    let (merged, graph, backend) =
+        match ccdelta::compact_backend(&base.graph, &base.backend, &deltas) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot replay delta chain: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let final_snapshot = Snapshot::with_backend(graph, backend, base.meta.clone());
     let fp = final_snapshot.state_fingerprint();
     if let Err(e) = final_snapshot.save(out) {
         eprintln!("cannot write {out}: {e}");
@@ -777,6 +886,167 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     println!("cache hit      {:.1}%", result.cache_hit_rate * 100.0);
     println!("fingerprint    {:016x}", result.fingerprint);
     if let Err(e) = write_report(out, &[record]) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote          {out}");
+    ExitCode::SUCCESS
+}
+
+/// Times `backend.query` over the shared pair set, returning
+/// `(p50 µs, p95 µs, distance checksum)`. The checksum keeps the work
+/// observable (and doubles as a cross-backend sanity print).
+fn time_queries(backend: &OracleBackend, pairs: &[(usize, usize)]) -> (f64, f64, u64) {
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(pairs.len());
+    let mut checksum = 0u64;
+    for &(u, v) in pairs {
+        let start = Instant::now();
+        let d = backend.query(u, v);
+        lat_ns.push(start.elapsed().as_nanos() as u64);
+        checksum = checksum
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(if d >= INF { u64::MAX } else { d });
+    }
+    lat_ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((lat_ns.len() - 1) as f64 * p).round() as usize;
+        lat_ns[idx] as f64 / 1e3
+    };
+    (pct(0.50), pct(0.95), checksum)
+}
+
+/// Head-to-head dense vs landmark comparison on one shared instance:
+/// build time, resident estimate bytes, query latency over an identical
+/// seeded pair set, and measured sampled stretch. Emits one
+/// `BENCH_oracle.json` record per backend.
+fn cmd_bench_oracle(args: &[String]) -> ExitCode {
+    let flags = [
+        "--n",
+        "--family",
+        "--seed",
+        "--queries",
+        "--sources",
+        "--threads",
+        "--kernel",
+        "--out",
+        "-o",
+    ];
+    let seed: u64 = match num_flag(args, "--seed", 1) {
+        Ok(seed) => seed,
+        Err(code) => return code,
+    };
+    let queries: usize = match num_flag(args, "--queries", 10_000) {
+        Ok(q) if q > 0 => q,
+        Ok(_) => {
+            eprintln!("--queries expects a positive count");
+            return usage();
+        }
+        Err(code) => return code,
+    };
+    let sources: usize = match num_flag(args, "--sources", 32) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let exec = match parse_exec(args) {
+        Ok(exec) => exec,
+        Err(code) => return code,
+    };
+    let kernel = match parse_kernel(args) {
+        Ok(kernel) => kernel,
+        Err(code) => return code,
+    };
+    let (g, source) = match positionals(args, &flags)[..] {
+        [path] => match load(path) {
+            Ok(g) => (g, path.to_string()),
+            Err(code) => return code,
+        },
+        [] => {
+            let n: usize = match num_flag(args, "--n", 1024) {
+                Ok(n) if n >= 2 => n,
+                Ok(n) => {
+                    eprintln!("--n expects at least 2 nodes, got {n}");
+                    return usage();
+                }
+                Err(code) => return code,
+            };
+            let family_name = flag(args, "--family").unwrap_or("gnp");
+            let Some(family) = Family::ALL.iter().find(|f| f.name() == family_name) else {
+                eprintln!("unknown family {family_name:?}");
+                return usage();
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            (
+                family.generate(n, n as u64, &mut rng),
+                format!("{family_name}(n={n},seed={seed})"),
+            )
+        }
+        ref many => {
+            eprintln!("bench-oracle takes at most one graph path, got {many:?}");
+            return usage();
+        }
+    };
+    let n = g.n();
+    let threads = exec.threads();
+    let out = flag(args, "--out")
+        .or_else(|| flag(args, "-o"))
+        .unwrap_or("BENCH_oracle.json");
+    println!("instance       {source} ({n} nodes, {} edges)", g.m());
+    println!("exec           {exec}");
+
+    // Build both backends on the same graph.
+    let start = Instant::now();
+    let Some((estimate, _, _)) = run_algo(&g, "exact", seed, exec, kernel) else {
+        unreachable!("exact is a registered algorithm");
+    };
+    let dense_ms = start.elapsed().as_secs_f64() * 1e3;
+    let dense = OracleBackend::Dense(estimate);
+    let start = Instant::now();
+    let landmark = OracleBackend::Landmark(LandmarkSketch::build(&g, seed, exec));
+    let landmark_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // An identical seeded pair set for both backends.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0b5e_5eed);
+    let pairs: Vec<(usize, usize)> = (0..queries)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+
+    let mut records = Vec::with_capacity(2);
+    for (name, backend, build_ms) in [
+        ("oracle_dense", &dense, dense_ms),
+        ("oracle_landmark", &landmark, landmark_ms),
+    ] {
+        let (p50_us, p95_us, checksum) = time_queries(backend, &pairs);
+        let stats = backend.sampled_stretch(&g, sources, seed, exec);
+        let mem = backend.approx_mem_bytes();
+        println!("{name:<14} build {build_ms:.1} ms, memory {mem} bytes");
+        println!(
+            "               query p50 {p50_us:.2} µs / p95 {p95_us:.2} µs (checksum {checksum:016x})"
+        );
+        println!(
+            "               stretch max {:.3} / mean {:.3} / p99 {:.3}",
+            stats.max_stretch, stats.mean_stretch, stats.p99_stretch
+        );
+        records.push(BenchRecord {
+            experiment: name.to_string(),
+            n,
+            threads,
+            wall_ms: build_ms,
+            rounds: 0,
+            extras: vec![
+                ("build_ms".into(), build_ms),
+                ("estimate_mem_bytes".into(), mem as f64),
+                ("query_p50_us".into(), p50_us),
+                ("query_p95_us".into(), p95_us),
+                ("max_stretch".into(), stats.max_stretch),
+                ("mean_stretch".into(), stats.mean_stretch),
+            ],
+        });
+    }
+    println!(
+        "memory ratio   landmark/dense = {:.3}",
+        landmark.approx_mem_bytes() as f64 / dense.approx_mem_bytes() as f64
+    );
+    if let Err(e) = write_report(out, &records) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
