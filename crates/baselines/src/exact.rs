@@ -33,10 +33,11 @@ pub fn exact_apsp_squaring_with(clique: &mut Clique, g: &Graph, exec: ExecPolicy
 }
 
 /// [`exact_apsp_squaring_with`] under an explicit [`KernelMode`]: every
-/// squaring runs through the kernel engine, which re-plans per multiply —
-/// the first squarings of an adjacency matrix dispatch sparse, the later
-/// (filled-in) ones dispatch to the tiled dense kernel. Output and round
-/// charges are bit-identical across modes.
+/// squaring runs through the kernel engine's self-product path
+/// ([`engine::square`]), which re-plans per multiply — the first squarings
+/// of an adjacency matrix dispatch sparse, the later (filled-in) ones to
+/// the blocked-FW k-tiled dense kernel at the narrowest lane width the
+/// entries permit. Output and round charges are bit-identical across modes.
 pub fn exact_apsp_squaring_kernel(
     clique: &mut Clique,
     g: &Graph,
@@ -47,7 +48,7 @@ pub fn exact_apsp_squaring_kernel(
         let mut cur = dense::adjacency_matrix(g);
         let per_product = product_rounds(g.n());
         loop {
-            let next = engine::min_plus(&cur, &cur, kernel, exec);
+            let next = engine::square(&cur, kernel, exec);
             clique.charge("minplus-square (CKK+19 n^(1/3))", per_product);
             if next == cur {
                 return next;

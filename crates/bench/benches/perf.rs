@@ -20,9 +20,12 @@ use cc_apsp::pipeline::{approximate_apsp, PipelineConfig};
 use cc_bench::experiments::fast;
 use cc_bench::report::{time_best_of, write_report, BenchRecord};
 use cc_graph::generators::Family;
-use cc_graph::{apsp, DistMatrix};
-use cc_matrix::dense::{adjacency_matrix, distance_product_tiled_with, distance_product_with};
-use cc_matrix::engine::{self, KernelChoice, KernelMode, KernelPlan};
+use cc_graph::{apsp, DistMatrix, INF};
+use cc_matrix::dense::{
+    adjacency_matrix, distance_product_lanes_with, distance_product_tiled_with,
+    distance_product_with,
+};
+use cc_matrix::engine::{self, KernelChoice, KernelMode, KernelPlan, ULTRA_MAX_ENTRY};
 use cc_par::ExecPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,47 +134,98 @@ fn main() {
     let adj = adjacency_matrix(&workload(n_kern, 11));
     let (dense_mat, _) = engine::closure(&adj, KernelMode::Auto, ExecPolicy::from_env());
     let kernel_code = |c: KernelChoice| match c {
-        KernelChoice::DenseTiled => 0.0,
+        KernelChoice::DenseLanes => 0.0,
         KernelChoice::DenseCompact => 1.0,
         KernelChoice::SparseSharded => 2.0,
+        KernelChoice::DenseUltra => 3.0,
     };
+    let lane_code = |c: KernelChoice| c.lane_width().map_or(-1.0, |w| w as f64);
+    // The same closure matrix with every finite entry clamped to the u16
+    // ultra bound — the weight-scaled-instance shape; auto dispatch must
+    // send its self-product to the ultra kernel.
+    let ultra_mat = {
+        let mut m = dense_mat.clone();
+        for i in 0..n_kern {
+            for j in 0..n_kern {
+                let v = m.get(i, j);
+                if v < INF {
+                    m.set(i, j, v.min(ULTRA_MAX_ENTRY));
+                }
+            }
+        }
+        m
+    };
+    let ultra_choice = KernelPlan::choose(&ultra_mat, &ultra_mat, KernelMode::Auto).choice;
+    assert_eq!(
+        ultra_choice,
+        KernelChoice::DenseUltra,
+        "clamped matrix must dispatch to the u16 kernel"
+    );
+    let auto_choice = KernelPlan::choose(&dense_mat, &dense_mat, KernelMode::Auto).choice;
     let dense_reference = distance_product_with(&dense_mat, &dense_mat, ExecPolicy::Seq);
+    let ultra_reference = distance_product_with(&ultra_mat, &ultra_mat, ExecPolicy::Seq);
     let sparse_reference = distance_product_with(&adj, &adj, ExecPolicy::Seq);
     type KernelRun<'a> = (
         &'a str,
         Box<dyn Fn() -> DistMatrix + 'a>,
         &'a DistMatrix,
         f64,
+        f64,
     );
     for threads in THREADS {
         let exec = ExecPolicy::with_threads(threads);
-        let runs: [KernelRun<'_>; 4] = [
+        let runs: [KernelRun<'_>; 7] = [
             (
                 "minplus_naive",
                 Box::new(|| distance_product_with(&dense_mat, &dense_mat, exec)),
                 &dense_reference,
+                -1.0,
                 -1.0,
             ),
             (
                 "minplus_tiled",
                 Box::new(|| distance_product_tiled_with(&dense_mat, &dense_mat, exec)),
                 &dense_reference,
+                -1.0,
+                -1.0,
+            ),
+            (
+                "minplus_lanes",
+                Box::new(|| distance_product_lanes_with(&dense_mat, &dense_mat, exec)),
+                &dense_reference,
                 0.0,
+                lane_code(KernelChoice::DenseLanes),
             ),
             (
                 "minplus_auto",
                 Box::new(|| engine::min_plus(&dense_mat, &dense_mat, KernelMode::Auto, exec)),
                 &dense_reference,
-                kernel_code(KernelPlan::choose(&dense_mat, &dense_mat, KernelMode::Auto).choice),
+                kernel_code(auto_choice),
+                lane_code(auto_choice),
+            ),
+            (
+                "minplus_u16",
+                Box::new(|| engine::min_plus(&ultra_mat, &ultra_mat, KernelMode::Auto, exec)),
+                &ultra_reference,
+                kernel_code(ultra_choice),
+                lane_code(ultra_choice),
+            ),
+            (
+                "closure_ktiled",
+                Box::new(|| engine::square(&dense_mat, KernelMode::Auto, exec)),
+                &dense_reference,
+                kernel_code(auto_choice),
+                lane_code(auto_choice),
             ),
             (
                 "minplus_sparse",
                 Box::new(|| engine::min_plus(&adj, &adj, KernelMode::Sparse, exec)),
                 &sparse_reference,
                 2.0,
+                -1.0,
             ),
         ];
-        for (name, run, reference, code) in runs {
+        for (name, run, reference, code, lanes) in runs {
             let (wall_ms, out) = time_best_of(kern_reps, &*run);
             assert_eq!(&out, reference, "{name} diverged at {threads} threads");
             println!("{name:<17} n={n_kern:>4} threads={threads}  {wall_ms:>9.2} ms");
@@ -181,7 +235,7 @@ fn main() {
                 threads,
                 wall_ms,
                 rounds: 0,
-                extras: vec![("kernel_code".into(), code)],
+                extras: vec![("kernel_code".into(), code), ("lane_width".into(), lanes)],
             });
         }
     }

@@ -5,6 +5,7 @@
 //! of `paper bound vs. measured value` rows. The `tables` bench target runs
 //! them all under `cargo bench`; EXPERIMENTS.md archives the output.
 
+pub mod envelope;
 pub mod experiments;
 pub mod report;
 

@@ -30,6 +30,16 @@ pub struct BenchRecord {
     pub extras: Vec<(String, f64)>,
 }
 
+/// Number of logical CPU cores visible to this process.
+///
+/// Stamped into every record's extras by [`render_report`] so speedup
+/// claims in checked-in reports stay interpretable: `threads=4, speedup
+/// ~1x, cores_detected=1` is the expected shape on a 1-CPU container, not
+/// a scaling bug.
+pub fn cores_detected() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 impl BenchRecord {
     fn to_json(&self) -> String {
         let mut out = format!(
@@ -68,10 +78,21 @@ fn json_string(s: &str) -> String {
 }
 
 /// Renders the full report document.
+///
+/// Every record is stamped with a `cores_detected` extra (unless the caller
+/// already set one), so all `BENCH_*.json` files carry the machine context
+/// their thread-scaling numbers were measured under.
 pub fn render_report(records: &[BenchRecord]) -> String {
+    let cores = cores_detected() as f64;
     let rows: Vec<String> = records
         .iter()
-        .map(|r| format!("    {}", r.to_json()))
+        .map(|r| {
+            let mut r = r.clone();
+            if !r.extras.iter().any(|(k, _)| k == "cores_detected") {
+                r.extras.push(("cores_detected".into(), cores));
+            }
+            format!("    {}", r.to_json())
+        })
         .collect();
     format!(
         "{{\n  \"schema\": \"cc-apsp-bench/v1\",\n  \"records\": [\n{}\n  ]\n}}\n",
@@ -133,9 +154,27 @@ mod tests {
         assert!(doc.contains("\"qps\":1234.500"));
         assert!(doc.contains("\"p99_us\":7.250"));
         assert!(doc.contains("pipe\\\"line"));
+        // Every record gets the machine-context stamp exactly once.
+        assert_eq!(doc.matches("\"cores_detected\":").count(), records.len());
+        assert!(doc.contains(&format!("\"cores_detected\":{}.000", cores_detected())));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn caller_supplied_cores_detected_is_not_duplicated() {
+        let records = vec![BenchRecord {
+            experiment: "x".into(),
+            n: 1,
+            threads: 1,
+            wall_ms: 1.0,
+            rounds: 0,
+            extras: vec![("cores_detected".into(), 99.0)],
+        }];
+        let doc = render_report(&records);
+        assert_eq!(doc.matches("\"cores_detected\":").count(), 1);
+        assert!(doc.contains("\"cores_detected\":99.000"));
     }
 
     #[test]

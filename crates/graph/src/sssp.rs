@@ -28,8 +28,38 @@ use crate::{wadd, Graph, NodeId, Weight, INF};
 /// ```
 pub fn dijkstra(g: &Graph, src: NodeId) -> Vec<Weight> {
     let mut dist = vec![INF; g.n()];
+    let mut scratch = DijkstraScratch::new();
+    dijkstra_into(g, src, &mut dist, &mut scratch);
+    dist
+}
+
+/// Reusable working state for [`dijkstra_into`]: the binary heap (and its
+/// backing allocation) survives across calls, so a caller running Dijkstra
+/// from many sources — APSP row blocks, landmark sketch builds — pays for
+/// the heap's growth once per worker instead of once per source.
+#[derive(Default)]
+pub struct DijkstraScratch {
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; allocations happen lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`dijkstra`] writing into a caller-owned row. `dist` must have length
+/// `g.n()`; every entry is overwritten (no stale state leaks between
+/// sources). Output is bit-identical to [`dijkstra`] — the heap's pop order
+/// on equal keys is the same because the scratch heap is always empty at
+/// entry.
+pub fn dijkstra_into(g: &Graph, src: NodeId, dist: &mut [Weight], scratch: &mut DijkstraScratch) {
+    debug_assert_eq!(dist.len(), g.n());
+    dist.fill(INF);
     dist[src] = 0;
-    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+    let heap = &mut scratch.heap;
+    heap.clear();
     heap.push(Reverse((0, src)));
     while let Some(Reverse((d, u))) = heap.pop() {
         if d > dist[u] {
@@ -43,7 +73,6 @@ pub fn dijkstra(g: &Graph, src: NodeId) -> Vec<Weight> {
             }
         }
     }
-    dist
 }
 
 /// Dijkstra with the lexicographic key `(distance, hops)`: among all
@@ -278,6 +307,21 @@ mod tests {
     fn dijkstra_matches_hand_computation() {
         let d = dijkstra(&diamond(), 0);
         assert_eq!(d, vec![0, 2, 5, 4]);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_runs() {
+        let g = diamond();
+        let mut scratch = DijkstraScratch::new();
+        let mut row = vec![0; g.n()];
+        // Run every source twice through the same scratch: stale heap or
+        // dist state from a previous source must never leak.
+        for _ in 0..2 {
+            for src in 0..g.n() {
+                dijkstra_into(&g, src, &mut row, &mut scratch);
+                assert_eq!(row, dijkstra(&g, src), "src {src}");
+            }
+        }
     }
 
     #[test]

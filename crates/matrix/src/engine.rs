@@ -7,16 +7,23 @@
 //! Theorem 7.1 skeleton squaring, the small-diameter path, and the doubling
 //! baseline all spend most of their work there — and the right kernel
 //! depends on the operands: adjacency-shaped matrices are extremely sparse,
-//! post-closure distance matrices are fully dense, and the weight-scaled
-//! instances of Lemma 8.1 have entries bounded well below 32 bits. The
-//! engine measures what it is given (sampled density, exact entry bounds)
-//! and picks per multiply:
+//! post-closure distance matrices are fully dense, the weight-scaled
+//! instances of Lemma 8.1 have entries bounded well below 32 bits, and the
+//! smallest scaled instances fit in 16. The engine measures what it is
+//! given (sampled density, sampled-then-confirmed entry bounds) and picks
+//! per multiply:
 //!
 //! | choice | kernel | picked when |
 //! |---|---|---|
 //! | [`KernelChoice::SparseSharded`] | [`crate::sparse`] row shards | `fill(A)·fill(B) ≤ 1/16` (sampled) |
-//! | [`KernelChoice::DenseCompact`] | tiled kernel over `u32` | dense, and all finite entries ≤ [`COMPACT_MAX_ENTRY`] |
-//! | [`KernelChoice::DenseTiled`] | tiled kernel over `u64` | dense, wide entries |
+//! | [`KernelChoice::DenseUltra`] | lane kernel over `u16` | dense, and all finite entries ≤ [`ULTRA_MAX_ENTRY`] |
+//! | [`KernelChoice::DenseCompact`] | lane kernel over `u32` | dense, and all finite entries ≤ [`COMPACT_MAX_ENTRY`] |
+//! | [`KernelChoice::DenseLanes`] | lane kernel over `u64` | dense, wide entries |
+//!
+//! Self-products (`A ⋆ A`, the shape of every [`power`]/[`closure`]
+//! squaring) route through [`square`], which swaps the dense lane kernel
+//! for its blocked-Floyd–Warshall-style k-tiled sibling in
+//! [`crate::dense`], at the same entry width.
 //!
 //! The dispatch can be overridden with [`KernelMode::Dense`] /
 //! [`KernelMode::Sparse`] — threaded through `PipelineConfig` and
@@ -31,14 +38,14 @@
 //! wall-clock decision. The golden-conformance suite and
 //! `tests/kernel_props.rs` pin this contract.
 
-use crate::dense::{self, tile_size, tiled_kernel, transpose_raw, TropicalEntry};
+use crate::dense::{self, ktiled_kernel, lanes_kernel, tile_size, TropicalEntry};
 use crate::sparse::{cdkl_rounds, sparse_product_with, SparseMatrix, SparseProduct};
 use cc_graph::{DistMatrix, NodeId, Weight, INF};
 use cc_par::ExecPolicy;
 use std::sync::OnceLock;
 
 /// How many rows of each operand the dispatcher samples (evenly strided)
-/// when estimating density.
+/// when estimating density and fast-rejecting entry bounds.
 const DENSITY_SAMPLE_ROWS: usize = 64;
 
 /// Sparse kernel cutoff: auto-dispatch picks the sparse kernel when the
@@ -56,6 +63,17 @@ const COMPACT_TOP: u32 = <u32 as TropicalEntry>::TOP;
 /// two finite entries stays strictly below the `u32` infinity sentinel,
 /// keeping the compact kernel bit-identical to the wide one.
 pub const COMPACT_MAX_ENTRY: u64 = ((COMPACT_TOP - 1) / 2) as u64;
+
+/// The ultra-compact (`u16`) kernel's infinity sentinel.
+const ULTRA_TOP: u16 = <u16 as TropicalEntry>::TOP;
+
+/// Largest finite entry the ultra-compact `u16` kernel accepts (8191):
+/// the sum of two finite entries stays strictly below the `u16` infinity
+/// sentinel, so the 2-byte kernel is bit-identical to the wide one. This is
+/// the shape of the paper's weight-scaled instances (Lemma 8.1 rescales
+/// weights into a small integer range before each recursion level), at 4x
+/// the memory density of the original `u64` path.
+pub const ULTRA_MAX_ENTRY: u64 = ((ULTRA_TOP - 1) / 2) as u64;
 
 /// Which kernel family a multiply is asked to use. `Auto` measures the
 /// operands; `Dense`/`Sparse` force the family (the tiled-vs-compact split
@@ -129,12 +147,18 @@ impl std::str::FromStr for KernelMode {
 /// The concrete kernel a plan resolved to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelChoice {
-    /// Cache-blocked tiled kernel over `u64` entries.
-    DenseTiled,
-    /// Tiled kernel over `u32` entries (all finite entries of both operands
+    /// Branchless lane kernel over `u64` entries (full weight range).
+    DenseLanes,
+    /// Lane kernel over `u32` entries (all finite entries of both operands
     /// are at most [`COMPACT_MAX_ENTRY`] — the bounded-entry structure of
-    /// the paper's weight-scaled instances).
+    /// the paper's weight-scaled instances), at 2x the memory density of
+    /// the wide path.
     DenseCompact,
+    /// Lane kernel over `u16` entries (all finite entries of both operands
+    /// are at most [`ULTRA_MAX_ENTRY`] — the smallest weight-scaled
+    /// instances), at 4x the memory density of the wide path with 16-wide
+    /// lanes.
+    DenseUltra,
     /// Row-sharded sparse kernel ([`crate::sparse`]).
     SparseSharded,
 }
@@ -143,9 +167,33 @@ impl KernelChoice {
     /// Machine-readable name.
     pub fn name(self) -> &'static str {
         match self {
-            KernelChoice::DenseTiled => "dense-tiled",
+            KernelChoice::DenseLanes => "dense-lanes",
             KernelChoice::DenseCompact => "dense-compact",
+            KernelChoice::DenseUltra => "dense-ultra",
             KernelChoice::SparseSharded => "sparse-sharded",
+        }
+    }
+
+    /// Unrolled lane width of the dense kernel this choice runs on (the
+    /// sparse kernel has no fixed lane shape and reports `None`).
+    pub fn lane_width(self) -> Option<usize> {
+        match self {
+            KernelChoice::DenseLanes => Some(dense::WIDE_LANES),
+            KernelChoice::DenseCompact => Some(dense::COMPACT_LANES),
+            KernelChoice::DenseUltra => Some(dense::ULTRA_LANES),
+            KernelChoice::SparseSharded => None,
+        }
+    }
+
+    /// Bytes each matrix cell occupies inside the kernel this choice runs
+    /// on (the sparse kernel stores `(column, weight)` pairs per finite
+    /// entry instead).
+    pub fn bytes_per_cell(self) -> Option<usize> {
+        match self {
+            KernelChoice::DenseLanes => Some(8),
+            KernelChoice::DenseCompact => Some(4),
+            KernelChoice::DenseUltra => Some(2),
+            KernelChoice::SparseSharded => None,
         }
     }
 }
@@ -164,9 +212,9 @@ impl std::fmt::Display for KernelChoice {
 ///
 /// ```
 /// use cc_graph::DistMatrix;
-/// use cc_matrix::engine::{KernelChoice, KernelMode, KernelPlan};
+/// use cc_matrix::engine::{KernelChoice, KernelMode, KernelPlan, COMPACT_MAX_ENTRY, ULTRA_MAX_ENTRY};
 ///
-/// // A filled small-weight matrix dispatches to the compact tiled kernel…
+/// // A filled small-weight matrix dispatches to the 2-byte ultra kernel…
 /// let mut a = DistMatrix::infinite(8);
 /// for u in 0..8 {
 ///     for v in 0..8 {
@@ -174,10 +222,18 @@ impl std::fmt::Display for KernelChoice {
 ///     }
 /// }
 /// let plan = KernelPlan::choose(&a, &a, KernelMode::Auto);
-/// assert_eq!(plan.choice, KernelChoice::DenseCompact);
+/// assert_eq!(plan.choice, KernelChoice::DenseUltra);
 ///
-/// // …while a nearly-empty matrix (only the diagonal is finite)
-/// // dispatches to the sparse kernel.
+/// // …one entry past the u16 bound demotes it to the u32 compact kernel…
+/// a.set(0, 0, ULTRA_MAX_ENTRY + 1);
+/// assert_eq!(KernelPlan::choose(&a, &a, KernelMode::Auto).choice, KernelChoice::DenseCompact);
+///
+/// // …and past the u32 bound, to the full-width lane kernel.
+/// a.set(0, 0, COMPACT_MAX_ENTRY + 1);
+/// assert_eq!(KernelPlan::choose(&a, &a, KernelMode::Auto).choice, KernelChoice::DenseLanes);
+///
+/// // A nearly-empty matrix (only the diagonal is finite) dispatches to
+/// // the sparse kernel.
 /// let empty = DistMatrix::infinite(8);
 /// let plan = KernelPlan::choose(&empty, &empty, KernelMode::Auto);
 /// assert_eq!(plan.choice, KernelChoice::SparseSharded);
@@ -248,19 +304,55 @@ fn sampled_fill(m: &DistMatrix) -> f64 {
     finite as f64 / seen.max(1) as f64
 }
 
-/// Inside the dense family: compact when every finite entry of both
-/// operands fits the `u32` kernel's exactness bound.
+/// Largest finite entry over the same strided row sample [`sampled_fill`]
+/// uses (`0` if the sample is all-infinite). A sampled entry **above** a
+/// bound proves the matrix ineligible for that width, so this fast-rejects
+/// the full O(n²) eligibility scans for wide-weight matrices; a sampled
+/// maximum *below* a bound is only a hint and must still be confirmed by
+/// the exact scan (an unsampled row may hold a wider entry — truncating it
+/// would corrupt results).
+fn sampled_entry_cap(m: &DistMatrix) -> u64 {
+    let n = m.n();
+    if n == 0 {
+        return 0;
+    }
+    let sample = n.min(DENSITY_SAMPLE_ROWS);
+    let mut cap = 0u64;
+    for s in 0..sample {
+        for &w in m.row(s * n / sample) {
+            if w < INF && w > cap {
+                cap = w;
+            }
+        }
+    }
+    cap
+}
+
+/// Inside the dense family: the narrowest lane kernel whose exactness
+/// bound every finite entry of both operands fits — `u16` ultra, then
+/// `u32` compact, else the full-width `u64` lanes. The sampled entry cap
+/// fast-rejects widths the sample already disproves; full scans confirm
+/// the rest (bound checks must be exact, only the *order* they are tried
+/// in is sampled).
 fn dense_choice(a: &DistMatrix, b: &DistMatrix) -> KernelChoice {
-    if compact_eligible(a) && compact_eligible(b) {
+    let cap = sampled_entry_cap(a).max(sampled_entry_cap(b));
+    if cap <= ULTRA_MAX_ENTRY && ultra_eligible(a) && ultra_eligible(b) {
+        KernelChoice::DenseUltra
+    } else if cap <= COMPACT_MAX_ENTRY && compact_eligible(a) && compact_eligible(b) {
         KernelChoice::DenseCompact
     } else {
-        KernelChoice::DenseTiled
+        KernelChoice::DenseLanes
     }
 }
 
 /// Whether every entry is either infinite or at most [`COMPACT_MAX_ENTRY`].
 fn compact_eligible(m: &DistMatrix) -> bool {
     m.raw().iter().all(|&w| w >= INF || w <= COMPACT_MAX_ENTRY)
+}
+
+/// Whether every entry is either infinite or at most [`ULTRA_MAX_ENTRY`].
+fn ultra_eligible(m: &DistMatrix) -> bool {
+    m.raw().iter().all(|&w| w >= INF || w <= ULTRA_MAX_ENTRY)
 }
 
 /// The engine's distance product `A ⋆ B`: plans the multiply under `mode`
@@ -288,19 +380,35 @@ pub fn min_plus_planned(
     assert_eq!(a.n(), b.n(), "distance product dimension mismatch");
     let n = a.n();
     match plan.choice {
-        KernelChoice::DenseTiled => dense::distance_product_tiled_opts(a, b, exec, plan.tile),
+        KernelChoice::DenseLanes => dense::distance_product_lanes_opts(a, b, exec, plan.tile),
         KernelChoice::DenseCompact => {
             // A plan may be reused after its operands changed (the fields
             // are public); re-verify the compact bound — `w as u32` would
             // silently truncate wide entries — and fall back to the wide
-            // tiled kernel if it no longer holds. Same bits either way.
+            // lane kernel if it no longer holds. Same bits either way.
             if !(compact_eligible(a) && compact_eligible(b)) {
-                return dense::distance_product_tiled_opts(a, b, exec, plan.tile);
+                return dense::distance_product_lanes_opts(a, b, exec, plan.tile);
             }
             let a32 = to_compact(a.raw());
-            let bt32 = to_compact(&transpose_raw(n, b.raw()));
-            let c32 = tiled_kernel::<u32>(n, &a32, &bt32, exec, plan.tile);
-            from_compact(n, &c32)
+            let b32 = to_compact(b.raw());
+            from_compact(n, &lanes_kernel::<u32>(n, &a32, &b32, exec, plan.tile))
+        }
+        KernelChoice::DenseUltra => {
+            // Same stale-plan discipline as the compact arm.
+            if !(ultra_eligible(a) && ultra_eligible(b)) {
+                return min_plus_planned(
+                    a,
+                    b,
+                    &KernelPlan {
+                        choice: dense_choice(a, b),
+                        ..*plan
+                    },
+                    exec,
+                );
+            }
+            let a16 = to_ultra(a.raw());
+            let b16 = to_ultra(b.raw());
+            from_ultra(n, &lanes_kernel::<u16>(n, &a16, &b16, exec, plan.tile))
         }
         KernelChoice::SparseSharded => {
             let s = dense_to_sparse(a);
@@ -310,19 +418,74 @@ pub fn min_plus_planned(
     }
 }
 
-/// `A^h` through the engine: binary exponentiation where every multiply is
-/// re-planned (so squaring an adjacency-shaped matrix starts sparse and
-/// migrates to the dense kernel as it fills in). `A^0` is the tropical
-/// identity. Bit-identical to [`dense::power`].
-pub fn power(a: &DistMatrix, h: u64, mode: KernelMode, exec: ExecPolicy) -> DistMatrix {
-    dense::power_by(a, h, |x, y| min_plus(x, y, mode, exec))
+/// The engine's self-product `A ⋆ A`: plans like [`min_plus`] but runs the
+/// dense families on the blocked-Floyd–Warshall-style **k-tiled** kernel
+/// (small row strips held L1-resident across the full `k` sweep — see
+/// [`dense::KTILED_ROWS`]) instead of the row-streaming lane kernel. This
+/// is the multiply shape of every [`power`]/[`closure`] squaring.
+/// Bit-identical to `min_plus(a, a, mode, exec)` for every mode.
+pub fn square(a: &DistMatrix, mode: KernelMode, exec: ExecPolicy) -> DistMatrix {
+    square_planned(a, &KernelPlan::choose(a, a, mode), exec)
 }
 
-/// Exact APSP by repeated engine squaring until fixpoint; returns the
+/// [`square`] with a precomputed [`KernelPlan`].
+pub fn square_planned(a: &DistMatrix, plan: &KernelPlan, exec: ExecPolicy) -> DistMatrix {
+    let n = a.n();
+    match plan.choice {
+        KernelChoice::DenseLanes => dense::square_ktiled_opts(a, exec, plan.tile),
+        KernelChoice::DenseCompact => {
+            if !compact_eligible(a) {
+                return dense::square_ktiled_opts(a, exec, plan.tile);
+            }
+            let a32 = to_compact(a.raw());
+            from_compact(n, &ktiled_kernel::<u32>(n, &a32, exec, plan.tile))
+        }
+        KernelChoice::DenseUltra => {
+            if !ultra_eligible(a) {
+                return square_planned(
+                    a,
+                    &KernelPlan {
+                        choice: dense_choice(a, a),
+                        ..*plan
+                    },
+                    exec,
+                );
+            }
+            let a16 = to_ultra(a.raw());
+            from_ultra(n, &ktiled_kernel::<u16>(n, &a16, exec, plan.tile))
+        }
+        KernelChoice::SparseSharded => min_plus_planned(a, a, plan, exec),
+    }
+}
+
+/// `A^h` through the engine: binary exponentiation where every multiply is
+/// re-planned (so squaring an adjacency-shaped matrix starts sparse and
+/// migrates to the dense kernels as it fills in), and every self-product —
+/// the repeated squarings that dominate the exponentiation — runs on the
+/// k-tiled [`square`] path. `A^0` is the tropical identity. Bit-identical
+/// to [`dense::power`].
+pub fn power(a: &DistMatrix, h: u64, mode: KernelMode, exec: ExecPolicy) -> DistMatrix {
+    dense::power_by(a, h, |x, y| {
+        if std::ptr::eq(x, y) {
+            square(x, mode, exec)
+        } else {
+            min_plus(x, y, mode, exec)
+        }
+    })
+}
+
+/// Exact APSP by repeated engine squaring until fixpoint — every multiply
+/// is a self-product and runs on the k-tiled [`square`] path; returns the
 /// distance matrix and the number of squarings. Bit-identical to
 /// [`dense::closure`].
 pub fn closure(a: &DistMatrix, mode: KernelMode, exec: ExecPolicy) -> (DistMatrix, usize) {
-    dense::closure_by(a, |x, y| min_plus(x, y, mode, exec))
+    dense::closure_by(a, |x, y| {
+        if std::ptr::eq(x, y) {
+            square(x, mode, exec)
+        } else {
+            min_plus(x, y, mode, exec)
+        }
+    })
 }
 
 /// A sparse product routed through the engine: when the operands are dense
@@ -430,6 +593,25 @@ fn from_compact(n: usize, src: &[u32]) -> DistMatrix {
     DistMatrix::from_raw(n, data)
 }
 
+/// `u64` tropical data → the ultra-compact `u16` representation (`≥ INF`
+/// maps to the `u16` sentinel; callers must have checked
+/// [`ULTRA_MAX_ENTRY`]).
+fn to_ultra(src: &[Weight]) -> Vec<u16> {
+    src.iter()
+        .map(|&w| if w >= INF { ULTRA_TOP } else { w as u16 })
+        .collect()
+}
+
+/// Ultra-compact result → `u64` tropical data (`≥` the `u16` sentinel maps
+/// back to `INF`).
+fn from_ultra(n: usize, src: &[u16]) -> DistMatrix {
+    let data: Vec<Weight> = src
+        .iter()
+        .map(|&w| if w >= ULTRA_TOP { INF } else { w as u64 })
+        .collect();
+    DistMatrix::from_raw(n, data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,9 +654,94 @@ mod tests {
             KernelPlan::choose(&sparse, &sparse, KernelMode::Auto).choice,
             KernelChoice::SparseSharded
         );
+        // Small weights (≤ 30) on a dense matrix land on the u16 kernel.
         let plan = KernelPlan::choose(&dense, &dense, KernelMode::Auto);
-        assert_eq!(plan.choice, KernelChoice::DenseCompact);
+        assert_eq!(plan.choice, KernelChoice::DenseUltra);
         assert!(plan.fill_a > 0.5, "fill_a = {}", plan.fill_a);
+        // Mid-range weights (> u16 bound, ≤ u32 bound) land on compact.
+        let mid = random_matrix(64, 0.8, COMPACT_MAX_ENTRY / 2, 11);
+        assert_eq!(
+            KernelPlan::choose(&mid, &mid, KernelMode::Auto).choice,
+            KernelChoice::DenseCompact
+        );
+    }
+
+    #[test]
+    fn ultra_dispatch_needs_both_operands_bounded() {
+        let small = random_matrix(16, 0.9, ULTRA_MAX_ENTRY, 21);
+        let mut wide = random_matrix(16, 0.9, ULTRA_MAX_ENTRY, 22);
+        wide.set(7, 3, ULTRA_MAX_ENTRY + 1);
+        assert_eq!(
+            KernelPlan::choose(&small, &small, KernelMode::Dense).choice,
+            KernelChoice::DenseUltra
+        );
+        let demoted = KernelPlan::choose(&small, &wide, KernelMode::Dense);
+        assert_eq!(demoted.choice, KernelChoice::DenseCompact);
+        // Still bit-identical on the mixed pair.
+        let naive = distance_product(&small, &wide);
+        assert_eq!(
+            min_plus(&small, &wide, KernelMode::Dense, ExecPolicy::Seq),
+            naive
+        );
+    }
+
+    #[test]
+    fn ultra_boundary_entries_round_trip() {
+        // Entries at exactly the u16 bound still compute exactly (their sum
+        // is the largest finite value the kernel can produce).
+        let mut a = DistMatrix::infinite(3);
+        a.set(0, 1, ULTRA_MAX_ENTRY);
+        a.set(1, 2, ULTRA_MAX_ENTRY);
+        let plan = KernelPlan::choose(&a, &a, KernelMode::Dense);
+        assert_eq!(plan.choice, KernelChoice::DenseUltra);
+        let out = min_plus_planned(&a, &a, &plan, ExecPolicy::Seq);
+        assert_eq!(out.get(0, 2), 2 * ULTRA_MAX_ENTRY);
+        assert_eq!(out, distance_product(&a, &a));
+    }
+
+    #[test]
+    fn stale_ultra_plan_falls_back_without_truncation() {
+        let mut a = random_matrix(10, 0.9, ULTRA_MAX_ENTRY, 23);
+        let plan = KernelPlan::choose(&a, &a, KernelMode::Dense);
+        assert_eq!(plan.choice, KernelChoice::DenseUltra);
+        a.set(0, 1, COMPACT_MAX_ENTRY + 5); // past BOTH narrow bounds
+        let out = min_plus_planned(&a, &a, &plan, ExecPolicy::Seq);
+        assert_eq!(out, distance_product(&a, &a));
+        let sq = square_planned(&a, &plan, ExecPolicy::Seq);
+        assert_eq!(sq, distance_product(&a, &a));
+    }
+
+    #[test]
+    fn engine_square_matches_min_plus_for_every_mode() {
+        for (seed, max_w) in [
+            (31u64, 40),
+            (32, ULTRA_MAX_ENTRY + 9),
+            (33, COMPACT_MAX_ENTRY * 2),
+        ] {
+            for fill in [0.03, 0.6] {
+                let a = random_matrix(17, fill, max_w, seed);
+                let naive = distance_product(&a, &a);
+                for mode in [KernelMode::Auto, KernelMode::Dense, KernelMode::Sparse] {
+                    for threads in [1usize, 2, 4] {
+                        let out = square(&a, mode, ExecPolicy::with_threads(threads));
+                        assert_eq!(
+                            out, naive,
+                            "seed={seed} fill={fill} mode={mode} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_width_and_density_are_reported() {
+        assert_eq!(KernelChoice::DenseLanes.lane_width(), Some(8));
+        assert_eq!(KernelChoice::DenseCompact.lane_width(), Some(8));
+        assert_eq!(KernelChoice::DenseUltra.lane_width(), Some(16));
+        assert_eq!(KernelChoice::SparseSharded.lane_width(), None);
+        assert_eq!(KernelChoice::DenseLanes.bytes_per_cell(), Some(8));
+        assert_eq!(KernelChoice::DenseUltra.bytes_per_cell(), Some(2));
     }
 
     #[test]
@@ -504,7 +771,7 @@ mod tests {
         let mut a = DistMatrix::infinite(6);
         for u in 0..6 {
             for v in 0..6 {
-                a.set(u, v, 2);
+                a.set(u, v, ULTRA_MAX_ENTRY + 2); // compact, not ultra
             }
         }
         let plan = KernelPlan::choose(&a, &a, KernelMode::Dense);
@@ -520,7 +787,7 @@ mod tests {
         wide.set(3, 4, COMPACT_MAX_ENTRY + 1);
         assert_eq!(
             KernelPlan::choose(&wide, &wide, KernelMode::Dense).choice,
-            KernelChoice::DenseTiled
+            KernelChoice::DenseLanes
         );
         // Still bit-identical.
         let naive = distance_product(&wide, &wide);

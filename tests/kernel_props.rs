@@ -1,14 +1,19 @@
 //! Property tests for the min-plus kernel engine: the tiled dense kernel,
-//! its compact bounded-entry variant, the sparse kernel, and the
-//! `KernelPlan` auto-dispatcher must all be **bit-identical** to the naive
-//! reference `cc_matrix::dense::distance_product` — across densities, tile
-//! sizes (including the degenerate `1` and `≥ n`), thread counts, and
-//! dispatch modes.
+//! the branchless lane kernel (u64/u32/u16 widths), the blocked-FW k-tiled
+//! self-product, the sparse kernel, and the `KernelPlan` auto-dispatcher
+//! must all be **bit-identical** to the naive reference
+//! `cc_matrix::dense::distance_product` — across densities, tile sizes
+//! (including the degenerate `1` and `≥ n`), thread counts, weights
+//! straddling both compact entry bounds, and dispatch modes.
 
 use cc_graph::{DistMatrix, Weight, INF};
-use cc_matrix::dense::{distance_product_tiled_opts, distance_product_with};
+use cc_matrix::dense::{
+    distance_product_lanes_opts, distance_product_tiled_opts, distance_product_with,
+    square_ktiled_opts,
+};
 use cc_matrix::engine::{
     self, KernelChoice, KernelMode, KernelPlan, COMPACT_MAX_ENTRY, SPARSE_FILL_CUTOFF,
+    ULTRA_MAX_ENTRY,
 };
 use cc_matrix::sparse::SparseMatrix;
 use cc_par::ExecPolicy;
@@ -106,6 +111,102 @@ proptest! {
             let out = engine::power(&a, h, mode, ExecPolicy::Seq);
             prop_assert_eq!(&out, &reference, "mode={} h={}", mode, h);
         }
+    }
+
+    /// The branchless lane kernel equals the naive reference for every tile
+    /// size — including tile 1 (degenerate), 7 (never divides n evenly), 64
+    /// (the default), and n (a single tile) — at every thread count, with
+    /// weights wide enough to exercise the INF-skip path.
+    #[test]
+    fn lanes_equals_naive_for_all_tiles_and_threads(
+        a in arb_matrix(13, 3, COMPACT_MAX_ENTRY * 2),
+        b in arb_matrix(13, 3, 300),
+    ) {
+        let naive = distance_product_with(&a, &b, ExecPolicy::Seq);
+        for tile in [1usize, 7, 64, 13] {
+            for threads in THREADS {
+                let out = distance_product_lanes_opts(&a, &b, ExecPolicy::with_threads(threads), tile);
+                prop_assert_eq!(&out, &naive, "tile={} threads={}", tile, threads);
+            }
+        }
+    }
+
+    /// The blocked-FW k-tiled self-product equals the naive self-product for
+    /// every tile size and thread count.
+    #[test]
+    fn ktiled_square_equals_naive_for_all_tiles_and_threads(
+        a in arb_matrix(13, 2, 400),
+    ) {
+        let naive = distance_product_with(&a, &a, ExecPolicy::Seq);
+        for tile in [1usize, 7, 64, 13] {
+            for threads in THREADS {
+                let out = square_ktiled_opts(&a, ExecPolicy::with_threads(threads), tile);
+                prop_assert_eq!(&out, &naive, "tile={} threads={}", tile, threads);
+            }
+        }
+    }
+
+    /// Weights straddling `ULTRA_MAX_ENTRY`: matrices land on either side of
+    /// the u16 bound (and occasionally cross it entry-by-entry), so the
+    /// engine exercises the ultra kernel, the compact kernel, and the
+    /// demotion between them — all bit-identical to naive, for both the
+    /// general product and the self-product square path.
+    #[test]
+    fn engine_square_and_product_straddle_the_ultra_bound(
+        a in arb_matrix(11, 3, ULTRA_MAX_ENTRY * 2),
+        b in arb_matrix(11, 3, ULTRA_MAX_ENTRY / 2),
+    ) {
+        let product_ref = distance_product_with(&a, &b, ExecPolicy::Seq);
+        let square_ref = distance_product_with(&a, &a, ExecPolicy::Seq);
+        for mode in MODES {
+            for threads in THREADS {
+                let exec = ExecPolicy::with_threads(threads);
+                prop_assert_eq!(
+                    &engine::min_plus(&a, &b, mode, exec), &product_ref,
+                    "product mode={} threads={}", mode, threads
+                );
+                prop_assert_eq!(
+                    &engine::square(&a, mode, exec), &square_ref,
+                    "square mode={} threads={}", mode, threads
+                );
+            }
+        }
+    }
+
+    /// Dispatch lawfulness for the v2 arms: the ultra kernel is only ever
+    /// chosen when every finite entry of *both* operands fits the u16
+    /// bound, the compact kernel only under its u32 bound, and a forced
+    /// dense mode always picks the narrowest lawful width.
+    #[test]
+    fn v2_dense_dispatch_is_lawful(
+        a in arb_matrix(12, 4, ULTRA_MAX_ENTRY * 3),
+        b in arb_matrix(12, 4, ULTRA_MAX_ENTRY * 3),
+    ) {
+        let bounded = |m: &DistMatrix, bound: Weight| {
+            m.raw().iter().all(|&w| w >= INF || w <= bound)
+        };
+        let dense = KernelPlan::choose(&a, &b, KernelMode::Dense);
+        match dense.choice {
+            KernelChoice::DenseUltra => {
+                prop_assert!(bounded(&a, ULTRA_MAX_ENTRY) && bounded(&b, ULTRA_MAX_ENTRY),
+                    "ultra chosen with entries past the u16 bound");
+            }
+            KernelChoice::DenseCompact => {
+                prop_assert!(bounded(&a, COMPACT_MAX_ENTRY) && bounded(&b, COMPACT_MAX_ENTRY),
+                    "compact chosen with entries past the u32 bound");
+                // At n=12 the entry cap is sampled exactly, so compact
+                // implies at least one entry genuinely needed > u16.
+                prop_assert!(!(bounded(&a, ULTRA_MAX_ENTRY) && bounded(&b, ULTRA_MAX_ENTRY)),
+                    "compact chosen where ultra was lawful");
+            }
+            KernelChoice::DenseLanes => {
+                prop_assert!(!(bounded(&a, COMPACT_MAX_ENTRY) && bounded(&b, COMPACT_MAX_ENTRY)),
+                    "wide lanes chosen where a narrower width was lawful");
+            }
+            KernelChoice::SparseSharded => prop_assert!(false, "Dense mode picked sparse"),
+        }
+        prop_assert!(dense.choice.lane_width().is_some());
+        prop_assert!(dense.choice.bytes_per_cell().is_some());
     }
 }
 
