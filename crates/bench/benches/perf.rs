@@ -109,6 +109,19 @@ fn main() {
                 assert_eq!(result.rounds, *rounds);
             }
         }
+        // One traced repetition breaks the wall-clock down per phase (the
+        // timed best-of reps above ran untraced); tracing must not change
+        // the output, so the traced run is also cross-checked.
+        cc_obs::reset();
+        cc_obs::enable();
+        let traced = approximate_apsp(&g, &cfg);
+        cc_obs::disable();
+        let span_snapshot = cc_obs::capture();
+        assert_eq!(
+            traced.estimate,
+            reference.as_ref().expect("set above").0,
+            "tracing changed the pipeline output at {threads} threads"
+        );
         println!(
             "theorem_1_1       n={n_pipe:>4} threads={threads}  {wall_ms:>9.2} ms  rounds={}",
             result.rounds
@@ -119,7 +132,7 @@ fn main() {
             threads,
             wall_ms,
             rounds: result.rounds,
-            extras: Vec::new(),
+            extras: cc_bench::report::phase_extras(&span_snapshot),
         });
     }
 

@@ -201,6 +201,24 @@ pub fn check_against_envelopes(
     out
 }
 
+/// Validates that `doc` is one well-formed JSON value (any shape — objects,
+/// arrays, strings, numbers, booleans, null) with nothing trailing.
+///
+/// This is the same byte [`Scanner`] the report parser runs on, opened up
+/// to generic JSON so the trace files `ccapsp --trace` writes (the
+/// `cc-obs/v1` span dump and the Chrome-trace event file) can be smoke-
+/// checked by CI without a serde dependency. Errors name the byte offset.
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    let mut s = Scanner::new(doc);
+    s.skip_ws();
+    s.parse_value()?;
+    s.skip_ws();
+    if s.i < s.s.len() {
+        return Err(format!("trailing content at byte {}", s.i));
+    }
+    Ok(())
+}
+
 /// Byte-level scanner over the report document.
 struct Scanner<'a> {
     s: &'a [u8],
@@ -297,6 +315,64 @@ impl<'a> Scanner<'a> {
         Err("unterminated string".into())
     }
 
+    /// Recursive-descent over one generic JSON value (for
+    /// [`validate_json`]; the report parser keeps its schema-directed
+    /// entry points).
+    fn parse_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.s.get(self.i) {
+            Some(b'{') => {
+                self.i += 1;
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.parse_value()?;
+                    self.skip_ws();
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+                self.expect(b'}')
+            }
+            Some(b'[') => {
+                self.i += 1;
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.parse_value()?;
+                    self.skip_ws();
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+                self.expect(b']')
+            }
+            Some(b'"') => self.parse_string().map(|_| ()),
+            Some(b't') => self.parse_literal("true"),
+            Some(b'f') => self.parse_literal("false"),
+            Some(b'n') => self.parse_literal("null"),
+            Some(_) => self.parse_number().map(|_| ()),
+            None => Err(format!("expected a value at byte {}", self.i)),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit:?} at byte {}", self.i))
+        }
+    }
+
     fn parse_number(&mut self) -> Result<f64, String> {
         let start = self.i;
         while self.i < self.s.len()
@@ -389,6 +465,40 @@ mod tests {
         let regs = check_against_envelopes(&[], &envelopes, 2.0);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].fresh_ms, f64::INFINITY);
+    }
+
+    #[test]
+    fn validate_json_accepts_generic_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e3",
+            "\"str\\u0041\"",
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"dur\":1,\"pid\":1,\"tid\":0}]}",
+            "{\"spans\":[{\"children\":[],\"attrs\":{\"rounds\":3}}],\"counters\":{}}",
+            "  [1, [2, {\"a\": null}], false]  ",
+        ] {
+            assert!(validate_json(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "{} {}",
+            "truth",
+            "\"unterminated",
+            "[1] trailing",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc}");
+        }
     }
 
     fn report_row(experiment: &str, threads: usize, wall_ms: f64) -> ReportRow {

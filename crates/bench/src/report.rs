@@ -106,6 +106,41 @@ pub fn write_report(path: &str, records: &[BenchRecord]) -> std::io::Result<()> 
     file.write_all(render_report(records).as_bytes())
 }
 
+/// Flattens a captured `cc_obs` span tree into `phase_<name>_ms` extras:
+/// one entry per distinct span **name** anywhere in the tree (so nested
+/// pipeline phases like `pipeline/theorem-1.1/spanner-bootstrap` each get
+/// their own `phase_spanner_bootstrap_ms`), with non-alphanumeric name
+/// characters collapsed to `_` and same-name spans summed. Attaching this
+/// to a [`BenchRecord`] makes the BENCH_*.json explain *where* an
+/// experiment's wall-clock went, not just its total.
+pub fn phase_extras(snapshot: &cc_obs::Snapshot) -> Vec<(String, f64)> {
+    fn sanitize(name: &str) -> String {
+        let mut out = String::with_capacity(name.len());
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() {
+                out.push(c.to_ascii_lowercase());
+            } else if !out.ends_with('_') && !out.is_empty() {
+                out.push('_');
+            }
+        }
+        out.trim_end_matches('_').to_string()
+    }
+    fn walk(extras: &mut Vec<(String, f64)>, nodes: &[cc_obs::SpanNode]) {
+        for node in nodes {
+            let key = format!("phase_{}_ms", sanitize(&node.name));
+            let ms = node.total_ns as f64 / 1e6;
+            match extras.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => *v += ms,
+                None => extras.push((key, ms)),
+            }
+            walk(extras, &node.children);
+        }
+    }
+    let mut extras = Vec::new();
+    walk(&mut extras, &snapshot.spans);
+    extras
+}
+
 /// Times `f` as best-of-`reps` wall-clock milliseconds, returning the last
 /// repetition's output alongside (so callers can pull rounds out of it and
 /// the optimizer cannot drop the work).
@@ -175,6 +210,43 @@ mod tests {
         let doc = render_report(&records);
         assert_eq!(doc.matches("\"cores_detected\":").count(), 1);
         assert!(doc.contains("\"cores_detected\":99.000"));
+    }
+
+    #[test]
+    fn phase_extras_flattens_and_sums_by_sanitized_name() {
+        fn node(name: &str, ns: u64, children: Vec<cc_obs::SpanNode>) -> cc_obs::SpanNode {
+            cc_obs::SpanNode {
+                name: name.into(),
+                path: name.into(),
+                count: 1,
+                total_ns: ns,
+                attrs: Vec::new(),
+                children,
+            }
+        }
+        let snap = cc_obs::Snapshot {
+            spans: vec![node(
+                "pipeline",
+                10_000_000,
+                vec![node(
+                    "theorem-1.1",
+                    9_000_000,
+                    vec![
+                        node("spanner-bootstrap", 2_000_000, Vec::new()),
+                        node("minplus[dense-ultra]", 1_000_000, Vec::new()),
+                        node("minplus[dense-ultra]", 3_000_000, Vec::new()),
+                    ],
+                )],
+            )],
+            ..Default::default()
+        };
+        let extras = phase_extras(&snap);
+        let get = |k: &str| extras.iter().find(|(key, _)| key == k).map(|(_, v)| *v);
+        assert_eq!(get("phase_pipeline_ms"), Some(10.0));
+        assert_eq!(get("phase_theorem_1_1_ms"), Some(9.0));
+        assert_eq!(get("phase_spanner_bootstrap_ms"), Some(2.0));
+        assert_eq!(get("phase_minplus_dense_ultra_ms"), Some(4.0));
+        assert_eq!(extras.len(), 4);
     }
 
     #[test]

@@ -246,9 +246,12 @@ pub fn theorem_1_1(
 /// Theorem 1.1 as a one-call API: runs on a fresh standard-bandwidth clique
 /// and returns the packaged [`ApspResult`].
 pub fn approximate_apsp(g: &Graph, cfg: &PipelineConfig) -> ApspResult {
+    let mut sp = cc_obs::span("pipeline");
+    sp.attr("n", g.n() as f64);
     let mut clique = Clique::new(g.n().max(1), Bandwidth::standard(g.n().max(1)));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let (estimate, bound) = theorem_1_1(&mut clique, g, cfg, &mut rng);
+    sp.attr("rounds", clique.rounds() as f64);
     ApspResult::from_run(estimate, bound, &clique)
 }
 

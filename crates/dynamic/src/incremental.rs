@@ -274,6 +274,8 @@ impl IncrementalOracle {
             // No per-row repair for sketches: rebuild deterministically from
             // the sketch's own seed and ship a row-free delta (the receiver
             // rebuilds the same way; see `Delta::apply_backend`).
+            let mut sp = cc_obs::span("dyn-rebuild");
+            sp.attr("changed_edges", changes.len() as f64);
             let rebuilt = LandmarkSketch::build(&new_graph, sketch.seed(), self.cfg.exec);
             self.graph = new_graph;
             self.backend = OracleBackend::Landmark(rebuilt);
@@ -309,6 +311,9 @@ impl IncrementalOracle {
         };
         let (strategy, new_estimate) = match repairable {
             Ok((affected, endpoints, endpoint_rows)) => {
+                let mut sp = cc_obs::span("dyn-repair");
+                sp.attr("affected_rows", affected.len() as f64);
+                sp.attr("changed_edges", changes.len() as f64);
                 // Endpoint rows were already computed on the new graph for
                 // the affected-set scan; Dijkstra only the rest.
                 let fresh: Vec<NodeId> = affected
@@ -332,6 +337,9 @@ impl IncrementalOracle {
                 )
             }
             Err(reason) => {
+                // The re-entered pipeline's phase spans nest under this one.
+                let mut sp = cc_obs::span("dyn-rebuild");
+                sp.attr("changed_edges", changes.len() as f64);
                 let (estimate, _bound, _rounds) = run_algorithm(
                     &new_graph,
                     &self.algo,

@@ -21,13 +21,14 @@ use rand::SeedableRng;
 use crate::update::UpdateError;
 
 /// The algorithm names [`run_algorithm`] accepts, for usage strings.
-pub const ALGORITHMS: &str = "thm11|thm81|smalldiam|spanner|exact";
+pub const ALGORITHMS: &str = "thm11|thm81|smalldiam|thm71|spanner|exact";
 
 /// Runs one named algorithm over `g`, returning
 /// `(estimate, stretch bound, simulated rounds)`.
 ///
 /// Algorithms: `thm11` (Theorem 1.1), `thm81` (Theorem 8.1 on CC[log⁴n]),
-/// `smalldiam` (Theorem 7.1), `spanner` (the O(log n) baseline), `exact`
+/// `smalldiam` (Theorem 7.1; `thm71` is an alias), `spanner` (the O(log n)
+/// baseline), `exact`
 /// (min-plus squaring baseline). Deterministic per `(algo, seed)`; `exec`
 /// and `kernel` only move wall-clock time.
 ///
@@ -59,7 +60,8 @@ pub fn run_algorithm(
             let (est, bound) = apsp_large_bandwidth(&mut clique, g, &cfg, &mut rng);
             (est, bound, clique.rounds())
         }
-        "smalldiam" => {
+        // `thm71` is an alias: `smalldiam` *is* the paper's Theorem 7.1.
+        "smalldiam" | "thm71" => {
             let mut clique = Clique::new(n, Bandwidth::standard(n));
             let sd_cfg = SmallDiamConfig {
                 exec,

@@ -23,6 +23,8 @@ pub fn exact_apsp(g: &Graph) -> DistMatrix {
 /// so the per-source allocation cost is amortized away.
 pub fn exact_apsp_with(g: &Graph, exec: ExecPolicy) -> DistMatrix {
     let n = g.n();
+    let mut sp = cc_obs::span("exact-apsp");
+    sp.attr("n", n as f64);
     let rows_per_block = exec.row_block_len(n, 1);
     let mut data = vec![INF; n * n];
     exec.for_each_chunk_mut(&mut data, rows_per_block * n.max(1), |block, chunk| {
@@ -43,6 +45,8 @@ pub fn exact_apsp_with(g: &Graph, exec: ExecPolicy) -> DistMatrix {
 /// bit-identical to a full recomputation.
 pub fn exact_rows_with(g: &Graph, sources: &[usize], exec: ExecPolicy) -> Vec<Vec<crate::Weight>> {
     let n = g.n();
+    let mut sp = cc_obs::span("exact-rows");
+    sp.attr("rows", sources.len() as f64);
     exec.map_shards_collect(sources.len(), |range| {
         let mut scratch = DijkstraScratch::new();
         range

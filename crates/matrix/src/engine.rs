@@ -174,6 +174,17 @@ impl KernelChoice {
         }
     }
 
+    /// Stable numeric code, used as the `kernel_code` span attribute in
+    /// `--trace` exports (`0..=3` in declaration order).
+    pub fn code(self) -> u64 {
+        match self {
+            KernelChoice::DenseLanes => 0,
+            KernelChoice::DenseCompact => 1,
+            KernelChoice::DenseUltra => 2,
+            KernelChoice::SparseSharded => 3,
+        }
+    }
+
     /// Unrolled lane width of the dense kernel this choice runs on (the
     /// sparse kernel has no fixed lane shape and reports `None`).
     pub fn lane_width(self) -> Option<usize> {
@@ -355,6 +366,20 @@ fn ultra_eligible(m: &DistMatrix) -> bool {
     m.raw().iter().all(|&w| w >= INF || w <= ULTRA_MAX_ENTRY)
 }
 
+/// Opens the per-multiply `cc_obs` span (`op[choice]`, e.g.
+/// `minplus[dense-ultra]`) tagged with the plan's dispatch inputs. One
+/// relaxed atomic load when tracing is off — the name is never formatted.
+fn kernel_span(op: &str, n: usize, plan: &KernelPlan) -> cc_obs::SpanGuard {
+    let mut sp = cc_obs::span_lazy(|| format!("{op}[{}]", plan.choice.name()));
+    if sp.is_active() {
+        sp.attr("kernel_code", plan.choice.code() as f64);
+        sp.attr("n", n as f64);
+        sp.attr("fill", plan.fill_a * plan.fill_b);
+        sp.attr("tile", plan.tile as f64);
+    }
+    sp
+}
+
 /// The engine's distance product `A ⋆ B`: plans the multiply under `mode`
 /// and runs the chosen kernel. Output is bit-identical to
 /// [`dense::distance_product`] for every mode.
@@ -379,6 +404,7 @@ pub fn min_plus_planned(
 ) -> DistMatrix {
     assert_eq!(a.n(), b.n(), "distance product dimension mismatch");
     let n = a.n();
+    let _sp = kernel_span("minplus", n, plan);
     match plan.choice {
         KernelChoice::DenseLanes => dense::distance_product_lanes_opts(a, b, exec, plan.tile),
         KernelChoice::DenseCompact => {
@@ -431,6 +457,7 @@ pub fn square(a: &DistMatrix, mode: KernelMode, exec: ExecPolicy) -> DistMatrix 
 /// [`square`] with a precomputed [`KernelPlan`].
 pub fn square_planned(a: &DistMatrix, plan: &KernelPlan, exec: ExecPolicy) -> DistMatrix {
     let n = a.n();
+    let _sp = kernel_span("square", n, plan);
     match plan.choice {
         KernelChoice::DenseLanes => dense::square_ktiled_opts(a, exec, plan.tile),
         KernelChoice::DenseCompact => {
@@ -516,6 +543,17 @@ pub fn sparse_product_planned(
         KernelMode::Auto => fill_s * fill_t > SPARSE_FILL_CUTOFF,
     };
     if !go_dense {
+        let _sp = kernel_span(
+            "spmm",
+            n,
+            &KernelPlan {
+                mode,
+                choice: KernelChoice::SparseSharded,
+                fill_a: fill_s,
+                fill_b: fill_t,
+                tile: tile_size(),
+            },
+        );
         return (
             sparse_product_with(s, t, rho_out_hint, exec),
             KernelChoice::SparseSharded,
@@ -530,6 +568,7 @@ pub fn sparse_product_planned(
         fill_b: fill_t,
         tile: tile_size(),
     };
+    let _sp = kernel_span("spmm", n, &plan);
     let c = min_plus_planned(&a, &b, &plan, exec);
     let out = dense_to_sparse(&c);
     let rho_s = s.density();

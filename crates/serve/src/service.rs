@@ -24,6 +24,7 @@
 use cc_apsp::oracle::DistanceOracle;
 use cc_graph::sssp::k_nearest_from_dists;
 use cc_graph::{NodeId, Weight};
+use cc_obs::Histogram;
 use cc_par::ExecPolicy;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,27 @@ pub enum Query {
     Route(NodeId, NodeId),
     /// The `k` nodes nearest to `u` under δ, ordered by `(distance, id)`.
     KNearest(NodeId, usize),
+}
+
+/// Human-readable names of the query types, indexed by
+/// [`Query::type_index`].
+pub const QUERY_TYPE_NAMES: [&str; 3] = ["dist", "route", "knearest"];
+
+impl Query {
+    /// Index of this query's type into per-type stats arrays (and
+    /// [`QUERY_TYPE_NAMES`]).
+    pub fn type_index(&self) -> usize {
+        match self {
+            Query::Dist(..) => 0,
+            Query::Route(..) => 1,
+            Query::KNearest(..) => 2,
+        }
+    }
+
+    /// Machine-readable name of this query's type.
+    pub fn type_name(&self) -> &'static str {
+        QUERY_TYPE_NAMES[self.type_index()]
+    }
 }
 
 /// The answer to a [`Query`].
@@ -221,6 +243,30 @@ impl std::error::Error for ApplyDeltaError {
     }
 }
 
+/// Per-query-type serving counters of one snapshot: how many queries of
+/// the type ran and the latency distribution of the batched ones.
+#[derive(Default)]
+struct TypeStat {
+    count: AtomicU64,
+    latency_ns: Mutex<Histogram>,
+}
+
+/// Point-in-time summary of one query type's serving stats; see
+/// [`OracleService::query_type_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryTypeStats {
+    /// Queries of this type answered (batched or direct).
+    pub count: u64,
+    /// Batched queries of this type with a recorded latency.
+    pub timed: u64,
+    /// Median batched latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile batched latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile batched latency, microseconds.
+    pub p99_us: f64,
+}
+
 /// One loaded snapshot: the oracle plus its serving-side state.
 struct Entry {
     name: String,
@@ -230,6 +276,7 @@ struct Entry {
     cache: Mutex<RowCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    type_stats: [TypeStat; 3],
 }
 
 /// The outcome of one [`OracleService::run_batch`] call.
@@ -299,6 +346,7 @@ impl OracleService {
             cache: Mutex::new(RowCache::new(self.cfg.cache_rows)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            type_stats: Default::default(),
         });
         SnapshotId(idx)
     }
@@ -422,6 +470,9 @@ impl OracleService {
     /// (callers own validation; the CLI checks before calling).
     pub fn answer(&self, id: SnapshotId, query: &Query) -> Response {
         let e = &self.entries[id.0];
+        e.type_stats[query.type_index()]
+            .count
+            .fetch_add(1, Ordering::Relaxed);
         match *query {
             Query::Dist(u, v) => Response::Dist(e.oracle.query(u, v)),
             Query::Route(u, v) => Response::Route(e.oracle.route(u, v)),
@@ -438,10 +489,12 @@ impl OracleService {
             let mut cache = e.cache.lock().unwrap();
             if let Some(row) = cache.get(e.version, u) {
                 e.hits.fetch_add(1, Ordering::Relaxed);
+                cc_obs::counter("serve.cache.hit", 1);
                 return row.iter().take(k).copied().collect();
             }
         }
         e.misses.fetch_add(1, Ordering::Relaxed);
+        cc_obs::counter("serve.cache.miss", 1);
         // Sort outside the lock; concurrent misses may duplicate the work
         // but the row they compute is identical. Dense backends expose the
         // row zero-copy; landmark backends materialize it per miss (which
@@ -480,11 +533,86 @@ impl OracleService {
             responses.push(r);
             latencies_ns.push(ns);
         }
+        // Per-type latency accounting happens as a post-pass in query order
+        // (not inside the shards), so the histograms' contents don't depend
+        // on the thread interleaving.
+        const LATENCY_HISTS: [&str; 3] = [
+            "serve.latency.dist",
+            "serve.latency.route",
+            "serve.latency.knearest",
+        ];
+        let e = &self.entries[id.0];
+        for (ti, hist_name) in LATENCY_HISTS.iter().enumerate() {
+            let mut hist = e.type_stats[ti].latency_ns.lock().unwrap();
+            for (q, &ns) in queries.iter().zip(&latencies_ns) {
+                if q.type_index() == ti {
+                    hist.record(ns);
+                    cc_obs::record_hist(hist_name, ns);
+                }
+            }
+        }
         BatchOutcome {
             responses,
             latencies_ns,
             wall_ms,
         }
+    }
+
+    /// Per-query-type serving stats of a registered snapshot, indexed like
+    /// [`QUERY_TYPE_NAMES`]. Percentiles cover the batched queries
+    /// ([`OracleService::run_batch`] records each query's service time into
+    /// a per-type [`cc_obs::Histogram`]); `count` also includes direct
+    /// [`OracleService::answer`] calls.
+    pub fn query_type_stats(&self, id: SnapshotId) -> [QueryTypeStats; 3] {
+        let e = &self.entries[id.0];
+        std::array::from_fn(|ti| {
+            let stat = &e.type_stats[ti];
+            let hist = stat.latency_ns.lock().unwrap();
+            QueryTypeStats {
+                count: stat.count.load(Ordering::Relaxed),
+                timed: hist.count(),
+                p50_us: hist.percentile(0.50) / 1e3,
+                p95_us: hist.percentile(0.95) / 1e3,
+                p99_us: hist.percentile(0.99) / 1e3,
+            }
+        })
+    }
+
+    /// The text metrics report over every registered snapshot: per-type
+    /// query counts and latency percentiles plus cache hit rates. This is
+    /// the body a future networked `ccapsp serve` exposes on its metrics
+    /// endpoint (ROADMAP item 1).
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::from("== serve metrics ==\n");
+        for (idx, e) in self.entries.iter().enumerate() {
+            let id = SnapshotId(idx);
+            out.push_str(&format!(
+                "snapshot {name} v{version} n={n} algo={algo}\n",
+                name = e.name,
+                version = e.version,
+                n = e.oracle.graph().n(),
+                algo = e.meta.algo,
+            ));
+            for (ti, stats) in self.query_type_stats(id).iter().enumerate() {
+                out.push_str(&format!(
+                    "  {ty:<9} count={count:<8} timed={timed:<8} p50={p50:.1}us p95={p95:.1}us p99={p99:.1}us\n",
+                    ty = QUERY_TYPE_NAMES[ti],
+                    count = stats.count,
+                    timed = stats.timed,
+                    p50 = stats.p50_us,
+                    p95 = stats.p95_us,
+                    p99 = stats.p99_us,
+                ));
+            }
+            let cache = self.cache_stats(id);
+            out.push_str(&format!(
+                "  cache     hits={hits} misses={misses} hit_rate={rate:.3}\n",
+                hits = cache.hits,
+                misses = cache.misses,
+                rate = cache.hit_rate(),
+            ));
+        }
+        out
     }
 }
 

@@ -77,10 +77,26 @@ impl Clique {
     }
 
     /// Runs `f` inside a named phase (nested phases build slash-paths).
+    ///
+    /// Each phase also opens a `cc_obs` span carrying the rounds charged and
+    /// words moved while it ran, so `--trace` exports per-phase round and
+    /// bandwidth budgets without any per-algorithm instrumentation. The
+    /// ledger deltas are only read when tracing is on; recording never feeds
+    /// back into the computation.
     pub fn phase<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let mut sp = cc_obs::span(name);
+        let (rounds0, words0) = if sp.is_active() {
+            (self.ledger.total(), self.stats.total_words())
+        } else {
+            (0, 0)
+        };
         self.ledger.push_phase(name);
         let out = f(self);
         self.ledger.pop_phase();
+        if sp.is_active() {
+            sp.attr("rounds", (self.ledger.total() - rounds0) as f64);
+            sp.attr("words", (self.stats.total_words() - words0) as f64);
+        }
         out
     }
 

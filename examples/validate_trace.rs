@@ -1,0 +1,44 @@
+//! Validates that a `--trace` dump (json or chrome format) is well-formed
+//! JSON, using the same hand-rolled scanner the bench envelope gate runs on
+//! `BENCH_*.json` — the workspace has no serde, so this is the shared
+//! parser. CI runs it over the traces the smoke `ccapsp run` emits.
+//!
+//! ```text
+//! cargo run --example validate_trace -- out.trace.json [more.json ...]
+//! ```
+//!
+//! Exits nonzero (with the parse error on stderr) if any file fails.
+
+use cc_bench::envelope::validate_json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.json> [more.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("{path}: read failed: {err}");
+                ok = false;
+                continue;
+            }
+        };
+        match validate_json(&doc) {
+            Ok(()) => println!("{path}: valid JSON ({} bytes)", doc.len()),
+            Err(err) => {
+                eprintln!("{path}: invalid JSON: {err}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -69,7 +69,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          ccapsp gen <family:{families}> <n> <seed> <out.edges>\n  \
          ccapsp info <graph.edges>\n  \
-         ccapsp run <graph.edges> [--algo {ALGOS}] [--seed S] [--threads T] \
+         ccapsp run <graph.edges>|--n N [--family F] [--algo {ALGOS}] [--seed S] [--threads T] \
          [--kernel auto|dense|sparse] [--oracle dense|landmark]\n  \
          ccapsp snapshot [graph.edges] [--n N] [--family F] [--algo A] [--seed S] [--threads T] \
          [--kernel K] [--oracle dense|landmark] -o <out.ccsnap>\n  \
@@ -83,6 +83,8 @@ fn usage() -> ExitCode {
          [--profile P]\n  \
          ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S] [--queries Q] \
          [--sources S] [--threads T] [--out FILE]\n\
+         every subcommand also accepts --trace <out.json> [--trace-format json|chrome] \
+         (env defaults CC_TRACE / CC_TRACE_FORMAT) to dump the cc_obs span tree\n\
          hint: `ccapsp <subcommand>` with missing arguments prints this listing; \
          see the README's \"Serving\" and \"Dynamic updates\" sections for the workflows",
         families = Family::ALL.map(|f| f.name()).join("|")
@@ -90,9 +92,79 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Removes `name <value>` from `args`, returning the value. Errors when the
+/// flag is present but its value is missing.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, ExitCode> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        eprintln!("{name} expects a value");
+        return Err(usage());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// The `--trace` wiring every subcommand shares: where to write the
+/// captured span tree and in which format. Flags win over the
+/// `CC_TRACE` / `CC_TRACE_FORMAT` environment defaults.
+struct TraceConfig {
+    path: String,
+    chrome: bool,
+}
+
+fn parse_trace(args: &mut Vec<String>) -> Result<Option<TraceConfig>, ExitCode> {
+    let path = take_value_flag(args, "--trace")?
+        .or_else(|| std::env::var("CC_TRACE").ok().filter(|s| !s.is_empty()));
+    let format = take_value_flag(args, "--trace-format")?.or_else(|| {
+        std::env::var("CC_TRACE_FORMAT")
+            .ok()
+            .filter(|s| !s.is_empty())
+    });
+    let chrome = match format.as_deref() {
+        None | Some("json") => false,
+        Some("chrome") => true,
+        Some(other) => {
+            eprintln!("--trace-format expects json|chrome, got {other:?}");
+            return Err(usage());
+        }
+    };
+    Ok(path.map(|path| TraceConfig { path, chrome }))
+}
+
+fn write_trace(cfg: &TraceConfig) -> bool {
+    let snapshot = cc_obs::capture();
+    let doc = if cfg.chrome {
+        cc_obs::render_chrome(&snapshot)
+    } else {
+        cc_obs::render_json(&snapshot)
+    };
+    if let Err(e) = std::fs::write(&cfg.path, doc) {
+        eprintln!("cannot write trace {}: {e}", cfg.path);
+        return false;
+    }
+    println!(
+        "wrote trace    {} ({})",
+        cfg.path,
+        if cfg.chrome { "chrome" } else { "json" }
+    );
+    true
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip the shared tracing flags before subcommand dispatch so no
+    // per-subcommand flag list needs to know about them.
+    let trace = match parse_trace(&mut args) {
+        Ok(trace) => trace,
+        Err(code) => return code,
+    };
+    if trace.is_some() {
+        cc_obs::enable();
+    }
+    let code = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -107,7 +179,14 @@ fn main() -> ExitCode {
             usage()
         }
         None => usage(),
+    };
+    if let Some(cfg) = &trace {
+        cc_obs::disable();
+        if !write_trace(cfg) {
+            return ExitCode::FAILURE;
+        }
     }
+    code
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
@@ -263,17 +342,60 @@ fn run_algo(
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        return usage();
-    };
-    let g = match load(path) {
-        Ok(g) => g,
-        Err(code) => return code,
-    };
     let algo = flag(args, "--algo").unwrap_or("thm11");
     let seed: u64 = flag(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    // Workload: a positional edge-list path, or --n (+ --family) to
+    // generate one in-process (the same convention as `snapshot`).
+    let positional = match positionals(
+        args,
+        &[
+            "--n",
+            "--family",
+            "--algo",
+            "--seed",
+            "--threads",
+            "--kernel",
+            "--oracle",
+        ],
+    )[..]
+    {
+        [] => None,
+        [path] => Some(path),
+        ref many => {
+            eprintln!("run takes at most one graph path, got {many:?}");
+            return usage();
+        }
+    };
+    if positional.is_some() && flag(args, "--n").is_some() {
+        eprintln!("run takes either a graph path or --n, not both");
+        return usage();
+    }
+    let g = if let Some(path) = positional {
+        match load(path) {
+            Ok(g) => g,
+            Err(code) => return code,
+        }
+    } else {
+        let n = match flag(args, "--n") {
+            None => return usage(),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 2 => n,
+                _ => {
+                    eprintln!("--n expects a node count of at least 2, got {s:?}");
+                    return usage();
+                }
+            },
+        };
+        let family_name = flag(args, "--family").unwrap_or("gnp");
+        let Some(family) = Family::ALL.iter().find(|f| f.name() == family_name) else {
+            eprintln!("unknown family {family_name:?}");
+            return usage();
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        family.generate(n, n as u64, &mut rng)
+    };
     let exec = match parse_exec(args) {
         Ok(exec) => exec,
         Err(code) => return code,
@@ -885,6 +1007,7 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     );
     println!("cache hit      {:.1}%", result.cache_hit_rate * 100.0);
     println!("fingerprint    {:016x}", result.fingerprint);
+    print!("{}", service.metrics_text());
     if let Err(e) = write_report(out, &[record]) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

@@ -1,0 +1,204 @@
+//! The observability layer's hard invariant, in the style of
+//! `parallel_determinism.rs`: enabling `cc_obs` tracing never changes any
+//! computed output. Pipeline estimates, serve response fingerprints, and
+//! dynamic-update state fingerprints must be bit-identical with tracing off
+//! vs on, across thread counts {1, 4} and forced kernel modes
+//! {dense, sparse} — tracing may only add a span tree on the side.
+
+use cc_apsp::pipeline::{approximate_apsp, PipelineConfig};
+use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+use cc_dynamic::update::{random_batch, MutationProfile};
+use cc_graph::graph::{Direction, Graph};
+use cc_graph::{apsp, NodeId, Weight};
+use cc_matrix::engine::KernelMode;
+use cc_par::ExecPolicy;
+use cc_serve::loadgen::{drive, LoadSpec, Skew};
+use cc_serve::service::OracleService;
+use cc_serve::snapshot::{Snapshot, SnapshotMeta};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// The thread counts and forced kernel modes the invariant is checked at,
+/// per the acceptance criteria.
+const THREADS: [usize; 2] = [1, 4];
+const KERNELS: [KernelMode; 2] = [KernelMode::Dense, KernelMode::Sparse];
+
+/// `cc_obs` state (enabled flag, global store) is process-wide, so the
+/// tests in this file serialize on one lock to keep each off/on comparison
+/// self-contained.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs `f` twice — tracing off, then tracing on with a fresh store — and
+/// returns both outputs plus the captured snapshot from the traced run.
+fn off_then_on<T>(mut f: impl FnMut() -> T) -> (T, T, cc_obs::Snapshot) {
+    cc_obs::disable();
+    cc_obs::reset();
+    let off = f();
+    cc_obs::enable();
+    let on = f();
+    cc_obs::disable();
+    let snapshot = cc_obs::capture();
+    cc_obs::reset();
+    (off, on, snapshot)
+}
+
+/// Strategy: a connected-ish undirected weighted graph (path backbone plus
+/// random extra edges), as in `parallel_determinism.rs`.
+fn arb_graph(max_n: usize, max_w: Weight) -> impl Strategy<Value = Graph> {
+    (4usize..max_n).prop_flat_map(move |n| {
+        let path_edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let extra = proptest::collection::vec((0..n, 0..n, 1..=max_w), 0..3 * n);
+        let path_w = proptest::collection::vec(1..=max_w, n - 1);
+        (Just(n), Just(path_edges), path_w, extra).prop_map(|(n, path, pw, extra)| {
+            let mut edges: Vec<(NodeId, NodeId, Weight)> = path
+                .into_iter()
+                .zip(pw)
+                .map(|((u, v), w)| (u, v, w))
+                .collect();
+            for (u, v, w) in extra {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, Direction::Undirected, &edges)
+        })
+    })
+}
+
+proptest! {
+    // Each case runs the full pipeline/serve/dynamic stack several times;
+    // a handful of cases suffices, as in the other pipeline-level suites.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The Theorem 1.1 pipeline is bit-identical with tracing off vs on at
+    /// every (kernel × thread count) combination — and the traced run
+    /// actually produced the pipeline span tree with round/bandwidth attrs.
+    #[test]
+    fn pipeline_output_is_tracing_invariant(
+        g in arb_graph(28, 30),
+        seed in 0u64..500,
+    ) {
+        let _guard = locked();
+        for kernel in KERNELS {
+            for threads in THREADS {
+                let cfg = PipelineConfig {
+                    seed,
+                    exec: ExecPolicy::with_threads(threads),
+                    kernel,
+                    ..Default::default()
+                };
+                let (off, on, snapshot) = off_then_on(|| approximate_apsp(&g, &cfg));
+                prop_assert_eq!(
+                    &on.estimate, &off.estimate,
+                    "kernel={} threads={}", kernel, threads
+                );
+                prop_assert_eq!(on.stretch_bound, off.stretch_bound);
+                prop_assert_eq!(on.rounds, off.rounds);
+                // The traced run recorded the phase tree: root pipeline
+                // span, theorem phase under it, round accounting attached.
+                let pipeline = snapshot.find("pipeline").expect("pipeline span");
+                prop_assert_eq!(pipeline.count, 1);
+                let thm = snapshot.find("pipeline/theorem-1.1").expect("theorem span");
+                let rounds = thm.attrs.iter().find(|(k, _)| k == "rounds");
+                prop_assert_eq!(rounds.map(|(_, v)| *v), Some(on.rounds as f64));
+                prop_assert!(thm.attrs.iter().any(|(k, _)| k == "words"));
+            }
+        }
+    }
+
+    /// The serving layer's drive fingerprint (snapshot → batched queries →
+    /// response stream) is bit-identical with tracing off vs on, even
+    /// though tracing adds latency histograms and cache counters.
+    #[test]
+    fn serve_fingerprint_is_tracing_invariant(
+        g in arb_graph(22, 25),
+        seed in 0u64..500,
+    ) {
+        let _guard = locked();
+        let result = approximate_apsp(&g, &PipelineConfig {
+            seed,
+            exec: ExecPolicy::Seq,
+            ..Default::default()
+        });
+        let snap = Snapshot::new(
+            g.clone(),
+            result.estimate,
+            SnapshotMeta {
+                algo: "thm11".into(),
+                seed,
+                stretch_bound: result.stretch_bound,
+                rounds: result.rounds,
+                source: "obs-determinism".into(),
+            },
+        );
+        let spec = LoadSpec {
+            queries: 200,
+            batch: 40,
+            skew: Skew::Zipf(1.0),
+            k: 4,
+            seed,
+            ..Default::default()
+        };
+        for threads in THREADS {
+            let (off, on, snapshot) = off_then_on(|| {
+                let (service, id) = OracleService::single(snap.clone());
+                drive(&service, id, &spec, ExecPolicy::with_threads(threads))
+            });
+            prop_assert_eq!(on.fingerprint, off.fingerprint, "threads={}", threads);
+            prop_assert_eq!(on.queries, off.queries);
+            // The traced run populated the per-type latency histograms.
+            let timed: u64 = snapshot
+                .histograms
+                .iter()
+                .filter(|(name, _)| name.starts_with("serve.latency."))
+                .map(|(_, h)| h.count())
+                .sum();
+            prop_assert_eq!(timed, spec.queries as u64, "threads={}", threads);
+        }
+    }
+
+    /// The dynamic engine's post-batch state fingerprint — whether a batch
+    /// took the repair or the rebuild path — is bit-identical with tracing
+    /// off vs on under both forced kernels.
+    #[test]
+    fn dynamic_fingerprint_is_tracing_invariant(seed in 0u64..500) {
+        let _guard = locked();
+        for kernel in KERNELS {
+            let (off, on, snapshot) = off_then_on(|| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = cc_graph::generators::gnp_connected(24, 0.18, 1..=9, &mut rng);
+                let estimate = apsp::exact_apsp(&g);
+                let mut engine = IncrementalOracle::new(
+                    g,
+                    estimate,
+                    "exact",
+                    seed,
+                    DynamicConfig { kernel, ..Default::default() },
+                );
+                let mut mutation_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+                for profile in [MutationProfile::ReweightHeavy, MutationProfile::TopologyHeavy] {
+                    let batch = random_batch(engine.graph(), 4, profile, &mut mutation_rng);
+                    engine.apply(&batch).expect("generated batches are valid");
+                }
+                engine.fingerprint()
+            });
+            prop_assert_eq!(on, off, "kernel={}", kernel);
+            // The traced run recorded the update path taken (repair and/or
+            // rebuild) as spans.
+            let dyn_spans = snapshot
+                .spans
+                .iter()
+                .filter(|s| s.name == "dyn-repair" || s.name == "dyn-rebuild")
+                .map(|s| s.count)
+                .sum::<u64>();
+            // (An identity batch records no span, so >= 1 of the 2 batches.)
+            prop_assert!(dyn_spans >= 1, "kernel={} spans={}", kernel, dyn_spans);
+        }
+    }
+}

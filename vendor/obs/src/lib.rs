@@ -1,0 +1,1133 @@
+#![warn(missing_docs)]
+
+//! Vendored, zero-dependency observability layer for the workspace:
+//! hierarchical **spans** (RAII timer guards building a nested wall-clock
+//! tree with per-span numeric attributes), **counters**, and
+//! **log₂-bucketed histograms** with an exact-percentile fallback for small
+//! counts, behind one process-global recorder.
+//!
+//! The build environment has no crates.io access, so instead of `tracing` +
+//! `metrics` this crate implements exactly what the APSP suite's layers
+//! need, with two hard guarantees:
+//!
+//! * **Branch-cheap when disabled.** Every instrumentation entry point
+//!   starts with a single `Relaxed` atomic load ([`is_enabled`]); when the
+//!   recorder is off, [`span`] returns an inert guard, no string is
+//!   formatted ([`span_lazy`] never calls its closure), and nothing is
+//!   allocated or locked.
+//! * **Recording never changes computed output.** Instrumented code paths
+//!   read nothing back from the recorder; spans collect into thread-local
+//!   buffers that are flushed into the global store only when the thread's
+//!   span stack empties, and the store merges by span *path* into ordered
+//!   maps with commutative aggregation (sums), so the captured tree is
+//!   deterministic regardless of thread interleaving — and enabling tracing
+//!   is observationally invisible to the computation itself
+//!   (property-tested by the workspace's `tests/obs_determinism.rs`).
+//!
+//! # Spans
+//!
+//! A span is opened with [`span`] (or [`span_lazy`]) and closed by dropping
+//! the returned [`SpanGuard`]; nesting on one thread builds slash-separated
+//! paths (`"theorem-1.1/skeleton"`). Guards carry numeric attributes
+//! ([`SpanGuard::attr`]) that are **summed** across all executions of the
+//! same path — so a phase's `rounds` attribute accumulates exactly like its
+//! wall-clock. Spans opened on pool worker threads form their own roots
+//! (the worker has no view of the spawning thread's stack); the pipeline
+//! phases themselves run on the driving thread, so the phase tree stays
+//! connected.
+//!
+//! ```
+//! cc_obs::reset();
+//! cc_obs::enable();
+//! {
+//!     let mut phase = cc_obs::span("build");
+//!     phase.attr("rounds", 3.0);
+//!     let _inner = cc_obs::span("spanner");
+//!     // both guards drop here: timings + attributes are recorded
+//! }
+//! cc_obs::disable();
+//! let snap = cc_obs::capture();
+//! assert_eq!(snap.spans[0].name, "build");
+//! assert_eq!(snap.spans[0].attrs, vec![("rounds".to_string(), 3.0)]);
+//! assert_eq!(snap.spans[0].children[0].name, "spanner");
+//! assert_eq!(snap.spans[0].children[0].path, "build/spanner");
+//! ```
+//!
+//! # Exporters
+//!
+//! [`capture`] returns a [`Snapshot`] (span tree + counters + histograms +
+//! raw events); [`render_text`] formats it as the human-readable metrics
+//! report, [`render_json`] as a nested JSON span-tree dump, and
+//! [`render_chrome`] as a Chrome-trace-format event file loadable in
+//! `chrome://tracing` or Perfetto.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Values per histogram kept exactly before spilling to buckets: percentile
+/// queries on counts up to this are answered from a sorted copy (the same
+/// `((len - 1) * q)` index rule the serve loadgen has always used), beyond
+/// it from log₂ buckets with 16 linear sub-buckets (≤ 6.25% relative error).
+pub const EXACT_CAP: usize = 4096;
+
+/// Linear sub-buckets per power-of-two major bucket.
+const SUBS: usize = 16;
+
+/// Bucket count: values `< SUBS` get one exact bucket each; every major
+/// `ilog2` level from 4 to 63 gets `SUBS` sub-buckets.
+const BUCKETS: usize = SUBS + (64 - 4) * SUBS;
+
+/// A log₂-bucketed histogram of `u64` samples with an exact-percentile
+/// fallback for small counts (see [`EXACT_CAP`]).
+///
+/// Also usable standalone (the serve loadgen reduces its latency lists
+/// through one); [`Histogram::merge`] is commutative and associative, so
+/// per-thread histograms combine deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Exact samples, kept until [`EXACT_CAP`]; empty once spilled.
+    exact: Vec<u64>,
+    /// Bucket counts, allocated lazily on spill ([`BUCKETS`] long).
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if self.buckets.is_empty() {
+            if self.exact.len() < EXACT_CAP {
+                self.exact.push(v);
+                return;
+            }
+            self.spill();
+        }
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Moves the exact samples into buckets (one-way; percentiles become
+    /// interpolated from here on).
+    fn spill(&mut self) {
+        self.buckets = vec![0u64; BUCKETS];
+        for &v in &self.exact {
+            self.buckets[bucket_index(v)] += 1;
+        }
+        self.exact.clear();
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of the recorded samples.
+    ///
+    /// Exact (nearest-rank on a sorted copy, index `(count - 1) * q`
+    /// truncated) while at most [`EXACT_CAP`] samples were recorded;
+    /// linearly interpolated inside the matching log₂ sub-bucket after
+    /// spilling. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if !self.exact.is_empty() {
+            let mut sorted = self.exact.clone();
+            sorted.sort_unstable();
+            let idx = ((sorted.len() - 1) as f64 * q) as usize;
+            return sorted[idx] as f64;
+        }
+        let rank = (self.count - 1) as f64 * q;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 > rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - cum as f64) / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
+    /// Folds `other` into `self`. Commutative and associative up to the
+    /// exact/bucketed representation switch (which only affects percentile
+    /// resolution, never counts or sums).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.is_empty()
+            && other.buckets.is_empty()
+            && self.exact.len() + other.exact.len() <= EXACT_CAP
+        {
+            self.exact.extend_from_slice(&other.exact);
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.spill();
+        }
+        if other.buckets.is_empty() {
+            for &v in &other.exact {
+                self.buckets[bucket_index(v)] += 1;
+            }
+        } else {
+            for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+                *mine += theirs;
+            }
+        }
+    }
+}
+
+/// Bucket index of a value: values below [`SUBS`] get exact unit buckets;
+/// larger values split their `ilog2` level into [`SUBS`] linear sub-buckets.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let major = 63 - v.leading_zeros() as usize; // ilog2, >= 4 here
+    let sub = ((v >> (major - 4)) - SUBS as u64) as usize; // 0..SUBS
+    SUBS + (major - 4) * SUBS + sub
+}
+
+/// Half-open value range `[lo, hi)` covered by a bucket index.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUBS {
+        return (i as u64, i as u64 + 1);
+    }
+    let major = 4 + (i - SUBS) / SUBS;
+    let sub = ((i - SUBS) % SUBS) as u64;
+    let width = 1u64 << (major - 4);
+    let lo = (1u64 << major) + sub * width;
+    (lo, lo.saturating_add(width))
+}
+
+// ---------------------------------------------------------------------------
+// Global recorder state
+// ---------------------------------------------------------------------------
+
+/// The one branch every instrumentation entry point takes when disabled.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic thread-id source for Chrome-trace `tid`s (thread 0 = first
+/// thread that ever recorded, typically the driver).
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// Aggregated wall-clock + attributes of one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    attrs: BTreeMap<String, f64>,
+}
+
+impl SpanStat {
+    fn absorb(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        for (k, v) in &other.attrs {
+            *self.attrs.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+}
+
+/// One completed span occurrence, for the Chrome-trace exporter.
+#[derive(Debug, Clone)]
+struct RawEvent {
+    path: String,
+    tid: u64,
+    start: Instant,
+    dur_ns: u64,
+}
+
+/// The global store: ordered maps keyed by span path / metric name, so the
+/// merge order (and hence every export) is deterministic no matter which
+/// thread flushed first.
+struct Store {
+    epoch: Option<Instant>,
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    events: Vec<RawEvent>,
+}
+
+static STORE: Mutex<Store> = Mutex::new(Store {
+    epoch: None,
+    spans: BTreeMap::new(),
+    counters: BTreeMap::new(),
+    hists: BTreeMap::new(),
+    events: Vec::new(),
+});
+
+/// Per-thread collection state; flushed into [`STORE`] whenever the span
+/// stack empties (so the global lock is taken once per span *tree*, not
+/// once per span).
+struct Tls {
+    tid: u64,
+    stack: Vec<Frame>,
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    events: Vec<RawEvent>,
+}
+
+struct Frame {
+    name: String,
+    start: Instant,
+    attrs: Vec<(String, f64)>,
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> = RefCell::new(Tls {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        spans: BTreeMap::new(),
+        counters: BTreeMap::new(),
+        hists: BTreeMap::new(),
+        events: Vec::new(),
+    });
+}
+
+/// Turns recording on (idempotent). Sets the trace epoch on first use so
+/// Chrome-trace timestamps are relative to the first `enable`.
+pub fn enable() {
+    let mut store = STORE.lock().unwrap();
+    if store.epoch.is_none() {
+        store.epoch = Some(Instant::now());
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off (idempotent). Already-open spans still record when
+/// they close; new ones become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the recorder is on — the single `Relaxed` load every
+/// instrumentation site is gated on.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears everything recorded so far (and this thread's pending buffers)
+/// and restarts the trace epoch. Leaves the enabled flag untouched.
+pub fn reset() {
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        tls.spans.clear();
+        tls.counters.clear();
+        tls.hists.clear();
+        tls.events.clear();
+    });
+    let mut store = STORE.lock().unwrap();
+    store.spans.clear();
+    store.counters.clear();
+    store.hists.clear();
+    store.events.clear();
+    store.epoch = Some(Instant::now());
+}
+
+// ---------------------------------------------------------------------------
+// Spans, counters, histograms — the instrumentation API
+// ---------------------------------------------------------------------------
+
+/// RAII guard of one open span; dropping it records the elapsed wall-clock
+/// under the slash-path of every span open on this thread. Inert (and
+/// attribute calls are no-ops) when the recorder was disabled at open time.
+///
+/// Not `Send`: a guard must drop on the thread that opened it (the span
+/// stack is thread-local).
+#[must_use = "a span records when the guard drops; binding to _ drops immediately"]
+pub struct SpanGuard {
+    /// Stack depth of this span's frame (0 = inert guard).
+    depth: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` (no-op when disabled). Slashes in `name` would
+/// collide with the path separator; use dashes.
+pub fn span(name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            depth: 0,
+            _not_send: PhantomData,
+        };
+    }
+    open_span(name.to_string())
+}
+
+/// [`span`] with a lazily built name: `f` is never called when the recorder
+/// is disabled, so `span_lazy(|| format!(...))` costs one atomic load on
+/// the fast path.
+pub fn span_lazy(f: impl FnOnce() -> String) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            depth: 0,
+            _not_send: PhantomData,
+        };
+    }
+    open_span(f())
+}
+
+fn open_span(name: String) -> SpanGuard {
+    let depth = TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        tls.stack.push(Frame {
+            name,
+            start: Instant::now(),
+            attrs: Vec::new(),
+        });
+        tls.stack.len()
+    });
+    SpanGuard {
+        depth,
+        _not_send: PhantomData,
+    }
+}
+
+impl SpanGuard {
+    /// Whether this guard is live (recorder was enabled at open time). Use
+    /// to skip computing expensive attribute values.
+    pub fn is_active(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Attaches (or accumulates, when called twice with one key) a numeric
+    /// attribute on this span. Attributes **sum** across executions of the
+    /// same span path. No-op on an inert guard.
+    pub fn attr(&mut self, key: &str, value: f64) {
+        if self.depth == 0 {
+            return;
+        }
+        TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            let depth = self.depth;
+            if let Some(frame) = tls.stack.get_mut(depth - 1) {
+                match frame.attrs.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, v)) => *v += value,
+                    None => frame.attrs.push((key.to_string(), value)),
+                }
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            // Locals drop in reverse order, so the frame to close is the
+            // top of the stack; tolerate a leaked guard by popping to depth.
+            while tls.stack.len() >= self.depth {
+                let frame = tls.stack.pop().expect("depth > 0 implies a frame");
+                let dur_ns = frame.start.elapsed().as_nanos() as u64;
+                let path = tls
+                    .stack
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .chain(std::iter::once(frame.name.as_str()))
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let stat = tls.spans.entry(path.clone()).or_default();
+                stat.count += 1;
+                stat.total_ns += dur_ns;
+                for (k, v) in frame.attrs {
+                    *stat.attrs.entry(k).or_insert(0.0) += v;
+                }
+                let tid = tls.tid;
+                tls.events.push(RawEvent {
+                    path,
+                    tid,
+                    start: frame.start,
+                    dur_ns,
+                });
+            }
+            if tls.stack.is_empty() {
+                flush(&mut tls);
+            }
+        });
+    }
+}
+
+/// Adds `delta` to the named counter (no-op when disabled).
+pub fn counter(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        *tls.counters.entry(name.to_string()).or_insert(0) += delta;
+        if tls.stack.is_empty() {
+            flush(&mut tls);
+        }
+    });
+}
+
+/// Records one sample into the named global histogram (no-op when
+/// disabled).
+pub fn record_hist(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        tls.hists.entry(name.to_string()).or_default().record(value);
+        if tls.stack.is_empty() {
+            flush(&mut tls);
+        }
+    });
+}
+
+/// Merges this thread's pending buffers into the global store.
+fn flush(tls: &mut Tls) {
+    if tls.spans.is_empty() && tls.counters.is_empty() && tls.hists.is_empty() {
+        return;
+    }
+    let mut store = STORE.lock().unwrap();
+    for (path, stat) in std::mem::take(&mut tls.spans) {
+        store.spans.entry(path).or_default().absorb(&stat);
+    }
+    for (name, delta) in std::mem::take(&mut tls.counters) {
+        *store.counters.entry(name).or_insert(0) += delta;
+    }
+    for (name, hist) in std::mem::take(&mut tls.hists) {
+        store.hists.entry(name).or_default().merge(&hist);
+    }
+    store.events.append(&mut tls.events);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// One node of the captured span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Leaf segment of the path.
+    pub name: String,
+    /// Full slash-path from the root.
+    pub path: String,
+    /// Times this path completed.
+    pub count: u64,
+    /// Total wall-clock across all completions, nanoseconds.
+    pub total_ns: u64,
+    /// Summed attributes, sorted by key.
+    pub attrs: Vec<(String, f64)>,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+/// One completed span occurrence with trace-relative timestamps (Chrome
+/// trace export).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Full slash-path of the span.
+    pub path: String,
+    /// Recorder-assigned thread id.
+    pub tid: u64,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything recorded so far, merged deterministically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Root spans (children nested), sorted by name at every level.
+    pub spans: Vec<SpanNode>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Global histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Raw span occurrences in flush order (timing-dependent; only the
+    /// Chrome exporter reads these).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Snapshot {
+    /// Depth-first search for a span node by exact path.
+    pub fn find(&self, path: &str) -> Option<&SpanNode> {
+        fn walk<'a>(nodes: &'a [SpanNode], path: &str) -> Option<&'a SpanNode> {
+            for node in nodes {
+                if node.path == path {
+                    return Some(node);
+                }
+                if let Some(found) = walk(&node.children, path) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        walk(&self.spans, path)
+    }
+}
+
+/// Captures a [`Snapshot`] of everything recorded so far (flushing this
+/// thread's completed spans first). Spans still open on other threads are
+/// not included — capture after the instrumented work has finished.
+pub fn capture() -> Snapshot {
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        if tls.stack.is_empty() {
+            flush(&mut tls);
+        }
+    });
+    let store = STORE.lock().unwrap();
+    let epoch = store.epoch;
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, stat) in &store.spans {
+        insert_path(&mut roots, path, stat);
+    }
+    Snapshot {
+        spans: roots,
+        counters: store
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect(),
+        histograms: store
+            .hists
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+        events: store
+            .events
+            .iter()
+            .map(|e| TraceEvent {
+                path: e.path.clone(),
+                tid: e.tid,
+                start_ns: epoch
+                    .map(|t0| e.start.saturating_duration_since(t0).as_nanos() as u64)
+                    .unwrap_or(0),
+                dur_ns: e.dur_ns,
+            })
+            .collect(),
+    }
+}
+
+/// Inserts one `path → stat` into the tree, creating zero-count
+/// intermediate nodes for paths whose parents never closed. Children stay
+/// sorted because the store iterates paths in `BTreeMap` order and sibling
+/// prefixes share ordering with their full paths.
+fn insert_path(roots: &mut Vec<SpanNode>, path: &str, stat: &SpanStat) {
+    let mut nodes = roots;
+    let mut prefix = String::new();
+    let mut segments = path.split('/').peekable();
+    while let Some(segment) = segments.next() {
+        if !prefix.is_empty() {
+            prefix.push('/');
+        }
+        prefix.push_str(segment);
+        let idx = match nodes.iter().position(|n| n.name == segment) {
+            Some(i) => i,
+            None => {
+                let at = nodes
+                    .iter()
+                    .position(|n| n.name.as_str() > segment)
+                    .unwrap_or(nodes.len());
+                nodes.insert(
+                    at,
+                    SpanNode {
+                        name: segment.to_string(),
+                        path: prefix.clone(),
+                        count: 0,
+                        total_ns: 0,
+                        attrs: Vec::new(),
+                        children: Vec::new(),
+                    },
+                );
+                at
+            }
+        };
+        if segments.peek().is_none() {
+            let node = &mut nodes[idx];
+            node.count += stat.count;
+            node.total_ns += stat.total_ns;
+            node.attrs = stat.attrs.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        }
+        nodes = &mut nodes[idx].children;
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite `f64` without trailing noise (JSON-safe: NaN/∞ become
+/// 0, which cannot occur from summed wall-clock/attribute values anyway).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Human-readable metrics report: the span tree (indented, with counts,
+/// total wall-clock, and summed attributes), then counters, then
+/// histograms. This is the body a future `ccapsp serve` metrics endpoint
+/// returns.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::from("== spans ==\n");
+    if snap.spans.is_empty() {
+        out.push_str("(none)\n");
+    }
+    fn walk(out: &mut String, node: &SpanNode, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let attrs = node
+            .attrs
+            .iter()
+            .map(|(k, v)| format!(" {k}={v:.0}"))
+            .collect::<String>();
+        out.push_str(&format!(
+            "{indent}{name:<width$} x{count:<6} {ms:>10.3} ms{attrs}\n",
+            name = node.name,
+            width = 28usize.saturating_sub(2 * depth).max(1),
+            count = node.count,
+            ms = node.total_ns as f64 / 1e6,
+        ));
+        for child in &node.children {
+            walk(out, child, depth + 1);
+        }
+    }
+    for root in &snap.spans {
+        walk(&mut out, root, 0);
+    }
+    out.push_str("== counters ==\n");
+    if snap.counters.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("{name:<30} {value}\n"));
+    }
+    out.push_str("== histograms ==\n");
+    if snap.histograms.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{name:<30} n={} min={} p50={:.0} p95={:.0} p99={:.0} max={}\n",
+            h.count(),
+            h.min(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.max(),
+        ));
+    }
+    out
+}
+
+/// JSON span-tree dump (`cc-obs/v1`): nested spans with `wall_ms` and
+/// summed attributes, plus counters and histogram summaries.
+pub fn render_json(snap: &Snapshot) -> String {
+    fn node_json(node: &SpanNode) -> String {
+        let attrs = node
+            .attrs
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), json_number(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let children = node.children.iter().map(node_json).collect::<Vec<_>>();
+        format!(
+            "{{\"name\":{},\"path\":{},\"count\":{},\"wall_ms\":{},\"attrs\":{{{}}},\"children\":[{}]}}",
+            json_string(&node.name),
+            json_string(&node.path),
+            node.count,
+            json_number(node.total_ns as f64 / 1e6),
+            attrs,
+            children.join(",")
+        )
+    }
+    let spans = snap.spans.iter().map(node_json).collect::<Vec<_>>();
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", json_string(k)))
+        .collect::<Vec<_>>();
+    let hists = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            format!(
+                "{}:{{\"count\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_string(k),
+                h.count(),
+                h.min(),
+                h.max(),
+                json_number(h.percentile(0.50)),
+                json_number(h.percentile(0.95)),
+                json_number(h.percentile(0.99)),
+            )
+        })
+        .collect::<Vec<_>>();
+    format!(
+        "{{\"schema\":\"cc-obs/v1\",\"spans\":[{}],\"counters\":{{{}}},\"histograms\":{{{}}}}}\n",
+        spans.join(","),
+        counters.join(","),
+        hists.join(",")
+    )
+}
+
+/// Chrome-trace-format event file: one complete (`"ph":"X"`) event per span
+/// occurrence, microsecond timestamps relative to the trace epoch. Loadable
+/// in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn render_chrome(snap: &Snapshot) -> String {
+    let events = snap
+        .events
+        .iter()
+        .map(|e| {
+            let name = e.path.rsplit('/').next().unwrap_or(&e.path);
+            format!(
+                "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"path\":{}}}}}",
+                json_string(name),
+                json_number(e.start_ns as f64 / 1e3),
+                json_number(e.dur_ns as f64 / 1e3),
+                e.tid,
+                json_string(&e.path)
+            )
+        })
+        .collect::<Vec<_>>();
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; tests that enable/reset it hold this
+    /// lock so they cannot shear each other's captures.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _g = locked();
+        reset();
+        disable();
+        {
+            let mut sp = span("never");
+            assert!(!sp.is_active());
+            sp.attr("x", 1.0);
+        }
+        let called = std::cell::Cell::new(false);
+        let _sp = span_lazy(|| {
+            called.set(true);
+            "never".into()
+        });
+        assert!(!called.get(), "span_lazy must not format when disabled");
+        counter("never", 1);
+        record_hist("never", 1);
+        let snap = capture();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate_by_path() {
+        let _g = locked();
+        reset();
+        enable();
+        for _ in 0..3 {
+            let mut outer = span("outer");
+            outer.attr("rounds", 2.0);
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        disable();
+        let snap = capture();
+        assert_eq!(snap.spans.len(), 1);
+        let outer = &snap.spans[0];
+        assert_eq!((outer.name.as_str(), outer.count), ("outer", 3));
+        assert_eq!(outer.path, "outer");
+        assert_eq!(outer.attrs, vec![("rounds".to_string(), 6.0)]);
+        assert_eq!(outer.children.len(), 1);
+        let inner = &outer.children[0];
+        assert_eq!((inner.path.as_str(), inner.count), ("outer/inner", 6));
+        assert_eq!(snap.find("outer/inner").map(|n| n.count), Some(6));
+        assert_eq!(snap.events.len(), 9);
+    }
+
+    #[test]
+    fn merge_order_is_deterministic_across_thread_interleavings() {
+        let _g = locked();
+        // Record the same span set from several threads, twice, with
+        // different completion orders; the captured trees must be equal
+        // (modulo timings, which we zero out).
+        fn strip(mut nodes: Vec<SpanNode>) -> Vec<SpanNode> {
+            for n in &mut nodes {
+                n.total_ns = 0;
+                n.children = strip(std::mem::take(&mut n.children));
+            }
+            nodes
+        }
+        let run = |order: &'static [usize]| {
+            reset();
+            enable();
+            let handles: Vec<_> = order
+                .iter()
+                .map(|&i| {
+                    std::thread::spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(i as u64));
+                        let mut sp = span_lazy(|| format!("worker-{i}"));
+                        sp.attr("shard", i as f64);
+                        counter("jobs", 1);
+                        record_hist("latency", 10 * (i as u64 + 1));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            disable();
+            let snap = capture();
+            (strip(snap.spans), snap.counters, snap.histograms)
+        };
+        let a = run(&[0, 1, 2, 3]);
+        let b = run(&[3, 2, 1, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a.1, vec![("jobs".to_string(), 4)]);
+        let names: Vec<&str> = a.0.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, ["worker-0", "worker-1", "worker-2", "worker-3"]);
+    }
+
+    #[test]
+    fn histogram_small_counts_match_exact_sort() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.50, 0.95, 0.99, 1.0] {
+            let idx = ((values.len() - 1) as f64 * q) as usize;
+            assert_eq!(h.percentile(q), values[idx] as f64, "q={q}");
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 100_000);
+        assert!((h.mean() - 50_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bucketed_percentiles_track_exact_sort() {
+        // A deterministic LCG stream, large enough to spill to buckets;
+        // bucketed answers must stay within the sub-bucket resolution
+        // (6.25% relative) of the true sorted values.
+        let mut h = Histogram::new();
+        let mut values = Vec::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 1_000_000;
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99] {
+            let exact = values[((values.len() - 1) as f64 * q) as usize] as f64;
+            let approx = h.percentile(q);
+            let tolerance = exact * 0.0625 + 16.0;
+            assert!(
+                (approx - exact).abs() <= tolerance,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), h.max() as f64);
+    }
+
+    #[test]
+    fn histogram_merge_is_count_exact_and_order_insensitive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..6000u64 {
+            let v = i * 37 % 5000;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for h in [&ab, &ba] {
+            assert_eq!(h.count(), whole.count());
+            assert_eq!(h.sum(), whole.sum());
+            assert_eq!(h.min(), whole.min());
+            assert_eq!(h.max(), whole.max());
+        }
+        assert_eq!(ab.percentile(0.5), ba.percentile(0.5));
+        // Merging into an empty histogram preserves the exact path.
+        let mut small = Histogram::new();
+        small.record(7);
+        let mut empty = Histogram::new();
+        empty.merge(&small);
+        assert_eq!(empty.percentile(0.5), 7.0);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        for v in (0..1000).chain([4095, 4096, 1 << 20, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "v={v} i={i} [{lo},{hi})"
+            );
+            assert!(i < BUCKETS);
+        }
+    }
+
+    #[test]
+    fn exporters_emit_wellformed_documents() {
+        let _g = locked();
+        reset();
+        enable();
+        {
+            let mut sp = span("pha\"se");
+            sp.attr("rounds", 4.0);
+            let _inner = span("child");
+        }
+        counter("queries", 12);
+        record_hist("lat_ns", 1234);
+        disable();
+        let snap = capture();
+        let text = render_text(&snap);
+        assert!(text.contains("pha\"se"));
+        assert!(text.contains("queries"));
+        assert!(text.contains("lat_ns"));
+        let json = render_json(&snap);
+        assert!(json.contains("\"schema\":\"cc-obs/v1\""));
+        assert!(json.contains("pha\\\"se"));
+        assert!(json.contains("\"rounds\":4.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let chrome = render_chrome(&snap);
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+        // Two span occurrences → two complete events.
+        assert_eq!(chrome.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_previous_recordings() {
+        let _g = locked();
+        reset();
+        enable();
+        {
+            let _sp = span("before");
+        }
+        reset();
+        {
+            let _sp = span("after");
+        }
+        disable();
+        let snap = capture();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "after");
+    }
+}
