@@ -1,0 +1,122 @@
+//! Bounded little-endian reader shared by the binary decoders.
+//!
+//! Both self-validating formats this crate parses — `*.ccsnap` snapshot
+//! files ([`crate::snapshot`]) and the `ccapsp serve` wire protocol
+//! ([`crate::wire`]) — read length-prefixed sections from untrusted bytes.
+//! This cursor is their common substrate: every read is bounds-checked
+//! (overruns surface as [`ReadError::Truncated`], never a panic or an
+//! out-of-bounds slice), and every length/count field goes through
+//! [`Cursor::len_u64`], which converts `u64 → usize` with
+//! `usize::try_from` — so a value that does not fit the platform's address
+//! space (possible on 32-bit targets, where `as usize` would silently
+//! truncate and let a crafted header alias a small value) is a typed
+//! [`ReadError::LengthOverflow`] instead.
+
+/// A bounds or range failure while reading untrusted bytes. The decoders
+/// convert these into their own error types ([`crate::snapshot::SnapshotError`],
+/// [`crate::wire::WireError`]) via `From` impls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadError {
+    /// The input ended before a declared length was satisfied.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A length/count field does not fit in `usize` on this platform.
+    LengthOverflow(u64),
+    /// A length-prefixed string is not valid UTF-8.
+    InvalidUtf8,
+}
+
+/// Bounded reader over raw bytes; see the [module docs](self).
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Consumes the next `n` bytes.
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ReadError> {
+        if self.remaining() < n {
+            return Err(ReadError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, ReadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, ReadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, ReadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` length/count field and converts it to `usize` with
+    /// `usize::try_from` — the checked path every decoder must use before
+    /// looping or allocating on a field from untrusted bytes.
+    pub(crate) fn len_u64(&mut self) -> Result<usize, ReadError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| ReadError::LengthOverflow(v))
+    }
+
+    /// Reads a `u64`-length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self) -> Result<String, ReadError> {
+        let len = self.len_u64()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ReadError::InvalidUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_bounds_checked() {
+        let mut cur = Cursor::new(&[1, 2, 3]);
+        assert_eq!(cur.u8().unwrap(), 1);
+        assert_eq!(cur.remaining(), 2);
+        assert_eq!(
+            cur.u32(),
+            Err(ReadError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        );
+        // A failed read consumes nothing.
+        assert_eq!(cur.take(2).unwrap(), &[2, 3]);
+    }
+
+    #[test]
+    fn len_u64_is_checked_not_truncating() {
+        let bytes = u64::MAX.to_le_bytes();
+        let mut cur = Cursor::new(&bytes);
+        // On 64-bit targets u64::MAX fits; the point of the helper is that
+        // 32-bit targets get a typed error instead of a silent truncation.
+        if usize::BITS >= 64 {
+            assert_eq!(cur.len_u64().unwrap(), u64::MAX as usize);
+        } else {
+            assert_eq!(cur.len_u64(), Err(ReadError::LengthOverflow(u64::MAX)));
+        }
+    }
+}

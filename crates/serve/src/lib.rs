@@ -23,7 +23,15 @@
 //!   seeded mutation stream, landing each write batch as a verified
 //!   `cc_dynamic` delta via
 //!   [`OracleService::apply_delta`](service::OracleService::apply_delta)
-//!   (an in-place blue/green version bump that re-keys the hot-row cache).
+//!   (an in-place blue/green version bump that re-keys the hot-row cache);
+//! * [`wire`] — the length-prefixed, checksummed binary frame protocol for
+//!   network serving (typed [`wire::WireError`] on every corrupt input);
+//! * [`server`] — the `ccapsp serve` TCP daemon: per-connection framing
+//!   threads feeding a server-side batcher, bounded-queue admission control,
+//!   slow-reader disconnects, and blue/green swaps while serving;
+//! * [`client`] — the blocking client, the multi-connection networked
+//!   loadgen ([`client::drive_network`], fingerprint-compatible with
+//!   [`loadgen::drive`]), and the [`client::chaos`] protocol-abuse suite.
 //!
 //! The serving invariant mirrors the compute layers' parallelism contract:
 //! for a fixed snapshot and [`loadgen::LoadSpec`] (and, on the write path,
@@ -54,9 +62,13 @@
 //! assert_eq!(report.queries, 200);
 //! ```
 
+pub mod client;
+mod cursor;
 pub mod loadgen;
+pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod wire;
 
 pub use cc_bench::report;
 pub use service::OracleService;

@@ -35,6 +35,36 @@ pub enum Skew {
     Zipf(f64),
 }
 
+impl Skew {
+    /// Parses the CLI form: `uniform`, `zipf` (exponent 1.0), or
+    /// `zipf:<EXPONENT>`.
+    ///
+    /// The exponent must be a finite, strictly positive float: NaN or ±∞
+    /// would silently degenerate the weight table (`rank^NaN` poisons every
+    /// cumulative weight), and `0` or a negative exponent inverts the
+    /// premise of the knob (no skew, or *anti*-popular hot set) — all three
+    /// are rejected here, at parse time, instead of producing a
+    /// plausible-looking but meaningless benchmark.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(Skew::Uniform),
+            "zipf" => Ok(Skew::Zipf(1.0)),
+            _ => {
+                let Some(raw) = s.strip_prefix("zipf:") else {
+                    return Err(format!("expected uniform|zipf[:EXPONENT], got {s:?}"));
+                };
+                let exp: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("zipf exponent {raw:?} is not a number"))?;
+                if !exp.is_finite() || exp <= 0.0 {
+                    return Err(format!("zipf exponent must be finite and > 0, got {raw}"));
+                }
+                Ok(Skew::Zipf(exp))
+            }
+        }
+    }
+}
+
 /// Relative weights of the three query types in the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryMix {
@@ -532,6 +562,26 @@ mod tests {
         let routes = qs.iter().filter(|q| matches!(q, Query::Route(..))).count();
         assert_eq!(routes, 0);
         assert!((1000..2000).contains(&dist), "dist count {dist}");
+    }
+
+    #[test]
+    fn skew_parse_rejects_degenerate_exponents() {
+        assert_eq!(Skew::parse("uniform"), Ok(Skew::Uniform));
+        assert_eq!(Skew::parse("zipf"), Ok(Skew::Zipf(1.0)));
+        assert_eq!(Skew::parse("zipf:0.75"), Ok(Skew::Zipf(0.75)));
+        for bad in [
+            "zipf:NaN",
+            "zipf:inf",
+            "zipf:-inf",
+            "zipf:0",
+            "zipf:-1.2",
+            "zipf:",
+            "zipf:abc",
+            "pareto",
+            "zipf:1e999", // parses to +inf
+        ] {
+            assert!(Skew::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

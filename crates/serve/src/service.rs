@@ -33,6 +33,17 @@ use std::time::Instant;
 
 use crate::snapshot::{fnv1a, Snapshot, SnapshotMeta};
 
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic: a worker that panicked mid-query (out-of-range node id, allocation
+/// failure, …) must not take the whole service down with it. Every mutex in
+/// this module guards state whose invariants hold at every statement — the
+/// row cache never changes an answer and the histograms are append-only —
+/// so the contents are valid even when a holder panicked, and a long-lived
+/// server (`ccapsp serve`) keeps answering after an isolated crash.
+pub(crate) fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Handle to one registered snapshot inside an [`OracleService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SnapshotId(usize);
@@ -337,10 +348,18 @@ impl OracleService {
     pub fn register(&mut self, name: &str, snapshot: Snapshot) -> SnapshotId {
         let idx = self.entries.len();
         let versions = self.by_name.entry(name.to_string()).or_default();
+        // Continue numbering from the newest *live* version, not the entry
+        // count: `apply_delta` bumps versions in place, and a snapshot swap
+        // after a delta must still advance the advertised version (the row
+        // cache is keyed by it, so a reused number would serve stale rows).
+        let version = versions
+            .last()
+            .map_or(0, |&prev| self.entries[prev].version)
+            + 1;
         versions.push(idx);
         self.entries.push(Entry {
             name: name.to_string(),
-            version: versions.len() as u32,
+            version,
             meta: snapshot.meta,
             oracle: DistanceOracle::with_backend(snapshot.graph, snapshot.backend),
             cache: Mutex::new(RowCache::new(self.cfg.cache_rows)),
@@ -486,7 +505,7 @@ impl OracleService {
     /// caches it in full so any later `k` is a truncation.
     fn k_nearest(&self, e: &Entry, u: NodeId, k: usize) -> Vec<(NodeId, Weight)> {
         {
-            let mut cache = e.cache.lock().unwrap();
+            let mut cache = lock_recovering(&e.cache);
             if let Some(row) = cache.get(e.version, u) {
                 e.hits.fetch_add(1, Ordering::Relaxed);
                 cc_obs::counter("serve.cache.hit", 1);
@@ -507,7 +526,7 @@ impl OracleService {
             }
         };
         let answer = full.iter().take(k).copied().collect();
-        e.cache.lock().unwrap().insert(e.version, u, full);
+        lock_recovering(&e.cache).insert(e.version, u, full);
         answer
     }
 
@@ -543,7 +562,7 @@ impl OracleService {
         ];
         let e = &self.entries[id.0];
         for (ti, hist_name) in LATENCY_HISTS.iter().enumerate() {
-            let mut hist = e.type_stats[ti].latency_ns.lock().unwrap();
+            let mut hist = lock_recovering(&e.type_stats[ti].latency_ns);
             for (q, &ns) in queries.iter().zip(&latencies_ns) {
                 if q.type_index() == ti {
                     hist.record(ns);
@@ -567,7 +586,7 @@ impl OracleService {
         let e = &self.entries[id.0];
         std::array::from_fn(|ti| {
             let stat = &e.type_stats[ti];
-            let hist = stat.latency_ns.lock().unwrap();
+            let hist = lock_recovering(&stat.latency_ns);
             QueryTypeStats {
                 count: stat.count.load(Ordering::Relaxed),
                 timed: hist.count(),
@@ -918,6 +937,41 @@ mod tests {
             service.answer(id, &Query::Dist(0, 23)),
             Response::Dist(engine.backend().query(0, 23))
         );
+    }
+
+    #[test]
+    fn poisoned_cache_mutex_does_not_kill_the_service() {
+        // A panicking worker used to poison the row-cache (and latency)
+        // mutexes, making every later query panic in `.lock().unwrap()`.
+        // The cache contents stay valid across a holder's panic (it never
+        // changes answers), so the service must recover and keep serving.
+        let snap = exact_snapshot(20, 6);
+        let (service, id) = OracleService::single(snap);
+        let before = service.answer(id, &Query::KNearest(3, 5));
+        let entry = &service.entries[id.0];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = entry.cache.lock().unwrap();
+            panic!("worker dies while holding the cache lock");
+        }));
+        assert!(caught.is_err());
+        assert!(entry.cache.is_poisoned(), "the panic must have poisoned it");
+        let hist_caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = entry.type_stats[0].latency_ns.lock().unwrap();
+            panic!("and another one holding a latency histogram");
+        }));
+        assert!(hist_caught.is_err());
+        // Every query path that touches a poisoned mutex must still answer.
+        assert_eq!(service.answer(id, &Query::KNearest(3, 5)), before);
+        let outcome = service.run_batch(
+            id,
+            &[Query::Dist(0, 1), Query::KNearest(3, 5), Query::Route(0, 2)],
+            ExecPolicy::Seq,
+        );
+        assert_eq!(outcome.responses.len(), 3);
+        assert_eq!(outcome.responses[1], before);
+        let stats = service.query_type_stats(id);
+        assert!(stats[0].count >= 1);
+        assert!(!service.metrics_text().is_empty());
     }
 
     #[test]

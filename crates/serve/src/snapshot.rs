@@ -27,6 +27,8 @@ use cc_graph::graph::{Direction, Graph};
 use cc_graph::{DistMatrix, NodeId, Weight};
 use std::path::Path;
 
+use crate::cursor::{Cursor, ReadError};
+
 /// File magic: identifies a snapshot regardless of format version.
 pub const MAGIC: [u8; 8] = *b"CCSNAP\0\n";
 
@@ -143,6 +145,23 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
+impl From<ReadError> for SnapshotError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Truncated { needed, available } => {
+                SnapshotError::Truncated { needed, available }
+            }
+            // A length that does not fit the platform's address space can
+            // never be satisfied by real bytes — it is a crafted header,
+            // not a short read.
+            ReadError::LengthOverflow(v) => SnapshotError::Malformed(format!(
+                "length field {v} exceeds this platform's addressable size"
+            )),
+            ReadError::InvalidUtf8 => SnapshotError::Malformed("non-utf8 string".into()),
+        }
+    }
+}
+
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
@@ -154,54 +173,6 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u64(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
-}
-
-/// Bounded reader over the raw bytes, turning overruns into
-/// [`SnapshotError::Truncated`].
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.data.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.remaining() < n {
-            return Err(SnapshotError::Truncated {
-                needed: n,
-                available: self.remaining(),
-            });
-        }
-        let slice = &self.data[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn str(&mut self) -> Result<String, SnapshotError> {
-        let len = self.u64()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| SnapshotError::Malformed("non-utf8 string".into()))
-    }
 }
 
 impl Snapshot {
@@ -385,7 +356,7 @@ impl Snapshot {
         let mut meta_payload: Option<&[u8]> = None;
         for _ in 0..section_count {
             let tag = cur.u32()?;
-            let len = cur.u64()? as usize;
+            let len = cur.len_u64()?;
             let checksum = cur.u64()?;
             let payload = cur.take(len)?;
             let (slot, name) = match tag {
@@ -461,7 +432,7 @@ impl Snapshot {
 
 fn decode_graph(payload: &[u8], expected_n: usize) -> Result<Graph, SnapshotError> {
     let mut cur = Cursor::new(payload);
-    let n = cur.u64()? as usize;
+    let n = cur.len_u64()?;
     if n != expected_n {
         return Err(SnapshotError::Malformed(format!(
             "graph has {n} nodes but the estimate is {expected_n}×{expected_n}"
@@ -476,13 +447,13 @@ fn decode_graph(payload: &[u8], expected_n: usize) -> Result<Graph, SnapshotErro
             )))
         }
     };
-    let m = cur.u64()? as usize;
+    let m = cur.len_u64()?;
     // Cap the pre-allocation by the bytes actually present (24 per edge): a
     // lying length field must surface as Truncated, not a capacity panic.
     let mut edges: Vec<(NodeId, NodeId, Weight)> = Vec::with_capacity(m.min(cur.remaining() / 24));
     for _ in 0..m {
-        let u = cur.u64()? as usize;
-        let v = cur.u64()? as usize;
+        let u = cur.len_u64()?;
+        let v = cur.len_u64()?;
         let w = cur.u64()?;
         if u >= n || v >= n {
             return Err(SnapshotError::Malformed(format!(
@@ -525,7 +496,7 @@ fn decode_backend(payload: &[u8], version: u32) -> Result<OracleBackend, Snapsho
 }
 
 fn decode_dense(cur: &mut Cursor<'_>) -> Result<DistMatrix, SnapshotError> {
-    let n = cur.u64()? as usize;
+    let n = cur.len_u64()?;
     let cells = n
         .checked_mul(n)
         .ok_or_else(|| SnapshotError::Malformed("estimate dimension overflows".into()))?;
@@ -538,15 +509,15 @@ fn decode_dense(cur: &mut Cursor<'_>) -> Result<DistMatrix, SnapshotError> {
 }
 
 fn decode_landmark(cur: &mut Cursor<'_>) -> Result<LandmarkSketch, SnapshotError> {
-    let n = cur.u64()? as usize;
+    let n = cur.len_u64()?;
     let seed = cur.u64()?;
-    let count = cur.u64()? as usize;
+    let count = cur.len_u64()?;
     // Every pre-allocation below is capped by the bytes actually present,
     // so lying length fields surface as Truncated, never as capacity
     // panics or oversized allocations.
     let mut landmarks: Vec<NodeId> = Vec::with_capacity(count.min(cur.remaining() / 8));
     for _ in 0..count {
-        landmarks.push(cur.u64()? as usize);
+        landmarks.push(cur.len_u64()?);
     }
     let cells = count
         .checked_mul(n)
@@ -557,10 +528,10 @@ fn decode_landmark(cur: &mut Cursor<'_>) -> Result<LandmarkSketch, SnapshotError
     }
     let mut bunches: Vec<Vec<(NodeId, Weight)>> = Vec::with_capacity(n.min(cur.remaining() / 8));
     for _ in 0..n {
-        let len = cur.u64()? as usize;
+        let len = cur.len_u64()?;
         let mut bunch: Vec<(NodeId, Weight)> = Vec::with_capacity(len.min(cur.remaining() / 16));
         for _ in 0..len {
-            let v = cur.u64()? as usize;
+            let v = cur.len_u64()?;
             let d = cur.u64()?;
             bunch.push((v, d));
         }

@@ -1,0 +1,798 @@
+//! The `ccapsp serve` wire protocol: length-prefixed, checksummed binary
+//! frames over TCP, in the same self-validating style as the `*.ccsnap`
+//! format ([`crate::snapshot`]).
+//!
+//! # Frame layout
+//!
+//! Every message — request or reply — is one frame (all integers
+//! little-endian):
+//!
+//! | field    | size | value                                         |
+//! |----------|------|-----------------------------------------------|
+//! | magic    | 8    | `CCWIRE\0\n` ([`WIRE_MAGIC`])                 |
+//! | version  | 4    | [`WIRE_VERSION`]                              |
+//! | kind     | 4    | [`FrameKind`] discriminant                    |
+//! | length   | 8    | payload byte count                            |
+//! | checksum | 8    | FNV-1a over `kind ‖ length ‖ payload`         |
+//! | payload  | len  | kind-specific body                            |
+//!
+//! The checksum covers the `kind` and `length` fields as well as the
+//! payload, so a bit-flip *anywhere* past the version field is detected:
+//! flipping `kind` to another valid discriminant, shrinking `length` to a
+//! plausible smaller body, or corrupting one payload byte all surface as
+//! [`WireError::ChecksumMismatch`], never as a quietly different message.
+//! The survival guarantees mirror the snapshot decoder's, property-tested
+//! in `tests/wire_props.rs`:
+//!
+//! * every truncation point → [`WireError::Truncated`];
+//! * any single-bit flip → a typed error, never a decoded frame;
+//! * a lying `length` is capped *before* allocation
+//!   ([`WireError::Oversized`]), so a 16-exabyte header cannot reserve
+//!   memory;
+//! * trailing or missing payload bytes inside a kind-specific body →
+//!   [`WireError::Malformed`].
+//!
+//! Node-count/length fields inside payloads go through the same checked
+//! `u64 → usize` cursor as the snapshot decoder ([`crate::cursor`]), so
+//! 32-bit builds reject rather than truncate.
+
+use std::io::{Read, Write};
+
+use cc_graph::{NodeId, Weight};
+
+use crate::cursor::{Cursor, ReadError};
+use crate::service::{Query, Response};
+use crate::snapshot::fnv1a;
+
+/// Leading bytes of every frame.
+pub const WIRE_MAGIC: [u8; 8] = *b"CCWIRE\0\n";
+
+/// Protocol version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Fixed frame header size: magic + version + kind + length + checksum.
+pub const HEADER_LEN: usize = 32;
+
+/// Default cap on a frame's declared payload length (64 MiB). A header
+/// declaring more is rejected before any allocation.
+pub const DEFAULT_FRAME_CAP: u64 = 64 << 20;
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket/stream failed.
+    Io(std::io::Error),
+    /// The frame does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u32),
+    /// The kind field is not a known [`FrameKind`].
+    UnknownKind(u32),
+    /// The input ended before the declared length was satisfied.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The frame checksum does not match its `kind ‖ length ‖ payload`.
+    ChecksumMismatch,
+    /// The declared payload length exceeds the configured cap.
+    Oversized {
+        /// The length the header declared.
+        declared: u64,
+        /// The cap it was checked against.
+        cap: u64,
+    },
+    /// The payload is structurally invalid for its kind.
+    Malformed(String),
+    /// The server answered with an [`Reply::Error`] frame (client-side
+    /// surface of a remote failure).
+    Remote(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadMagic => write!(f, "not a ccwire frame (bad magic)"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} bytes, {available} available"
+                )
+            }
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::Oversized { declared, cap } => {
+                write!(f, "frame declares {declared} payload bytes, cap is {cap}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+            WireError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<ReadError> for WireError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Truncated { needed, available } => {
+                WireError::Truncated { needed, available }
+            }
+            ReadError::LengthOverflow(v) => WireError::Malformed(format!(
+                "length field {v} exceeds this platform's addressable size"
+            )),
+            ReadError::InvalidUtf8 => WireError::Malformed("non-utf8 string".into()),
+        }
+    }
+}
+
+/// Frame discriminants. Requests are 1–6, replies 17–23, so a stray reply
+/// can never be mistaken for a request (and vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum FrameKind {
+    /// Client → server: a batch of queries against a named snapshot.
+    Batch = 1,
+    /// Client → server: request the text metrics report.
+    Metrics = 2,
+    /// Client → server: request a named snapshot's serving info.
+    Info = 3,
+    /// Client → server: apply a `cc_dynamic` delta to a named snapshot.
+    ApplyDelta = 4,
+    /// Client → server: register a new snapshot version under a name.
+    SwapSnapshot = 5,
+    /// Client → server: drain and stop the server.
+    Shutdown = 6,
+    /// Server → client: the responses to a [`FrameKind::Batch`], in order.
+    BatchOk = 17,
+    /// Server → client: the metrics report body.
+    MetricsOk = 18,
+    /// Server → client: snapshot serving info.
+    InfoOk = 19,
+    /// Server → client: an admin operation succeeded.
+    AdminOk = 20,
+    /// Server → client: the job queue is full; retry later.
+    Overload = 21,
+    /// Server → client: the request failed (message payload).
+    Error = 22,
+    /// Server → client: shutdown acknowledged; the server is draining.
+    ShutdownOk = 23,
+}
+
+impl FrameKind {
+    fn from_u32(k: u32) -> Option<Self> {
+        Some(match k {
+            1 => FrameKind::Batch,
+            2 => FrameKind::Metrics,
+            3 => FrameKind::Info,
+            4 => FrameKind::ApplyDelta,
+            5 => FrameKind::SwapSnapshot,
+            6 => FrameKind::Shutdown,
+            17 => FrameKind::BatchOk,
+            18 => FrameKind::MetricsOk,
+            19 => FrameKind::InfoOk,
+            20 => FrameKind::AdminOk,
+            21 => FrameKind::Overload,
+            22 => FrameKind::Error,
+            23 => FrameKind::ShutdownOk,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame: its kind plus the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub kind: FrameKind,
+    /// The kind-specific body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encodes the frame into its wire bytes (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.kind as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&frame_checksum(self.kind as u32, &self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// The checksummed region: `kind ‖ length ‖ payload`.
+fn frame_checksum(kind: u32, payload: &[u8]) -> u64 {
+    let mut bytes = Vec::with_capacity(12 + payload.len());
+    bytes.extend_from_slice(&kind.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    fnv1a(&bytes)
+}
+
+/// Decodes one frame from the front of `data`, returning it plus the byte
+/// count consumed. Never allocates more than `cap` bytes no matter what the
+/// header declares.
+pub fn decode_frame(data: &[u8], cap: u64) -> Result<(Frame, usize), WireError> {
+    let mut cur = Cursor::new(data);
+    let magic = cur.take(WIRE_MAGIC.len())?;
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind_raw = cur.u32()?;
+    // The cap check runs on the raw u64 before any usize conversion, so a
+    // 16-exabyte header is Oversized, not a 32-bit overflow.
+    let declared = cur.u64()?;
+    if declared > cap {
+        return Err(WireError::Oversized { declared, cap });
+    }
+    let len = usize::try_from(declared).map_err(|_| WireError::Oversized { declared, cap })?;
+    let checksum = cur.u64()?;
+    let payload = cur.take(len)?;
+    // Kind validity is checked *after* the payload is in hand but the
+    // checksum verdict comes first: a bit-flipped kind field fails the
+    // checksum (it is covered), which is the more precise diagnosis.
+    if frame_checksum(kind_raw, payload) != checksum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let kind = FrameKind::from_u32(kind_raw).ok_or(WireError::UnknownKind(kind_raw))?;
+    let consumed = HEADER_LEN + len;
+    Ok((
+        Frame {
+            kind,
+            payload: payload.to_vec(),
+        },
+        consumed,
+    ))
+}
+
+/// Reads exactly `buf.len()` bytes, looping over short reads. `Ok(0)` from
+/// the reader (peer closed) surfaces as [`WireError::Truncated`] unless it
+/// happens before the first byte, which returns `Ok(false)` (clean EOF at a
+/// frame boundary).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(WireError::Truncated {
+                    needed: buf.len(),
+                    available: filled,
+                });
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a blocking stream. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (the peer closed between frames); a close
+/// mid-frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read, cap: u64) -> Result<Option<Frame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header)? {
+        return Ok(None);
+    }
+    let mut cur = Cursor::new(&header);
+    if cur.take(WIRE_MAGIC.len())? != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind_raw = cur.u32()?;
+    let declared = cur.u64()?;
+    if declared > cap {
+        return Err(WireError::Oversized { declared, cap });
+    }
+    let len = usize::try_from(declared).map_err(|_| WireError::Oversized { declared, cap })?;
+    let checksum = cur.u64()?;
+    let mut payload = vec![0u8; len];
+    if !read_full(r, &mut payload)? && len > 0 {
+        return Err(WireError::Truncated {
+            needed: len,
+            available: 0,
+        });
+    }
+    if frame_checksum(kind_raw, &payload) != checksum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let kind = FrameKind::from_u32(kind_raw).ok_or(WireError::UnknownKind(kind_raw))?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// Writes one frame to a blocking stream and flushes it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a batch of queries against the newest version of a named
+    /// snapshot; answered by [`Reply::Batch`] (or [`Reply::Overload`]).
+    Batch {
+        /// Snapshot name (`"default"` for single-snapshot servers).
+        name: String,
+        /// Queries, answered in order.
+        queries: Vec<Query>,
+    },
+    /// Request the metrics report; answered by [`Reply::Metrics`].
+    Metrics,
+    /// Request serving info for a named snapshot; answered by
+    /// [`Reply::Info`].
+    Info {
+        /// Snapshot name.
+        name: String,
+    },
+    /// Apply an encoded `cc_dynamic` delta to a named snapshot (blue/green
+    /// version bump); answered by [`Reply::AdminOk`].
+    ApplyDelta {
+        /// Snapshot name.
+        name: String,
+        /// `Delta::to_bytes` encoding.
+        delta: Vec<u8>,
+    },
+    /// Register an encoded snapshot as the newest version under a name;
+    /// answered by [`Reply::AdminOk`].
+    SwapSnapshot {
+        /// Snapshot name.
+        name: String,
+        /// `Snapshot::to_bytes` encoding.
+        snapshot: Vec<u8>,
+    },
+    /// Drain in-flight work and stop the server; answered by
+    /// [`Reply::ShutdownOk`].
+    Shutdown,
+}
+
+/// Serving info for one snapshot, carried by [`Reply::Info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeInfo {
+    /// Snapshot name.
+    pub name: String,
+    /// Live (blue/green) version.
+    pub version: u32,
+    /// Node count.
+    pub n: usize,
+    /// Producing algorithm (from the snapshot metadata).
+    pub algo: String,
+    /// Resident size estimate of the distance structure, bytes.
+    pub mem_bytes: u64,
+    /// Hot-row cache hits so far.
+    pub cache_hits: u64,
+    /// Hot-row cache misses so far.
+    pub cache_misses: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Responses to a [`Request::Batch`], in query order.
+    Batch(Vec<Response>),
+    /// The text metrics report ([`crate::OracleService::metrics_text`] plus
+    /// server counters).
+    Metrics(String),
+    /// Serving info for the requested snapshot.
+    Info(ServeInfo),
+    /// An admin operation succeeded (human-readable detail).
+    AdminOk(String),
+    /// The job queue was full; the batch was not enqueued. Carries the
+    /// queue depth at rejection. Retry after a backoff.
+    Overload(u64),
+    /// The request failed; human-readable reason.
+    Error(String),
+    /// Shutdown acknowledged.
+    ShutdownOk,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_queries(out: &mut Vec<u8>, queries: &[Query]) {
+    out.extend_from_slice(&(queries.len() as u64).to_le_bytes());
+    for q in queries {
+        let (tag, a, b) = match *q {
+            Query::Dist(u, v) => (1u8, u as u64, v as u64),
+            Query::Route(u, v) => (2, u as u64, v as u64),
+            Query::KNearest(u, k) => (3, u as u64, k as u64),
+        };
+        out.push(tag);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
+
+fn decode_queries(cur: &mut Cursor<'_>) -> Result<Vec<Query>, WireError> {
+    let count = cur.len_u64()?;
+    // Each query is 17 bytes; cap the preallocation by what the payload can
+    // actually hold, same discipline as the snapshot decoder.
+    let mut queries = Vec::with_capacity(count.min(cur.remaining() / 17 + 1));
+    for _ in 0..count {
+        let tag = cur.u8()?;
+        let a = cur.len_u64()?;
+        let b = cur.len_u64()?;
+        queries.push(match tag {
+            1 => Query::Dist(a, b),
+            2 => Query::Route(a, b),
+            3 => Query::KNearest(a, b),
+            t => return Err(WireError::Malformed(format!("unknown query tag {t}"))),
+        });
+    }
+    Ok(queries)
+}
+
+/// Encodes responses with the exact same byte layout the response
+/// fingerprint hashes ([`crate::service::fingerprint`]), so what is checked
+/// end-to-end is literally what crossed the wire.
+fn encode_responses(out: &mut Vec<u8>, responses: &[Response]) {
+    out.extend_from_slice(&(responses.len() as u64).to_le_bytes());
+    for r in responses {
+        match r {
+            Response::Dist(d) => {
+                out.push(1);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            Response::Route(path) => {
+                out.push(2);
+                match path {
+                    None => out.push(0),
+                    Some(nodes) => {
+                        out.push(1);
+                        out.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
+                        for &x in nodes {
+                            out.extend_from_slice(&(x as u64).to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Response::KNearest(rows) => {
+                out.push(3);
+                out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+                for &(v, d) in rows {
+                    out.extend_from_slice(&(v as u64).to_le_bytes());
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn decode_responses(cur: &mut Cursor<'_>) -> Result<Vec<Response>, WireError> {
+    let count = cur.len_u64()?;
+    let mut responses = Vec::with_capacity(count.min(cur.remaining() / 9 + 1));
+    for _ in 0..count {
+        let tag = cur.u8()?;
+        responses.push(match tag {
+            1 => Response::Dist(cur.u64()?),
+            2 => match cur.u8()? {
+                0 => Response::Route(None),
+                1 => {
+                    let len = cur.len_u64()?;
+                    let mut nodes: Vec<NodeId> =
+                        Vec::with_capacity(len.min(cur.remaining() / 8 + 1));
+                    for _ in 0..len {
+                        nodes.push(cur.len_u64()?);
+                    }
+                    Response::Route(Some(nodes))
+                }
+                f => return Err(WireError::Malformed(format!("bad route flag {f}"))),
+            },
+            3 => {
+                let len = cur.len_u64()?;
+                let mut rows: Vec<(NodeId, Weight)> =
+                    Vec::with_capacity(len.min(cur.remaining() / 16 + 1));
+                for _ in 0..len {
+                    let v = cur.len_u64()?;
+                    let d = cur.u64()?;
+                    rows.push((v, d));
+                }
+                Response::KNearest(rows)
+            }
+            t => return Err(WireError::Malformed(format!("unknown response tag {t}"))),
+        });
+    }
+    Ok(responses)
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn take_bytes(cur: &mut Cursor<'_>) -> Result<Vec<u8>, WireError> {
+    let len = cur.len_u64()?;
+    Ok(cur.take(len)?.to_vec())
+}
+
+fn finish(cur: &Cursor<'_>) -> Result<(), WireError> {
+    if cur.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after payload body",
+            cur.remaining()
+        )));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Encodes the request as a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Request::Batch { name, queries } => {
+                put_str(&mut payload, name);
+                encode_queries(&mut payload, queries);
+                FrameKind::Batch
+            }
+            Request::Metrics => FrameKind::Metrics,
+            Request::Info { name } => {
+                put_str(&mut payload, name);
+                FrameKind::Info
+            }
+            Request::ApplyDelta { name, delta } => {
+                put_str(&mut payload, name);
+                put_bytes(&mut payload, delta);
+                FrameKind::ApplyDelta
+            }
+            Request::SwapSnapshot { name, snapshot } => {
+                put_str(&mut payload, name);
+                put_bytes(&mut payload, snapshot);
+                FrameKind::SwapSnapshot
+            }
+            Request::Shutdown => FrameKind::Shutdown,
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes a request from a frame. Reply kinds are
+    /// [`WireError::Malformed`] here — a server never accepts them.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        let mut cur = Cursor::new(&frame.payload);
+        let req = match frame.kind {
+            FrameKind::Batch => Request::Batch {
+                name: cur.str()?,
+                queries: decode_queries(&mut cur)?,
+            },
+            FrameKind::Metrics => Request::Metrics,
+            FrameKind::Info => Request::Info { name: cur.str()? },
+            FrameKind::ApplyDelta => Request::ApplyDelta {
+                name: cur.str()?,
+                delta: take_bytes(&mut cur)?,
+            },
+            FrameKind::SwapSnapshot => Request::SwapSnapshot {
+                name: cur.str()?,
+                snapshot: take_bytes(&mut cur)?,
+            },
+            FrameKind::Shutdown => Request::Shutdown,
+            k => {
+                return Err(WireError::Malformed(format!(
+                    "frame kind {:?} is not a request",
+                    k
+                )))
+            }
+        };
+        finish(&cur)?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encodes the reply as a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Reply::Batch(responses) => {
+                encode_responses(&mut payload, responses);
+                FrameKind::BatchOk
+            }
+            Reply::Metrics(text) => {
+                put_str(&mut payload, text);
+                FrameKind::MetricsOk
+            }
+            Reply::Info(info) => {
+                put_str(&mut payload, &info.name);
+                payload.extend_from_slice(&info.version.to_le_bytes());
+                payload.extend_from_slice(&(info.n as u64).to_le_bytes());
+                put_str(&mut payload, &info.algo);
+                payload.extend_from_slice(&info.mem_bytes.to_le_bytes());
+                payload.extend_from_slice(&info.cache_hits.to_le_bytes());
+                payload.extend_from_slice(&info.cache_misses.to_le_bytes());
+                FrameKind::InfoOk
+            }
+            Reply::AdminOk(msg) => {
+                put_str(&mut payload, msg);
+                FrameKind::AdminOk
+            }
+            Reply::Overload(depth) => {
+                payload.extend_from_slice(&depth.to_le_bytes());
+                FrameKind::Overload
+            }
+            Reply::Error(msg) => {
+                put_str(&mut payload, msg);
+                FrameKind::Error
+            }
+            Reply::ShutdownOk => FrameKind::ShutdownOk,
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes a reply from a frame. Request kinds are
+    /// [`WireError::Malformed`] here — a client never accepts them.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        let mut cur = Cursor::new(&frame.payload);
+        let reply = match frame.kind {
+            FrameKind::BatchOk => Reply::Batch(decode_responses(&mut cur)?),
+            FrameKind::MetricsOk => Reply::Metrics(cur.str()?),
+            FrameKind::InfoOk => Reply::Info(ServeInfo {
+                name: cur.str()?,
+                version: cur.u32()?,
+                n: cur.len_u64()?,
+                algo: cur.str()?,
+                mem_bytes: cur.u64()?,
+                cache_hits: cur.u64()?,
+                cache_misses: cur.u64()?,
+            }),
+            FrameKind::AdminOk => Reply::AdminOk(cur.str()?),
+            FrameKind::Overload => Reply::Overload(cur.u64()?),
+            FrameKind::Error => Reply::Error(cur.str()?),
+            FrameKind::ShutdownOk => Reply::ShutdownOk,
+            k => {
+                return Err(WireError::Malformed(format!(
+                    "frame kind {:?} is not a reply",
+                    k
+                )))
+            }
+        };
+        finish(&cur)?;
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = req.to_frame();
+        let bytes = frame.encode();
+        let (decoded, consumed) = decode_frame(&bytes, DEFAULT_FRAME_CAP).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+        assert_eq!(Request::from_frame(&decoded).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Batch {
+            name: "default".into(),
+            queries: vec![Query::Dist(0, 5), Query::Route(3, 4), Query::KNearest(2, 8)],
+        });
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Info { name: "x".into() });
+        roundtrip_request(Request::ApplyDelta {
+            name: "default".into(),
+            delta: vec![1, 2, 3],
+        });
+        roundtrip_request(Request::SwapSnapshot {
+            name: "default".into(),
+            snapshot: vec![9; 40],
+        });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for reply in [
+            Reply::Batch(vec![
+                Response::Dist(17),
+                Response::Route(None),
+                Response::Route(Some(vec![1, 2, 3])),
+                Response::KNearest(vec![(4, 9), (5, 11)]),
+            ]),
+            Reply::Metrics("== serve metrics ==\n".into()),
+            Reply::Info(ServeInfo {
+                name: "default".into(),
+                version: 3,
+                n: 128,
+                algo: "thm11".into(),
+                mem_bytes: 131072,
+                cache_hits: 10,
+                cache_misses: 2,
+            }),
+            Reply::AdminOk("applied".into()),
+            Reply::Overload(64),
+            Reply::Error("unknown snapshot".into()),
+            Reply::ShutdownOk,
+        ] {
+            let frame = reply.to_frame();
+            let (decoded, _) = decode_frame(&frame.encode(), DEFAULT_FRAME_CAP).unwrap();
+            assert_eq!(Reply::from_frame(&decoded).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn lying_length_is_capped_before_allocation() {
+        let mut bytes = Request::Metrics.to_frame().encode();
+        // Overwrite the length field (offset 16) with 16 EiB.
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        match decode_frame(&bytes, DEFAULT_FRAME_CAP) {
+            Err(WireError::Oversized { declared, cap }) => {
+                assert_eq!(declared, u64::MAX);
+                assert_eq!(cap, DEFAULT_FRAME_CAP);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_in_payload_are_malformed() {
+        let mut frame = Request::Metrics.to_frame();
+        frame.payload.push(0);
+        let (decoded, _) = decode_frame(&frame.encode(), DEFAULT_FRAME_CAP).unwrap();
+        assert!(matches!(
+            Request::from_frame(&decoded),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_mid_frame_close() {
+        let bytes = Request::Metrics.to_frame().encode();
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut empty, DEFAULT_FRAME_CAP),
+            Ok(None)
+        ));
+        let mut half = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            read_frame(&mut half, DEFAULT_FRAME_CAP),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut whole = &bytes[..];
+        let frame = read_frame(&mut whole, DEFAULT_FRAME_CAP).unwrap().unwrap();
+        assert_eq!(Request::from_frame(&frame).unwrap(), Request::Metrics);
+    }
+}

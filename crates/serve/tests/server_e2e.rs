@@ -1,0 +1,200 @@
+//! End-to-end tests for the `ccapsp serve` daemon: real TCP sockets on
+//! 127.0.0.1, multiple concurrent connections, chaos clients, and blue/green
+//! snapshot swaps under live query load.
+//!
+//! The headline invariant is the networked extension of the repo-wide
+//! determinism contract: for a fixed snapshot and [`LoadSpec`], the
+//! fingerprint reduced from TCP responses is **bit-identical** to the
+//! in-process [`drive`] fingerprint, at every server thread policy and any
+//! number of client connections.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
+use cc_dynamic::update::{random_batch, MutationProfile};
+use cc_par::ExecPolicy;
+use cc_serve::client::{chaos, drive_network, Client};
+use cc_serve::loadgen::{drive, LoadSpec};
+use cc_serve::server::{Server, ServerConfig};
+use cc_serve::service::{OracleService, Query};
+use cc_serve::snapshot::{Snapshot, SnapshotMeta};
+use cc_serve::wire::Request;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 48;
+const SEED: u64 = 0xE2E;
+
+fn make_snapshot(seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = cc_graph::generators::gnp_connected(N, 0.15, 1..=20, &mut rng);
+    let exact = cc_graph::apsp::exact_apsp(&g);
+    let meta = SnapshotMeta {
+        algo: "exact".into(),
+        seed,
+        stretch_bound: 1.0,
+        rounds: 0,
+        source: "server_e2e".into(),
+    };
+    Snapshot::new(g, exact, meta)
+}
+
+fn spawn_server(exec: ExecPolicy) -> cc_serve::server::ServerHandle {
+    let (service, _) = OracleService::single(make_snapshot(SEED));
+    let cfg = ServerConfig {
+        exec,
+        ..ServerConfig::default()
+    };
+    Server::spawn(service, "127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+/// The tentpole invariant: serving over TCP with 4 concurrent connections
+/// produces the exact fingerprint of the in-process loadgen, for both a
+/// sequential and a threaded server execution policy.
+#[test]
+fn networked_fingerprint_matches_in_process() {
+    let spec = LoadSpec {
+        queries: 4_000,
+        batch: 128,
+        ..Default::default()
+    };
+    for exec in [ExecPolicy::Seq, ExecPolicy::with_threads(4)] {
+        let (service, id) = OracleService::single(make_snapshot(SEED));
+        let reference = drive(&service, id, &spec, exec);
+
+        let handle = spawn_server(exec);
+        let addr = handle.local_addr();
+        let net = drive_network(addr, "default", &spec, 4).expect("networked loadgen");
+        handle.shutdown();
+
+        assert_eq!(net.queries, reference.queries);
+        assert_eq!(
+            net.fingerprint, reference.fingerprint,
+            "networked fingerprint diverged from in-process at exec {exec:?}"
+        );
+    }
+}
+
+/// Every chaos scenario — random bytes, lying lengths, checksum flips,
+/// mid-frame half-closes, slow readers — must leave the daemon alive and
+/// serving; well-behaved clients on the same server keep getting answers.
+#[test]
+fn chaos_clients_cannot_kill_the_server() {
+    let handle = spawn_server(ExecPolicy::Seq);
+    let addr = handle.local_addr();
+
+    let report = chaos(addr);
+    assert!(report.ok(), "chaos scenarios failed: {:?}", report.failed);
+
+    // A normal client still works after the abuse.
+    let mut client = Client::connect(addr).expect("connect after chaos");
+    let metrics = client.metrics().expect("metrics after chaos");
+    assert!(metrics.contains("server"), "metrics text: {metrics}");
+    let responses = client
+        .batch("default", &[Query::Dist(0, 1), Query::Route(0, N - 1)])
+        .expect("batch after chaos");
+    assert_eq!(responses.len(), 2);
+    handle.shutdown();
+}
+
+/// Blue/green under fire: while several connections hammer the server with
+/// query batches, an admin connection applies a dynamic-update delta and
+/// then swaps in a whole replacement snapshot. No in-flight query may be
+/// dropped or answered with an error, and the advertised version must bump
+/// for each admin action.
+#[test]
+fn swap_and_delta_under_live_load() {
+    // Build the delta offline against an engine seeded from the same
+    // snapshot the server will serve.
+    let base = make_snapshot(SEED);
+    let mut engine = IncrementalOracle::with_backend(
+        base.graph.clone(),
+        base.backend.clone(),
+        "exact",
+        SEED,
+        DynamicConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xD17A);
+    let mutation = random_batch(engine.graph(), 4, MutationProfile::ReweightHeavy, &mut rng);
+    let outcome = engine.apply(&mutation).expect("valid generated batch");
+    let delta_bytes = outcome.delta.to_bytes();
+    let replacement_bytes = make_snapshot(SEED + 1).to_bytes();
+
+    let handle = spawn_server(ExecPolicy::Seq);
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connect");
+                let queries: Vec<Query> = (0..64)
+                    .map(|i| Query::Dist((w * 7 + i) % N, (i * 13) % N))
+                    .collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let responses = client
+                        .batch("default", &queries)
+                        .expect("query batch during swap");
+                    assert_eq!(responses.len(), queries.len());
+                    answered.fetch_add(responses.len(), Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let mut admin = Client::connect(addr).expect("admin connect");
+    let v0 = admin.info("default").expect("info").version;
+
+    // Let the workers get some load in flight, then mutate live.
+    while answered.load(Ordering::Relaxed) < 256 {
+        std::thread::yield_now();
+    }
+    admin
+        .admin(&Request::ApplyDelta {
+            name: "default".into(),
+            delta: delta_bytes,
+        })
+        .expect("apply delta while serving");
+    let v1 = admin.info("default").expect("info").version;
+    assert_eq!(v1, v0 + 1, "delta must bump the served version");
+
+    admin
+        .admin(&Request::SwapSnapshot {
+            name: "default".into(),
+            snapshot: replacement_bytes,
+        })
+        .expect("swap snapshot while serving");
+    let v2 = admin.info("default").expect("info").version;
+    assert!(v2 > v1, "swap must advance the served version");
+
+    // Drain a little more load against the swapped-in snapshot.
+    let mark = answered.load(Ordering::Relaxed);
+    while answered.load(Ordering::Relaxed) < mark + 256 {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    handle.shutdown();
+}
+
+/// A client-initiated shutdown frame stops the daemon; `wait` returns and
+/// in-flight work is answered first.
+#[test]
+fn shutdown_frame_stops_the_daemon() {
+    let handle = spawn_server(ExecPolicy::Seq);
+    let addr = handle.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let responses = client
+        .batch("default", &[Query::KNearest(3, 4)])
+        .expect("batch before shutdown");
+    assert_eq!(responses.len(), 1);
+    client.shutdown().expect("shutdown acknowledged");
+    handle.wait();
+}

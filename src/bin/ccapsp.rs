@@ -18,7 +18,13 @@
 //! ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew S]
 //!                 [--k K] [--seed S] [--threads T] [--out FILE]
 //!                 [--write-ratio R] [--ops-per-batch K] [--profile P]
-//!                                                        load-generate → BENCH_serve.json
+//!                 [--addr HOST:PORT --conns C]           load-generate → BENCH_serve.json
+//! ccapsp serve <snap.ccsnap> [--addr HOST:PORT] [--name N] [--threads T]
+//!                 [--queue-cap Q] [--batch-max B]        TCP oracle daemon
+//! ccapsp serve-admin --addr HOST:PORT metrics|info|shutdown|
+//!                 apply-delta <d.ccdelta>|swap <s.ccsnap> [--name N]
+//!                                                        admin frames to a daemon
+//! ccapsp serve-chaos --addr HOST:PORT                    hostile-input survival check
 //! ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S]
 //!                 [--queries Q] [--sources S] [--threads T] [--out FILE]
 //!                                                        dense vs landmark → BENCH_oracle.json
@@ -54,11 +60,14 @@ use cc_graph::graph::Direction;
 use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph, INF};
 use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
+use cc_serve::client::{chaos, drive_network, Client};
 use cc_serve::loadgen::{drive, drive_readwrite, LoadSpec, ReadWriteSpec, Skew};
 use cc_serve::report::write_report;
 use cc_serve::report::BenchRecord;
+use cc_serve::server::{Server, ServerConfig};
 use cc_serve::service::{OracleService, Query, Response};
 use cc_serve::snapshot::{Snapshot, SnapshotMeta};
+use cc_serve::wire::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
@@ -80,9 +89,14 @@ fn usage() -> ExitCode {
          ccapsp compact <base.ccsnap> <d.ccdelta>... -o <out.ccsnap> [--delta <merged.ccdelta>]\n  \
          ccapsp bench-serve <snap.ccsnap> [--queries Q] [--batch B] [--skew uniform|zipf[:EXP]] \
          [--k K] [--seed S] [--threads T] [--out FILE] [--write-ratio R] [--ops-per-batch K] \
-         [--profile P]\n  \
+         [--profile P] [--addr HOST:PORT --conns C]\n  \
          ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S] [--queries Q] \
-         [--sources S] [--threads T] [--out FILE]\n\
+         [--sources S] [--threads T] [--out FILE]\n  \
+         ccapsp serve <snap.ccsnap> [--addr HOST:PORT] [--name N] [--threads T] \
+         [--queue-cap Q] [--batch-max B]\n  \
+         ccapsp serve-admin --addr HOST:PORT metrics|info|shutdown|apply-delta <d.ccdelta>|\
+swap <s.ccsnap> [--name N]\n  \
+         ccapsp serve-chaos --addr HOST:PORT\n\
          every subcommand also accepts --trace <out.json> [--trace-format json|chrome] \
          (env defaults CC_TRACE / CC_TRACE_FORMAT) to dump the cc_obs span tree\n\
          hint: `ccapsp <subcommand>` with missing arguments prints this listing; \
@@ -174,6 +188,9 @@ fn main() -> ExitCode {
         Some("compact") => cmd_compact(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("bench-oracle") => cmd_bench_oracle(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("serve-admin") => cmd_serve_admin(&args[1..]),
+        Some("serve-chaos") => cmd_serve_chaos(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
             usage()
@@ -901,6 +918,9 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
         "--write-ratio",
         "--ops-per-batch",
         "--profile",
+        "--addr",
+        "--conns",
+        "--name",
     ];
     let [path] = positionals(args, &flags)[..] else {
         return usage();
@@ -915,12 +935,10 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     };
     let skew = match flag(args, "--skew") {
         None => Skew::Zipf(1.0),
-        Some("uniform") => Skew::Uniform,
-        Some("zipf") => Skew::Zipf(1.0),
-        Some(s) => match s.strip_prefix("zipf:").and_then(|e| e.parse::<f64>().ok()) {
-            Some(exp) if exp.is_finite() && exp >= 0.0 => Skew::Zipf(exp),
-            _ => {
-                eprintln!("--skew expects uniform|zipf[:EXPONENT], got {s:?}");
+        Some(s) => match Skew::parse(s) {
+            Ok(skew) => skew,
+            Err(msg) => {
+                eprintln!("--skew: {msg}");
                 return usage();
             }
         },
@@ -967,6 +985,20 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
         },
     };
     let out = flag(args, "--out").unwrap_or("BENCH_serve.json");
+    if let Some(addr) = flag(args, "--addr") {
+        if write_ratio > 0.0 {
+            eprintln!(
+                "--addr drives a remote daemon; --write-ratio applies to the in-process path"
+            );
+            return usage();
+        }
+        let conns = match num_flag(args, "--conns", 4usize) {
+            Ok(c) => c.max(1),
+            Err(code) => return code,
+        };
+        let name = flag(args, "--name").unwrap_or("default");
+        return bench_serve_networked(addr, name, snapshot, &spec, exec, conns, out);
+    }
     let n = snapshot.n();
     let (mut service, id) = OracleService::single(snapshot);
     println!("snapshot       {n} nodes, algo {}", service.meta(id).algo);
@@ -1014,6 +1046,205 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     }
     println!("wrote          {out}");
     ExitCode::SUCCESS
+}
+
+/// The `bench-serve --addr` path: drive a running daemon over TCP with
+/// `conns` connections, then check the response fingerprint bit-for-bit
+/// against an in-process run of the same spec on the locally loaded
+/// snapshot — the networked serving path must be observationally identical.
+fn bench_serve_networked(
+    addr: &str,
+    name: &str,
+    snapshot: Snapshot,
+    spec: &LoadSpec,
+    exec: ExecPolicy,
+    conns: usize,
+    out: &str,
+) -> ExitCode {
+    let n = snapshot.n();
+    let (service, id) = OracleService::single(snapshot);
+    let reference = drive(&service, id, spec, exec);
+    let result = match drive_network(addr, name, spec, conns) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("networked drive against {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("daemon         {addr} ({conns} connections, snapshot {name:?})");
+    println!(
+        "queries        {} (batch {}, {:?})",
+        result.queries, spec.batch, spec.skew
+    );
+    println!("wall           {:.1} ms", result.wall_ms);
+    println!("throughput     {:.0} qps", result.qps);
+    println!(
+        "latency        p50 {:.2} µs / p95 {:.2} µs / p99 {:.2} µs (batch rtt / batch size)",
+        result.p50_us, result.p95_us, result.p99_us
+    );
+    println!("cache hit      {:.1}%", result.cache_hit_rate * 100.0);
+    println!("fingerprint    {:016x}", result.fingerprint);
+    if result.fingerprint != reference.fingerprint {
+        eprintln!(
+            "FINGERPRINT MISMATCH: networked {:016x} != in-process {:016x} \
+             (is the daemon serving a different snapshot or a mutated version?)",
+            result.fingerprint, reference.fingerprint
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("verified       networked responses bit-identical to in-process run_batch");
+    if let Err(e) = write_report(out, &[result.to_record("serve_net", n)]) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote          {out}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let flags = [
+        "--addr",
+        "--name",
+        "--threads",
+        "--queue-cap",
+        "--batch-max",
+    ];
+    let [path] = positionals(args, &flags)[..] else {
+        return usage();
+    };
+    let snapshot = match load_snapshot(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let exec = match parse_exec(args) {
+        Ok(exec) => exec,
+        Err(code) => return code,
+    };
+    let defaults = ServerConfig::default();
+    let cfg = match (
+        num_flag(args, "--queue-cap", defaults.queue_cap),
+        num_flag(args, "--batch-max", defaults.batch_max),
+    ) {
+        (Ok(queue_cap), Ok(batch_max)) => ServerConfig {
+            exec,
+            queue_cap,
+            batch_max,
+            ..defaults
+        },
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7199");
+    let name = flag(args, "--name").unwrap_or("default");
+    let n = snapshot.n();
+    let algo = snapshot.meta.algo.clone();
+    let mut service = OracleService::default();
+    service.register(name, snapshot);
+    let handle = match Server::spawn(service, addr, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("snapshot       {n} nodes, algo {algo}, served as {name:?}");
+    println!("exec           {exec}");
+    println!("listening      {}", handle.local_addr());
+    println!(
+        "stop with      ccapsp serve-admin --addr {} shutdown",
+        handle.local_addr()
+    );
+    handle.wait();
+    println!("shutdown       drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve_admin(args: &[String]) -> ExitCode {
+    let flags = ["--addr", "--name"];
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("serve-admin needs --addr HOST:PORT");
+        return usage();
+    };
+    let name = flag(args, "--name").unwrap_or("default").to_string();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let positional = positionals(args, &flags);
+    let outcome = match positional[..] {
+        ["metrics"] => client.metrics().map(|text| print!("{text}")),
+        ["info"] => client.info(&name).map(|info| {
+            println!("snapshot       {} v{}", info.name, info.version);
+            println!("nodes          {}", info.n);
+            println!("algo           {}", info.algo);
+            println!("estimate mem   {} bytes", info.mem_bytes);
+            println!(
+                "cache          {} hits / {} misses",
+                info.cache_hits, info.cache_misses
+            );
+        }),
+        ["shutdown"] => client
+            .shutdown()
+            .map(|()| println!("shutdown acknowledged")),
+        ["apply-delta", path] => match std::fs::read(path) {
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(delta) => client
+                .admin(&Request::ApplyDelta { name, delta })
+                .map(|msg| println!("{msg}")),
+        },
+        ["swap", path] => match std::fs::read(path) {
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(snapshot) => client
+                .admin(&Request::SwapSnapshot { name, snapshot })
+                .map(|msg| println!("{msg}")),
+        },
+        _ => {
+            eprintln!(
+                "serve-admin expects one action: metrics|info|shutdown|\
+                 apply-delta <d.ccdelta>|swap <s.ccsnap>"
+            );
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve_chaos(args: &[String]) -> ExitCode {
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("serve-chaos needs --addr HOST:PORT");
+        return usage();
+    };
+    let report = chaos(addr);
+    for name in &report.passed {
+        println!("pass           {name}");
+    }
+    for why in &report.failed {
+        println!("FAIL           {why}");
+    }
+    if report.ok() {
+        println!(
+            "chaos          {} scenarios survived: typed errors, no hangs, daemon healthy",
+            report.passed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos          {} scenario(s) failed", report.failed.len());
+        ExitCode::FAILURE
+    }
 }
 
 /// Times `backend.query` over the shared pair set, returning

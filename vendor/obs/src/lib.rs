@@ -91,7 +91,7 @@ const BUCKETS: usize = SUBS + (64 - 4) * SUBS;
 /// Also usable standalone (the serve loadgen reduces its latency lists
 /// through one); [`Histogram::merge`] is commutative and associative, so
 /// per-thread histograms combine deterministically.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     count: u64,
     sum: u64,
@@ -102,6 +102,29 @@ pub struct Histogram {
     /// Bucket counts, allocated lazily on spill ([`BUCKETS`] long).
     buckets: Vec<u64>,
 }
+
+/// A histogram is a multiset of samples: two are equal when they hold the
+/// same samples, regardless of recording/merge order. (A derived `Eq` would
+/// compare the exact-sample vec positionally, and merge order across
+/// flushing threads is scheduler-dependent — only the *contents* are
+/// deterministic.)
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        let sorted = |h: &Histogram| {
+            let mut v = h.exact.clone();
+            v.sort_unstable();
+            v
+        };
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.buckets == other.buckets
+            && sorted(self) == sorted(other)
+    }
+}
+
+impl Eq for Histogram {}
 
 impl Histogram {
     /// An empty histogram.
@@ -328,6 +351,16 @@ static STORE: Mutex<Store> = Mutex::new(Store {
     events: Vec::new(),
 });
 
+/// Locks the global store, recovering from poisoning: observability must
+/// never amplify a crash. A thread that panicked while flushing leaves the
+/// store's maps in a valid (at worst partially-merged) state — absorbing
+/// into a `BTreeMap` upholds its invariants at every statement — so later
+/// recorders and exporters keep working instead of panicking in
+/// `.lock().unwrap()`.
+fn lock_store() -> std::sync::MutexGuard<'static, Store> {
+    STORE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Per-thread collection state; flushed into [`STORE`] whenever the span
 /// stack empties (so the global lock is taken once per span *tree*, not
 /// once per span).
@@ -360,7 +393,7 @@ thread_local! {
 /// Turns recording on (idempotent). Sets the trace epoch on first use so
 /// Chrome-trace timestamps are relative to the first `enable`.
 pub fn enable() {
-    let mut store = STORE.lock().unwrap();
+    let mut store = lock_store();
     if store.epoch.is_none() {
         store.epoch = Some(Instant::now());
     }
@@ -390,7 +423,7 @@ pub fn reset() {
         tls.hists.clear();
         tls.events.clear();
     });
-    let mut store = STORE.lock().unwrap();
+    let mut store = lock_store();
     store.spans.clear();
     store.counters.clear();
     store.hists.clear();
@@ -557,7 +590,7 @@ fn flush(tls: &mut Tls) {
     if tls.spans.is_empty() && tls.counters.is_empty() && tls.hists.is_empty() {
         return;
     }
-    let mut store = STORE.lock().unwrap();
+    let mut store = lock_store();
     for (path, stat) in std::mem::take(&mut tls.spans) {
         store.spans.entry(path).or_default().absorb(&stat);
     }
@@ -647,7 +680,7 @@ pub fn capture() -> Snapshot {
             flush(&mut tls);
         }
     });
-    let store = STORE.lock().unwrap();
+    let store = lock_store();
     let epoch = store.epoch;
     let mut roots: Vec<SpanNode> = Vec::new();
     for (path, stat) in &store.spans {
@@ -1111,6 +1144,32 @@ mod tests {
         assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
         // Two span occurrences → two complete events.
         assert_eq!(chrome.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn poisoned_store_does_not_kill_the_recorder() {
+        let _g = locked();
+        reset();
+        enable();
+        // Poison the global store: a thread panics while holding the lock.
+        let poison = std::thread::spawn(|| {
+            let _guard = STORE.lock().unwrap();
+            panic!("deliberate poison while holding STORE");
+        });
+        assert!(poison.join().is_err());
+        assert!(STORE.is_poisoned());
+        // Recording and capture must keep working on the recovered guard.
+        counter("survived", 2);
+        record_hist("lat_ns", 42);
+        {
+            let _sp = span("after-poison");
+        }
+        disable();
+        let snap = capture();
+        assert_eq!(snap.counters, vec![("survived".to_string(), 2)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+        assert_eq!(snap.spans[0].name, "after-poison");
     }
 
     #[test]
