@@ -97,6 +97,29 @@ impl Client {
         }
     }
 
+    /// Fetches the Prometheus-style exposition (metrics v2) over the wire —
+    /// the same text body the HTTP `GET /metrics` responder serves.
+    pub fn metrics_v2(&mut self) -> Result<String, WireError> {
+        match self.request(&Request::MetricsV2)? {
+            Reply::MetricsV2(text) => Ok(text),
+            Reply::Error(msg) => Err(WireError::Remote(msg)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected reply to metrics-v2: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the flight-recorder ring as a `cc-flight/v1` JSON document.
+    pub fn flight_dump(&mut self) -> Result<String, WireError> {
+        match self.request(&Request::FlightDump)? {
+            Reply::FlightDump(json) => Ok(json),
+            Reply::Error(msg) => Err(WireError::Remote(msg)),
+            other => Err(WireError::Malformed(format!(
+                "unexpected reply to flight-dump: {other:?}"
+            ))),
+        }
+    }
+
     /// Sends an admin request ([`Request::ApplyDelta`] /
     /// [`Request::SwapSnapshot`]) and returns the server's confirmation.
     pub fn admin(&mut self, request: &Request) -> Result<String, WireError> {
@@ -119,6 +142,31 @@ impl Client {
             ))),
         }
     }
+}
+
+/// Scrapes `GET /metrics` from a daemon's HTTP metrics listener
+/// (`serve --metrics-addr`) and returns the exposition body — the tiny
+/// curl-free HTTP client behind `ccapsp serve-admin scrape` and the CI
+/// smoke step. Fails on any non-200 status line.
+pub fn scrape_http_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: ccapsp\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP header terminator")
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape failed: {status}"),
+        ));
+    }
+    Ok(body.to_string())
 }
 
 /// Drives a served snapshot over TCP with `conns` concurrent connections,

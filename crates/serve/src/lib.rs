@@ -31,7 +31,11 @@
 //!   slow-reader disconnects, and blue/green swaps while serving;
 //! * [`client`] — the blocking client, the multi-connection networked
 //!   loadgen ([`client::drive_network`], fingerprint-compatible with
-//!   [`loadgen::drive`]), and the [`client::chaos`] protocol-abuse suite.
+//!   [`loadgen::drive`]), and the [`client::chaos`] protocol-abuse suite;
+//! * [`telemetry`] — the daemon's live telemetry block (rolling-window
+//!   QPS/latency, gauges, flight recorder) and the Prometheus-style text
+//!   exposition behind the Metrics-v2 frame and the `GET /metrics` HTTP
+//!   responder.
 //!
 //! The serving invariant mirrors the compute layers' parallelism contract:
 //! for a fixed snapshot and [`loadgen::LoadSpec`] (and, on the write path,
@@ -68,6 +72,7 @@ pub mod loadgen;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod telemetry;
 pub mod wire;
 
 pub use cc_bench::report;

@@ -36,7 +36,7 @@
 //!   not dropped.
 
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -48,6 +48,7 @@ use cc_par::ExecPolicy;
 
 use crate::service::{OracleService, Query, SnapshotId};
 use crate::snapshot::Snapshot;
+use crate::telemetry::{prometheus_text, ServeTelemetry};
 use crate::wire::{self, Frame, Reply, Request, ServeInfo, WireError};
 
 /// How often blocked reads/receives re-check the stop flag.
@@ -68,6 +69,13 @@ pub struct ServerConfig {
     /// Bounded per-connection outbound queue (frames); a slow reader that
     /// fills it is disconnected.
     pub writer_cap: usize,
+    /// Slow-query threshold in microseconds for the flight-recorder log;
+    /// 0 disables the slow-query log (`serve --slow-query-us`).
+    pub slow_query_us: u64,
+    /// When set, a second listener serves plain-HTTP `GET /metrics` with
+    /// the Prometheus-style exposition (`serve --metrics-addr`); port 0
+    /// binds an ephemeral port ([`ServerHandle::metrics_addr`]).
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +86,8 @@ impl Default for ServerConfig {
             batch_max: 4096,
             frame_cap: wire::DEFAULT_FRAME_CAP,
             writer_cap: 128,
+            slow_query_us: 0,
+            metrics_addr: None,
         }
     }
 }
@@ -141,10 +151,13 @@ fn write_recovering(l: &RwLock<OracleService>) -> std::sync::RwLockWriteGuard<'_
 /// [`ServerHandle::shutdown`] or [`ServerHandle::wait`].
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    telemetry: Arc<ServeTelemetry>,
     listener_thread: Option<JoinHandle<()>>,
     batcher_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 /// Namespace for [`Server::spawn`].
@@ -163,18 +176,40 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        let telemetry = Arc::new(ServeTelemetry::new(cfg.slow_query_us));
         let service = Arc::new(RwLock::new(service));
         let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(cfg.queue_cap);
+
+        // The optional second listener: plain-HTTP `GET /metrics` with the
+        // Prometheus-style exposition, so a stock scraper can poll without
+        // speaking the wire protocol.
+        let (metrics_addr, metrics_thread) = match cfg.metrics_addr {
+            None => (None, None),
+            Some(addr) => {
+                let metrics_listener = TcpListener::bind(addr)?;
+                let bound = metrics_listener.local_addr()?;
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                let telemetry = Arc::clone(&telemetry);
+                let service = Arc::clone(&service);
+                let thread = std::thread::spawn(move || {
+                    metrics_http_loop(metrics_listener, &stop, &service, &stats, &telemetry)
+                });
+                (Some(bound), Some(thread))
+            }
+        };
 
         let batcher_thread = {
             let service = Arc::clone(&service);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || batcher_loop(job_rx, &service, &stats, cfg))
+            let telemetry = Arc::clone(&telemetry);
+            std::thread::spawn(move || batcher_loop(job_rx, &service, &stats, &telemetry, cfg))
         };
 
         let listener_thread = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let telemetry = Arc::clone(&telemetry);
             std::thread::spawn(move || {
                 let mut conns: Vec<JoinHandle<()>> = Vec::new();
                 for incoming in listener.incoming() {
@@ -186,6 +221,7 @@ impl Server {
                     let ctx = ConnCtx {
                         stop: Arc::clone(&stop),
                         stats: Arc::clone(&stats),
+                        telemetry: Arc::clone(&telemetry),
                         service: Arc::clone(&service),
                         job_tx: job_tx.clone(),
                         cfg,
@@ -208,10 +244,13 @@ impl Server {
 
         Ok(ServerHandle {
             local_addr,
+            metrics_addr,
             stop,
             stats,
+            telemetry,
             listener_thread: Some(listener_thread),
             batcher_thread: Some(batcher_thread),
+            metrics_thread,
         })
     }
 }
@@ -225,6 +264,18 @@ impl ServerHandle {
     /// The server's monotone counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The server's live telemetry block (rolling windows, gauges, flight
+    /// recorder).
+    pub fn telemetry(&self) -> &ServeTelemetry {
+        &self.telemetry
+    }
+
+    /// The bound `GET /metrics` HTTP address (resolves port 0), when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Whether a stop was requested (via [`ServerHandle::shutdown`] or a
@@ -250,13 +301,19 @@ impl ServerHandle {
     }
 
     fn finish(&mut self) {
-        // Unblock accept: the listener checks the stop flag per iteration,
-        // so one throwaway connection gets it past the blocking call.
+        // Unblock accept: the listeners check the stop flag per iteration,
+        // so one throwaway connection gets each past the blocking call.
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
         if let Some(h) = self.listener_thread.take() {
             let _ = h.join();
         }
         if let Some(h) = self.batcher_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_thread.take() {
             let _ = h.join();
         }
     }
@@ -266,20 +323,32 @@ impl ServerHandle {
 struct ConnCtx {
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    telemetry: Arc<ServeTelemetry>,
     service: Arc<RwLock<OracleService>>,
     job_tx: SyncSender<Job>,
     cfg: ServerConfig,
     local_addr: SocketAddr,
 }
 
+/// Per-connection accounting, shared between the reader and writer threads
+/// and reported in the connection's `conn-drop` flight event.
+#[derive(Debug, Default)]
+struct ConnTally {
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames: AtomicU64,
+}
+
 /// An `io::Read` over a TCP stream that absorbs read timeouts: it polls
 /// every [`POLL`] and fails with [`std::io::ErrorKind::ConnectionAborted`]
 /// once the stop flag is set, preserving partially-read frames in the
 /// caller's buffer — so neither a half-sent frame nor an idle client can
-/// hang shutdown.
+/// hang shutdown. Read bytes are tallied per connection and daemon-wide.
 struct PollingReader<'a> {
     stream: &'a TcpStream,
     stop: &'a AtomicBool,
+    tally: &'a ConnTally,
+    telemetry: &'a ServeTelemetry,
 }
 
 impl Read for PollingReader<'_> {
@@ -297,6 +366,13 @@ impl Read for PollingReader<'_> {
                         ));
                     }
                 }
+                Ok(k) => {
+                    self.tally.bytes_in.fetch_add(k as u64, Ordering::Relaxed);
+                    self.telemetry
+                        .bytes_in
+                        .fetch_add(k as u64, Ordering::Relaxed);
+                    return Ok(k);
+                }
                 other => return other,
             }
         }
@@ -312,15 +388,25 @@ fn connection_loop(stream: TcpStream, ctx: ConnCtx) {
         Ok(s) => s,
         Err(_) => return,
     };
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    ctx.telemetry.connections_live.add(1);
+    ctx.telemetry.event("conn-accept", format!("peer {peer}"));
+    let tally = Arc::new(ConnTally::default());
     let (out_tx, out_rx) = std::sync::mpsc::sync_channel::<Frame>(ctx.cfg.writer_cap);
     let writer = {
         let stats = Arc::clone(&ctx.stats);
-        std::thread::spawn(move || writer_loop(writer_stream, out_rx, &stats))
+        let telemetry = Arc::clone(&ctx.telemetry);
+        let tally = Arc::clone(&tally);
+        std::thread::spawn(move || writer_loop(writer_stream, out_rx, &stats, &telemetry, &tally))
     };
 
     let mut reader = PollingReader {
         stream: &stream,
         stop: &ctx.stop,
+        tally: &tally,
+        telemetry: &ctx.telemetry,
     };
     loop {
         let frame = match wire::read_frame(&mut reader, ctx.cfg.frame_cap) {
@@ -331,16 +417,21 @@ fn connection_loop(stream: TcpStream, ctx: ConnCtx) {
                 // Corrupt or malformed bytes: framing is unrecoverable, so
                 // answer with a typed error frame and close.
                 ctx.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = out_tx.try_send(Reply::Error(e.to_string()).to_frame());
+                ctx.telemetry
+                    .event("wire-error", format!("peer {peer}: {e}"));
+                enqueue(&out_tx, Reply::Error(e.to_string()).to_frame(), &ctx);
                 break;
             }
         };
         ctx.stats.frames.fetch_add(1, Ordering::Relaxed);
+        tally.frames.fetch_add(1, Ordering::Relaxed);
         let request = match Request::from_frame(&frame) {
             Ok(r) => r,
             Err(e) => {
                 ctx.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = out_tx.try_send(Reply::Error(e.to_string()).to_frame());
+                ctx.telemetry
+                    .event("wire-error", format!("peer {peer}: {e}"));
+                enqueue(&out_tx, Reply::Error(e.to_string()).to_frame(), &ctx);
                 break;
             }
         };
@@ -355,6 +446,29 @@ fn connection_loop(stream: TcpStream, ctx: ConnCtx) {
     drop(out_tx);
     let _ = writer.join();
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    ctx.telemetry.connections_live.sub(1);
+    ctx.telemetry.event(
+        "conn-drop",
+        format!(
+            "peer {peer} bytes_in={} bytes_out={} frames={}",
+            tally.bytes_in.load(Ordering::Relaxed),
+            tally.bytes_out.load(Ordering::Relaxed),
+            tally.frames.load(Ordering::Relaxed),
+        ),
+    );
+}
+
+/// Best-effort enqueue onto the writer queue, keeping the occupancy gauge
+/// honest: the writer decrements per frame it drains, so inc-on-success
+/// here makes the gauge's high-water the queue-depth peak.
+fn enqueue(out_tx: &SyncSender<Frame>, frame: Frame, ctx: &ConnCtx) -> bool {
+    match out_tx.try_send(frame) {
+        Ok(()) => {
+            ctx.telemetry.writer_queue.add(1);
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 /// Dispatches one decoded request. Returns `false` when the connection
@@ -365,17 +479,28 @@ fn handle_request(request: Request, ctx: &ConnCtx, out_tx: &SyncSender<Frame>) -
             ctx.stats
                 .queries
                 .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            let queued = queries.len() as u64;
             let job = Job {
                 name,
                 queries,
                 reply: out_tx.clone(),
             };
             match ctx.job_tx.try_send(job) {
-                Ok(()) => true,
+                Ok(()) => {
+                    ctx.telemetry.queue_depth.add(1);
+                    true
+                }
                 Err(TrySendError::Full(_)) => {
                     // Admission control: reject now, with the queue depth,
                     // instead of buffering without bound.
                     ctx.stats.overloads.fetch_add(1, Ordering::Relaxed);
+                    ctx.telemetry.event(
+                        "overload",
+                        format!(
+                            "rejected batch of {queued} (queue_cap={})",
+                            ctx.cfg.queue_cap
+                        ),
+                    );
                     send_or_close(out_tx, Reply::Overload(ctx.cfg.queue_cap as u64), ctx)
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -389,6 +514,16 @@ fn handle_request(request: Request, ctx: &ConnCtx, out_tx: &SyncSender<Frame>) -
                 svc.metrics_text()
             } + &ctx.stats.text();
             send_or_close(out_tx, Reply::Metrics(text), ctx)
+        }
+        Request::MetricsV2 => {
+            let text = {
+                let svc = read_recovering(&ctx.service);
+                prometheus_text(&svc, &ctx.stats, &ctx.telemetry)
+            };
+            send_or_close(out_tx, Reply::MetricsV2(text), ctx)
+        }
+        Request::FlightDump => {
+            send_or_close(out_tx, Reply::FlightDump(ctx.telemetry.flight_json()), ctx)
         }
         Request::Info { name } => {
             let svc = read_recovering(&ctx.service);
@@ -419,6 +554,8 @@ fn handle_request(request: Request, ctx: &ConnCtx, out_tx: &SyncSender<Frame>) -
                     match svc.apply_delta(&name, &delta) {
                         Ok(id) => {
                             let (_, version) = svc.label(id);
+                            ctx.telemetry
+                                .event("delta-apply", format!("{name} now v{version}"));
                             Reply::AdminOk(format!("applied delta: {name} now v{version}"))
                         }
                         Err(e) => Reply::Error(e.to_string()),
@@ -434,6 +571,8 @@ fn handle_request(request: Request, ctx: &ConnCtx, out_tx: &SyncSender<Frame>) -
                     let mut svc = write_recovering(&ctx.service);
                     let id = svc.register(&name, snapshot);
                     let (_, version) = svc.label(id);
+                    ctx.telemetry
+                        .event("snapshot-swap", format!("{name} now v{version}"));
                     Reply::AdminOk(format!("swapped snapshot: {name} now v{version}"))
                 }
             };
@@ -441,8 +580,12 @@ fn handle_request(request: Request, ctx: &ConnCtx, out_tx: &SyncSender<Frame>) -
         }
         Request::Shutdown => {
             ctx.stop.store(true, Ordering::SeqCst);
-            // Unblock accept so the listener can wind down promptly.
+            ctx.telemetry.event("shutdown", "client shutdown frame");
+            // Unblock accept so the listeners can wind down promptly.
             let _ = TcpStream::connect(ctx.local_addr);
+            if let Some(addr) = ctx.cfg.metrics_addr {
+                let _ = TcpStream::connect(addr);
+            }
             send_or_close(out_tx, Reply::ShutdownOk, ctx);
             false
         }
@@ -452,26 +595,39 @@ fn handle_request(request: Request, ctx: &ConnCtx, out_tx: &SyncSender<Frame>) -
 /// Enqueues a direct reply; a full outbound queue means the client is not
 /// draining its socket, so the connection closes instead of blocking.
 fn send_or_close(out_tx: &SyncSender<Frame>, reply: Reply, ctx: &ConnCtx) -> bool {
-    match out_tx.try_send(reply.to_frame()) {
-        Ok(()) => true,
-        Err(_) => {
-            ctx.stats.slow_closes.fetch_add(1, Ordering::Relaxed);
-            false
-        }
+    if enqueue(out_tx, reply.to_frame(), ctx) {
+        true
+    } else {
+        ctx.stats.slow_closes.fetch_add(1, Ordering::Relaxed);
+        ctx.telemetry.event("slow-close", "outbound queue full");
+        false
     }
 }
 
 /// Writes queued frames until the channel disconnects or the socket dies.
-fn writer_loop(mut stream: TcpStream, out_rx: Receiver<Frame>, stats: &ServerStats) {
+fn writer_loop(
+    mut stream: TcpStream,
+    out_rx: Receiver<Frame>,
+    stats: &ServerStats,
+    telemetry: &ServeTelemetry,
+    tally: &ConnTally,
+) {
     while let Ok(frame) = out_rx.recv() {
+        telemetry.writer_queue.sub(1);
         if wire::write_frame(&mut stream, &frame).is_err() {
             // Write timeout or reset: the peer stopped draining. Drain the
             // channel so enqueued replies drop instead of blocking senders.
             stats.slow_closes.fetch_add(1, Ordering::Relaxed);
+            telemetry.event("slow-close", "write stalled; dropping backlog");
             let _ = stream.shutdown(std::net::Shutdown::Both);
-            while out_rx.recv().is_ok() {}
+            while out_rx.recv().is_ok() {
+                telemetry.writer_queue.sub(1);
+            }
             return;
         }
+        let wrote = (wire::HEADER_LEN + frame.payload.len()) as u64;
+        tally.bytes_out.fetch_add(wrote, Ordering::Relaxed);
+        telemetry.bytes_out.fetch_add(wrote, Ordering::Relaxed);
     }
 }
 
@@ -481,6 +637,7 @@ fn batcher_loop(
     job_rx: Receiver<Job>,
     service: &RwLock<OracleService>,
     stats: &ServerStats,
+    telemetry: &ServeTelemetry,
     cfg: ServerConfig,
 ) {
     loop {
@@ -490,18 +647,23 @@ fn batcher_loop(
             // Every sender (connection) is gone; nothing can arrive.
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        telemetry.queue_depth.sub(1);
         let mut jobs = vec![first];
         let mut total: usize = jobs[0].queries.len();
         while total < cfg.batch_max {
             match job_rx.try_recv() {
                 Ok(job) => {
+                    telemetry.queue_depth.sub(1);
                     total += job.queries.len();
                     jobs.push(job);
                 }
                 Err(_) => break,
             }
         }
-        run_jobs(jobs, service, stats, cfg.exec);
+        // Occupancy gauge: how full this coalesced sweep was (high-water =
+        // the best coalescing the batcher ever achieved).
+        telemetry.batch_fill.set(total as u64);
+        run_jobs(jobs, service, stats, telemetry, cfg.exec);
     }
 }
 
@@ -513,6 +675,7 @@ fn run_jobs(
     jobs: Vec<Job>,
     service: &RwLock<OracleService>,
     stats: &ServerStats,
+    telemetry: &ServeTelemetry,
     exec: ExecPolicy,
 ) {
     let svc = read_recovering(service);
@@ -551,6 +714,10 @@ fn run_jobs(
             .collect();
         let outcome = svc.run_batch(id, &all, exec);
         stats.sweeps.fetch_add(1, Ordering::Relaxed);
+        // Rolling-window latency/QPS accounting and the slow-query log; a
+        // post-pass in query order, so the windows' contents don't depend
+        // on the sweep's thread interleaving.
+        telemetry.record_sweep(&all, &outcome.latencies_ns);
         let mut offset = 0;
         for &ji in &job_idxs {
             let len = jobs[ji].queries.len();
@@ -564,7 +731,80 @@ fn run_jobs(
         if let Some(frame) = reply {
             // A full/closed writer queue means the connection is dying; the
             // response drops with it (the client never sees a wrong one).
-            let _ = job.reply.try_send(frame);
+            if job.reply.try_send(frame).is_ok() {
+                telemetry.writer_queue.add(1);
+            }
         }
     }
+}
+
+/// The `GET /metrics` HTTP responder: a deliberately tiny HTTP/1.1 server
+/// over std TCP (the workspace vendors no HTTP stack) that answers every
+/// request with `Connection: close`. Anything that is not a `GET /metrics`
+/// gets a 404; unparseable requests get a 400. The accept loop re-checks
+/// the stop flag per connection, and [`ServerHandle::finish`] unblocks it
+/// with a throwaway connection, mirroring the wire listener.
+fn metrics_http_loop(
+    listener: TcpListener,
+    stop: &AtomicBool,
+    service: &RwLock<OracleService>,
+    stats: &ServerStats,
+    telemetry: &ServeTelemetry,
+) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        serve_one_scrape(stream, service, stats, telemetry);
+    }
+}
+
+/// Handles one scrape connection inline (scrapes are rare and cheap; no
+/// per-connection thread needed).
+fn serve_one_scrape(
+    mut stream: TcpStream,
+    service: &RwLock<OracleService>,
+    stats: &ServerStats,
+    telemetry: &ServeTelemetry,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read until the header terminator, bounded: a scrape request that
+    // doesn't fit 4 KiB is not a scrape request.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let request_line = loop {
+        if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break String::from_utf8_lossy(&buf[..end]).into_owned();
+        }
+        if buf.len() > 4096 {
+            break String::new();
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break String::new(),
+            Ok(k) => buf.extend_from_slice(&chunk[..k]),
+        }
+    };
+    let target = request_line
+        .lines()
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .collect::<Vec<_>>();
+    let (status, body) = match target.as_slice() {
+        ["GET", "/metrics", ..] => {
+            let svc = read_recovering(service);
+            ("200 OK", prometheus_text(&svc, stats, telemetry))
+        }
+        ["GET", ..] => ("404 Not Found", "only GET /metrics is served\n".into()),
+        _ => ("400 Bad Request", "malformed request\n".into()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }

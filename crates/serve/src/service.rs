@@ -306,6 +306,7 @@ pub struct OracleService {
     cfg: ServiceConfig,
     entries: Vec<Entry>,
     by_name: HashMap<String, Vec<usize>>,
+    started: Instant,
 }
 
 impl std::fmt::Debug for OracleService {
@@ -330,7 +331,27 @@ impl OracleService {
             cfg,
             entries: Vec::new(),
             by_name: HashMap::new(),
+            started: Instant::now(),
         }
+    }
+
+    /// Seconds since this service was constructed — the daemon's uptime,
+    /// reported by [`OracleService::metrics_text`] and the Prometheus-style
+    /// exposition so a scraper can spot restarts.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Every registered snapshot id (all names, all versions), in
+    /// registration order. The exposition renderers iterate this.
+    pub fn ids(&self) -> impl Iterator<Item = SnapshotId> + '_ {
+        (0..self.entries.len()).map(SnapshotId)
+    }
+
+    /// Canonical backend-kind name (`dense` | `landmark`) of a registered
+    /// snapshot — lets a scraper tell a dense daemon from a landmark one.
+    pub fn backend_kind(&self, id: SnapshotId) -> &'static str {
+        self.entries[id.0].oracle.backend().kind().name()
     }
 
     /// Convenience: a default-tuned service with `snapshot` registered as
@@ -603,14 +624,17 @@ impl OracleService {
     /// endpoint (ROADMAP item 1).
     pub fn metrics_text(&self) -> String {
         let mut out = String::from("== serve metrics ==\n");
+        out.push_str(&format!("uptime    {:.1}s\n", self.uptime_secs()));
         for (idx, e) in self.entries.iter().enumerate() {
             let id = SnapshotId(idx);
             out.push_str(&format!(
-                "snapshot {name} v{version} n={n} algo={algo}\n",
+                "snapshot {name} v{version} n={n} algo={algo} backend={backend} mem_bytes={mem}\n",
                 name = e.name,
                 version = e.version,
                 n = e.oracle.graph().n(),
                 algo = e.meta.algo,
+                backend = self.backend_kind(id),
+                mem = self.estimate_mem_bytes(id),
             ));
             for (ti, stats) in self.query_type_stats(id).iter().enumerate() {
                 out.push_str(&format!(

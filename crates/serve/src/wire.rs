@@ -148,7 +148,7 @@ impl From<ReadError> for WireError {
     }
 }
 
-/// Frame discriminants. Requests are 1–6, replies 17–23, so a stray reply
+/// Frame discriminants. Requests are 1–8, replies 17–25, so a stray reply
 /// can never be mistaken for a request (and vice versa).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
@@ -165,6 +165,11 @@ pub enum FrameKind {
     SwapSnapshot = 5,
     /// Client → server: drain and stop the server.
     Shutdown = 6,
+    /// Client → server: request the Prometheus-style exposition
+    /// (metrics v2: rolling-window rates, gauges, per-snapshot families).
+    MetricsV2 = 7,
+    /// Client → server: request the flight-recorder ring as JSON.
+    FlightDump = 8,
     /// Server → client: the responses to a [`FrameKind::Batch`], in order.
     BatchOk = 17,
     /// Server → client: the metrics report body.
@@ -179,6 +184,10 @@ pub enum FrameKind {
     Error = 22,
     /// Server → client: shutdown acknowledged; the server is draining.
     ShutdownOk = 23,
+    /// Server → client: the Prometheus-style exposition body.
+    MetricsV2Ok = 24,
+    /// Server → client: the flight-recorder JSON document.
+    FlightDumpOk = 25,
 }
 
 impl FrameKind {
@@ -190,6 +199,8 @@ impl FrameKind {
             4 => FrameKind::ApplyDelta,
             5 => FrameKind::SwapSnapshot,
             6 => FrameKind::Shutdown,
+            7 => FrameKind::MetricsV2,
+            8 => FrameKind::FlightDump,
             17 => FrameKind::BatchOk,
             18 => FrameKind::MetricsOk,
             19 => FrameKind::InfoOk,
@@ -197,6 +208,8 @@ impl FrameKind {
             21 => FrameKind::Overload,
             22 => FrameKind::Error,
             23 => FrameKind::ShutdownOk,
+            24 => FrameKind::MetricsV2Ok,
+            25 => FrameKind::FlightDumpOk,
             _ => return None,
         })
     }
@@ -384,6 +397,14 @@ pub enum Request {
     /// Drain in-flight work and stop the server; answered by
     /// [`Reply::ShutdownOk`].
     Shutdown,
+    /// Request the Prometheus-style exposition (rolling-window QPS,
+    /// latency quantiles, gauges, per-snapshot families); answered by
+    /// [`Reply::MetricsV2`]. Same body as the HTTP `GET /metrics`
+    /// responder.
+    MetricsV2,
+    /// Request the flight-recorder ring of recent structured events as a
+    /// `cc-flight/v1` JSON document; answered by [`Reply::FlightDump`].
+    FlightDump,
 }
 
 /// Serving info for one snapshot, carried by [`Reply::Info`].
@@ -424,6 +445,10 @@ pub enum Reply {
     Error(String),
     /// Shutdown acknowledged.
     ShutdownOk,
+    /// The Prometheus-style exposition body (metrics v2).
+    MetricsV2(String),
+    /// The flight-recorder ring as a `cc-flight/v1` JSON document.
+    FlightDump(String),
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -583,6 +608,8 @@ impl Request {
                 FrameKind::SwapSnapshot
             }
             Request::Shutdown => FrameKind::Shutdown,
+            Request::MetricsV2 => FrameKind::MetricsV2,
+            Request::FlightDump => FrameKind::FlightDump,
         };
         Frame { kind, payload }
     }
@@ -607,6 +634,8 @@ impl Request {
                 snapshot: take_bytes(&mut cur)?,
             },
             FrameKind::Shutdown => Request::Shutdown,
+            FrameKind::MetricsV2 => Request::MetricsV2,
+            FrameKind::FlightDump => Request::FlightDump,
             k => {
                 return Err(WireError::Malformed(format!(
                     "frame kind {:?} is not a request",
@@ -655,6 +684,14 @@ impl Reply {
                 FrameKind::Error
             }
             Reply::ShutdownOk => FrameKind::ShutdownOk,
+            Reply::MetricsV2(text) => {
+                put_str(&mut payload, text);
+                FrameKind::MetricsV2Ok
+            }
+            Reply::FlightDump(json) => {
+                put_str(&mut payload, json);
+                FrameKind::FlightDumpOk
+            }
         };
         Frame { kind, payload }
     }
@@ -679,6 +716,8 @@ impl Reply {
             FrameKind::Overload => Reply::Overload(cur.u64()?),
             FrameKind::Error => Reply::Error(cur.str()?),
             FrameKind::ShutdownOk => Reply::ShutdownOk,
+            FrameKind::MetricsV2Ok => Reply::MetricsV2(cur.str()?),
+            FrameKind::FlightDumpOk => Reply::FlightDump(cur.str()?),
             k => {
                 return Err(WireError::Malformed(format!(
                     "frame kind {:?} is not a reply",
@@ -721,6 +760,8 @@ mod tests {
             snapshot: vec![9; 40],
         });
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::MetricsV2);
+        roundtrip_request(Request::FlightDump);
     }
 
     #[test]
@@ -746,6 +787,8 @@ mod tests {
             Reply::Overload(64),
             Reply::Error("unknown snapshot".into()),
             Reply::ShutdownOk,
+            Reply::MetricsV2("# TYPE ccapsp_qps gauge\nccapsp_qps{window=\"1s\"} 42\n".into()),
+            Reply::FlightDump("{\"schema\":\"cc-flight/v1\",\"count\":0,\"events\":[]}\n".into()),
         ] {
             let frame = reply.to_frame();
             let (decoded, _) = decode_frame(&frame.encode(), DEFAULT_FRAME_CAP).unwrap();

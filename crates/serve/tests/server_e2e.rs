@@ -14,7 +14,7 @@ use std::sync::Arc;
 use cc_dynamic::incremental::{DynamicConfig, IncrementalOracle};
 use cc_dynamic::update::{random_batch, MutationProfile};
 use cc_par::ExecPolicy;
-use cc_serve::client::{chaos, drive_network, Client};
+use cc_serve::client::{chaos, drive_network, scrape_http_metrics, Client};
 use cc_serve::loadgen::{drive, LoadSpec};
 use cc_serve::server::{Server, ServerConfig};
 use cc_serve::service::{OracleService, Query};
@@ -180,6 +180,146 @@ fn swap_and_delta_under_live_load() {
     for w in workers {
         w.join().expect("worker thread");
     }
+    handle.shutdown();
+}
+
+/// Validates Prometheus text-exposition grammar line by line: every line
+/// is a comment (`# ...`) or a sample `name[{label="value",...}] number`,
+/// and every sample's family was declared by a preceding `# TYPE` line.
+fn assert_exposition_grammar(text: &str) {
+    let mut declared: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().expect("family name after # TYPE");
+            let kind = parts.next().expect("kind after family");
+            assert!(
+                matches!(kind, "counter" | "gauge"),
+                "unknown metric kind in {line:?}"
+            );
+            declared.push(family);
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment form: {line:?}");
+        assert!(!line.is_empty(), "blank line in exposition");
+        let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            declared.contains(&name),
+            "sample {name:?} has no preceding # TYPE declaration"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "sample value not a number: {line:?}"
+        );
+        if let Some((_, labels)) = name_part.split_once('{') {
+            let labels = labels
+                .strip_suffix("\"}")
+                .expect("label list ends with a quoted value");
+            for pair in labels.split("\",") {
+                let (key, val) = pair.split_once("=\"").expect("label key=\"value\"");
+                assert!(
+                    !key.is_empty() && !key.contains('"'),
+                    "bad label in {line:?}"
+                );
+                assert!(!val.contains('"'), "unescaped quote in {line:?}");
+            }
+        }
+    }
+    assert!(!declared.is_empty(), "exposition declared no families");
+}
+
+/// The live-telemetry acceptance path end to end: a daemon with the
+/// metrics side-listener bound and a 1 µs slow-query threshold serves
+/// load, then answers `GET /metrics` over plain HTTP with a
+/// grammar-valid exposition carrying rolling QPS, per-type latency
+/// quantiles, and the snapshot-identity family; the Metrics-v2 wire frame
+/// returns the same document shape; the flight dump is valid JSON holding
+/// the expected event kinds; and a wrong HTTP path gets a 404.
+#[test]
+fn live_metrics_scrape_and_flight_dump() {
+    let (service, _) = OracleService::single(make_snapshot(SEED));
+    let cfg = ServerConfig {
+        exec: ExecPolicy::Seq,
+        slow_query_us: 1,
+        metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(service, "127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = handle.local_addr();
+    let metrics_addr = handle.metrics_addr().expect("metrics listener bound");
+
+    let spec = LoadSpec {
+        queries: 2_000,
+        batch: 128,
+        ..Default::default()
+    };
+    drive_network(addr, "default", &spec, 3).expect("networked loadgen");
+
+    // Plain-HTTP scrape: valid grammar plus the required families.
+    let text = scrape_http_metrics(metrics_addr).expect("GET /metrics");
+    assert_exposition_grammar(&text);
+    for family in [
+        "ccapsp_uptime_seconds",
+        "ccapsp_qps",
+        "ccapsp_qps_1s_peak",
+        "ccapsp_latency_us",
+        "ccapsp_snapshot_info",
+        "ccapsp_estimate_mem_bytes",
+        "ccapsp_connections_total",
+        "ccapsp_cache_hits_total",
+        "ccapsp_slow_queries_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "scrape missing family {family}:\n{text}"
+        );
+    }
+    use cc_serve::telemetry::{prom_label, prom_sum, prom_value};
+    for window in ["1s", "10s", "60s"] {
+        let qps = prom_value(&text, "ccapsp_qps", &[("window", window)]);
+        assert!(qps.is_some_and(|q| q >= 0.0), "qps window {window}");
+    }
+    assert!(prom_value(&text, "ccapsp_qps", &[("window", "1s")]).unwrap() > 0.0);
+    for quantile in ["0.5", "0.95", "0.99"] {
+        let p = prom_value(
+            &text,
+            "ccapsp_latency_us",
+            &[("type", "dist"), ("quantile", quantile)],
+        );
+        assert!(p.is_some_and(|v| v > 0.0), "dist latency q{quantile}");
+    }
+    assert_eq!(
+        prom_label(&text, "ccapsp_snapshot_info", "backend").as_deref(),
+        Some("dense")
+    );
+    assert!(prom_sum(&text, "ccapsp_slow_queries_total") > 0.0);
+
+    // The wire Metrics-v2 frame carries the same exposition shape.
+    let mut client = Client::connect(addr).expect("connect");
+    let wire_text = client.metrics_v2().expect("metrics-v2 frame");
+    assert_exposition_grammar(&wire_text);
+    assert!(prom_value(&wire_text, "ccapsp_qps_1s_peak", &[]).unwrap() > 0.0);
+
+    // Flight dump: valid JSON, expected event kinds, bounded ring.
+    let flight = client.flight_dump().expect("flight-dump frame");
+    cc_bench::envelope::validate_json(&flight).expect("flight dump is valid JSON");
+    assert!(flight.contains("\"kind\":\"conn-accept\""), "{flight}");
+    assert!(flight.contains("\"kind\":\"slow-query\""), "{flight}");
+
+    // Wrong path → 404; the daemon keeps serving afterwards.
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(metrics_addr).expect("connect http");
+        s.write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).expect("read");
+        assert!(reply.starts_with("HTTP/1.1 404"), "got: {reply}");
+    }
+    let text2 = scrape_http_metrics(metrics_addr).expect("scrape after 404");
+    assert!(text2.contains("ccapsp_uptime_seconds"));
+
     handle.shutdown();
 }
 

@@ -20,10 +20,15 @@
 //!                 [--write-ratio R] [--ops-per-batch K] [--profile P]
 //!                 [--addr HOST:PORT --conns C]           load-generate → BENCH_serve.json
 //! ccapsp serve <snap.ccsnap> [--addr HOST:PORT] [--name N] [--threads T]
-//!                 [--queue-cap Q] [--batch-max B]        TCP oracle daemon
-//! ccapsp serve-admin --addr HOST:PORT metrics|info|shutdown|
-//!                 apply-delta <d.ccdelta>|swap <s.ccsnap> [--name N]
-//!                                                        admin frames to a daemon
+//!                 [--queue-cap Q] [--batch-max B]
+//!                 [--metrics-addr HOST:PORT] [--slow-query-us N]
+//!                                                        TCP oracle daemon
+//! ccapsp serve-admin --addr HOST:PORT metrics|metrics-v2|info|shutdown|
+//!                 apply-delta <d.ccdelta>|swap <s.ccsnap>|
+//!                 flight-dump [--out FILE] [--name N]    admin frames to a daemon
+//! ccapsp serve-admin --metrics-addr HOST:PORT scrape     plain-HTTP /metrics scrape
+//! ccapsp top --addr HOST:PORT [--interval-ms N] [--frames K]
+//!                                                        live daemon dashboard
 //! ccapsp serve-chaos --addr HOST:PORT                    hostile-input survival check
 //! ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S]
 //!                 [--queries Q] [--sources S] [--threads T] [--out FILE]
@@ -60,14 +65,15 @@ use cc_graph::graph::Direction;
 use cc_graph::{apsp, io as gio, sssp, DistMatrix, Graph, INF};
 use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
-use cc_serve::client::{chaos, drive_network, Client};
+use cc_serve::client::{chaos, drive_network, scrape_http_metrics, Client};
 use cc_serve::loadgen::{drive, drive_readwrite, LoadSpec, ReadWriteSpec, Skew};
 use cc_serve::report::write_report;
 use cc_serve::report::BenchRecord;
 use cc_serve::server::{Server, ServerConfig};
 use cc_serve::service::{OracleService, Query, Response};
 use cc_serve::snapshot::{Snapshot, SnapshotMeta};
-use cc_serve::wire::Request;
+use cc_serve::telemetry::{prom_label, prom_sum, prom_value};
+use cc_serve::wire::{Request, WireError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
@@ -93,9 +99,11 @@ fn usage() -> ExitCode {
          ccapsp bench-oracle [graph.edges] [--n N] [--family F] [--seed S] [--queries Q] \
          [--sources S] [--threads T] [--out FILE]\n  \
          ccapsp serve <snap.ccsnap> [--addr HOST:PORT] [--name N] [--threads T] \
-         [--queue-cap Q] [--batch-max B]\n  \
-         ccapsp serve-admin --addr HOST:PORT metrics|info|shutdown|apply-delta <d.ccdelta>|\
-swap <s.ccsnap> [--name N]\n  \
+         [--queue-cap Q] [--batch-max B] [--metrics-addr HOST:PORT] [--slow-query-us N]\n  \
+         ccapsp serve-admin --addr HOST:PORT metrics|metrics-v2|info|shutdown|\
+apply-delta <d.ccdelta>|swap <s.ccsnap>|flight-dump [--out FILE] [--name N]\n  \
+         ccapsp serve-admin --metrics-addr HOST:PORT scrape\n  \
+         ccapsp top --addr HOST:PORT [--interval-ms N] [--frames K]\n  \
          ccapsp serve-chaos --addr HOST:PORT\n\
          every subcommand also accepts --trace <out.json> [--trace-format json|chrome] \
          (env defaults CC_TRACE / CC_TRACE_FORMAT) to dump the cc_obs span tree\n\
@@ -191,6 +199,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("serve-admin") => cmd_serve_admin(&args[1..]),
         Some("serve-chaos") => cmd_serve_chaos(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
             usage()
@@ -1064,6 +1073,19 @@ fn bench_serve_networked(
     let n = snapshot.n();
     let (service, id) = OracleService::single(snapshot);
     let reference = drive(&service, id, spec, exec);
+    // Scrape the daemon's Metrics-v2 exposition around the drive so the
+    // record carries live-telemetry extras (overload delta, 1s QPS peak).
+    let scrape = |what: &str| match Client::connect(addr)
+        .map_err(WireError::Io)
+        .and_then(|mut c| c.metrics_v2())
+    {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("warning: {what} metrics-v2 scrape of {addr} failed: {e}");
+            None
+        }
+    };
+    let before = scrape("pre-drive");
     let result = match drive_network(addr, name, spec, conns) {
         Ok(r) => r,
         Err(e) => {
@@ -1071,6 +1093,7 @@ fn bench_serve_networked(
             return ExitCode::FAILURE;
         }
     };
+    let after = scrape("post-drive");
     println!("daemon         {addr} ({conns} connections, snapshot {name:?})");
     println!(
         "queries        {} (batch {}, {:?})",
@@ -1093,7 +1116,18 @@ fn bench_serve_networked(
         return ExitCode::FAILURE;
     }
     println!("verified       networked responses bit-identical to in-process run_batch");
-    if let Err(e) = write_report(out, &[result.to_record("serve_net", n)]) {
+    let mut record = result.to_record("serve_net", n);
+    if let (Some(before), Some(after)) = (&before, &after) {
+        let overloads =
+            prom_sum(after, "ccapsp_overloads_total") - prom_sum(before, "ccapsp_overloads_total");
+        let peak = prom_value(after, "ccapsp_qps_1s_peak", &[]).unwrap_or(0.0);
+        println!("daemon peak    {peak:.0} qps (1s) / {overloads:.0} overload rejections");
+        record.extras.push(("qps_1s_peak".into(), peak));
+        record
+            .extras
+            .push(("overload_rejections".into(), overloads));
+    }
+    if let Err(e) = write_report(out, &[record]) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -1108,6 +1142,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         "--threads",
         "--queue-cap",
         "--batch-max",
+        "--metrics-addr",
+        "--slow-query-us",
     ];
     let [path] = positionals(args, &flags)[..] else {
         return usage();
@@ -1120,18 +1156,31 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(exec) => exec,
         Err(code) => return code,
     };
+    let metrics_addr = match flag(args, "--metrics-addr") {
+        None => None,
+        Some(raw) => match raw.parse::<std::net::SocketAddr>() {
+            Ok(a) => Some(a),
+            Err(e) => {
+                eprintln!("--metrics-addr expects HOST:PORT, got {raw:?}: {e}");
+                return usage();
+            }
+        },
+    };
     let defaults = ServerConfig::default();
     let cfg = match (
         num_flag(args, "--queue-cap", defaults.queue_cap),
         num_flag(args, "--batch-max", defaults.batch_max),
+        num_flag(args, "--slow-query-us", defaults.slow_query_us),
     ) {
-        (Ok(queue_cap), Ok(batch_max)) => ServerConfig {
+        (Ok(queue_cap), Ok(batch_max), Ok(slow_query_us)) => ServerConfig {
             exec,
             queue_cap,
             batch_max,
+            slow_query_us,
+            metrics_addr,
             ..defaults
         },
-        (Err(code), _) | (_, Err(code)) => return code,
+        (Err(code), ..) | (_, Err(code), _) | (.., Err(code)) => return code,
     };
     let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7199");
     let name = flag(args, "--name").unwrap_or("default");
@@ -1149,6 +1198,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!("snapshot       {n} nodes, algo {algo}, served as {name:?}");
     println!("exec           {exec}");
     println!("listening      {}", handle.local_addr());
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics http   {maddr} (GET /metrics)");
+    }
     println!(
         "stop with      ccapsp serve-admin --addr {} shutdown",
         handle.local_addr()
@@ -1159,7 +1211,26 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 }
 
 fn cmd_serve_admin(args: &[String]) -> ExitCode {
-    let flags = ["--addr", "--name"];
+    let flags = ["--addr", "--name", "--out", "--metrics-addr"];
+    let positional = positionals(args, &flags);
+    // `scrape` talks plain HTTP to the metrics side-listener; every other
+    // action is a wire frame to the main --addr listener.
+    if positional[..] == ["scrape"] {
+        let Some(maddr) = flag(args, "--metrics-addr") else {
+            eprintln!("serve-admin scrape needs --metrics-addr HOST:PORT");
+            return usage();
+        };
+        return match scrape_http_metrics(maddr) {
+            Ok(body) => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot scrape http://{maddr}/metrics: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some(addr) = flag(args, "--addr") else {
         eprintln!("serve-admin needs --addr HOST:PORT");
         return usage();
@@ -1172,9 +1243,20 @@ fn cmd_serve_admin(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let positional = positionals(args, &flags);
     let outcome = match positional[..] {
         ["metrics"] => client.metrics().map(|text| print!("{text}")),
+        ["metrics-v2"] => client.metrics_v2().map(|text| print!("{text}")),
+        ["flight-dump"] => client
+            .flight_dump()
+            .and_then(|doc| match flag(args, "--out") {
+                None => {
+                    print!("{doc}");
+                    Ok(())
+                }
+                Some(path) => std::fs::write(path, &doc)
+                    .map(|()| println!("wrote          {path}"))
+                    .map_err(WireError::Io),
+            }),
         ["info"] => client.info(&name).map(|info| {
             println!("snapshot       {} v{}", info.name, info.version);
             println!("nodes          {}", info.n);
@@ -1208,8 +1290,8 @@ fn cmd_serve_admin(args: &[String]) -> ExitCode {
         },
         _ => {
             eprintln!(
-                "serve-admin expects one action: metrics|info|shutdown|\
-                 apply-delta <d.ccdelta>|swap <s.ccsnap>"
+                "serve-admin expects one action: metrics|metrics-v2|info|shutdown|\
+                 apply-delta <d.ccdelta>|swap <s.ccsnap>|flight-dump|scrape"
             );
             return usage();
         }
@@ -1244,6 +1326,120 @@ fn cmd_serve_chaos(args: &[String]) -> ExitCode {
     } else {
         eprintln!("chaos          {} scenario(s) failed", report.failed.len());
         ExitCode::FAILURE
+    }
+}
+
+/// One rendered frame of the `ccapsp top` dashboard, built from the
+/// daemon's Metrics-v2 exposition text.
+fn top_frame(addr: &str, text: &str, last_version: Option<f64>) -> Vec<String> {
+    let v = |family: &str, labels: &[(&str, &str)]| prom_value(text, family, labels).unwrap_or(0.0);
+    let uptime = v("ccapsp_uptime_seconds", &[]);
+    let name = prom_label(text, "ccapsp_snapshot_info", "name").unwrap_or_else(|| "default".into());
+    let version = prom_label(text, "ccapsp_snapshot_info", "version")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let swapped = last_version.is_some_and(|prev| prev != version);
+    let hits = prom_sum(text, "ccapsp_cache_hits_total");
+    let misses = prom_sum(text, "ccapsp_cache_misses_total");
+    let hit_rate = if hits + misses > 0.0 {
+        100.0 * hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let mut lines = vec![
+        format!(
+            "ccapsp top     {addr}   uptime {uptime:.0}s   snapshot {name:?} v{version:.0}{}",
+            if swapped { "  (version changed)" } else { "" }
+        ),
+        format!(
+            "qps            1s {:.0} / 10s {:.0} / 60s {:.0}   peak(1s) {:.0}",
+            v("ccapsp_qps", &[("window", "1s")]),
+            v("ccapsp_qps", &[("window", "10s")]),
+            v("ccapsp_qps", &[("window", "60s")]),
+            v("ccapsp_qps_1s_peak", &[]),
+        ),
+    ];
+    for ty in ["dist", "route", "knearest"] {
+        let q = |qs: &str| v("ccapsp_latency_us", &[("type", ty), ("quantile", qs)]);
+        lines.push(format!(
+            "{ty:<15}p50 {:.1} µs / p95 {:.1} µs / p99 {:.1} µs ({} in 60s)",
+            q("0.5"),
+            q("0.95"),
+            q("0.99"),
+            q("count") as u64,
+        ));
+    }
+    lines.push(format!(
+        "cache hit      {hit_rate:.1}%   connections {} live / {} total",
+        v("ccapsp_connections_live", &[]) as u64,
+        v("ccapsp_connections_total", &[]) as u64,
+    ));
+    lines.push(format!(
+        "pressure       overloads {} / slow queries {} / wire errors {}",
+        prom_sum(text, "ccapsp_overloads_total") as u64,
+        prom_sum(text, "ccapsp_slow_queries_total") as u64,
+        prom_sum(text, "ccapsp_wire_errors_total") as u64,
+    ));
+    lines
+}
+
+/// The `ccapsp top` live dashboard: poll the daemon's Metrics-v2 frame
+/// every `--interval-ms` and redraw a fixed block in place (ANSI
+/// cursor-up). `--frames K` bounds the number of polls (`0` = run until
+/// the daemon goes away or the user interrupts) so CI can take one frame.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("top needs --addr HOST:PORT");
+        return usage();
+    };
+    let interval_ms = match num_flag(args, "--interval-ms", 1000u64) {
+        Ok(ms) => ms.max(50),
+        Err(code) => return code,
+    };
+    let frames = match num_flag(args, "--frames", 0u64) {
+        Ok(k) => k,
+        Err(code) => return code,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut last_version: Option<f64> = None;
+    let mut drawn = 0usize;
+    let mut frame = 0u64;
+    loop {
+        let text = match client.metrics_v2() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("daemon {addr} went away: {e}");
+                return if frame > 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+        };
+        let lines = top_frame(addr, &text, last_version);
+        last_version = prom_label(&text, "ccapsp_snapshot_info", "version")
+            .and_then(|s| s.parse::<f64>().ok())
+            .or(last_version);
+        if drawn > 0 {
+            print!("\x1b[{drawn}A");
+        }
+        for line in &lines {
+            println!("\x1b[2K{line}");
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        drawn = lines.len();
+        frame += 1;
+        if frames > 0 && frame >= frames {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 

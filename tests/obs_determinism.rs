@@ -12,7 +12,9 @@ use cc_graph::graph::{Direction, Graph};
 use cc_graph::{apsp, NodeId, Weight};
 use cc_matrix::engine::KernelMode;
 use cc_par::ExecPolicy;
+use cc_serve::client::drive_network;
 use cc_serve::loadgen::{drive, LoadSpec, Skew};
+use cc_serve::server::{Server, ServerConfig};
 use cc_serve::service::OracleService;
 use cc_serve::snapshot::{Snapshot, SnapshotMeta};
 use proptest::prelude::*;
@@ -200,5 +202,61 @@ proptest! {
             // (An identity batch records no span, so >= 1 of the 2 batches.)
             prop_assert!(dyn_spans >= 1, "kernel={} spans={}", kernel, dyn_spans);
         }
+    }
+}
+
+/// The network serving path under *full* live telemetry — rolling-window
+/// recording, flight recorder, slow-query log armed at 1 µs (so nearly
+/// every query logs), a bound `/metrics` HTTP listener, plus `cc_obs`
+/// tracing toggled off-then-on — returns response fingerprints
+/// bit-identical to the in-process drive of the same spec, at thread
+/// counts {1, 4}. Telemetry is side-effect-only on the serving path.
+#[test]
+fn network_fingerprint_is_telemetry_invariant() {
+    let _guard = locked();
+    let mut rng = StdRng::seed_from_u64(0x0B5);
+    let g = cc_graph::generators::gnp_connected(40, 0.15, 1..=20, &mut rng);
+    let estimate = apsp::exact_apsp(&g);
+    let meta = SnapshotMeta {
+        algo: "exact".into(),
+        seed: 0x0B5,
+        stretch_bound: 1.0,
+        rounds: 0,
+        source: "obs-determinism".into(),
+    };
+    let snap = Snapshot::new(g, estimate, meta);
+    let spec = LoadSpec {
+        queries: 400,
+        batch: 64,
+        skew: Skew::Zipf(1.0),
+        k: 4,
+        seed: 0x0B5,
+        ..Default::default()
+    };
+    let (service, id) = OracleService::single(snap.clone());
+    let reference = drive(&service, id, &spec, ExecPolicy::Seq);
+
+    for threads in THREADS {
+        let (off, on, _) = off_then_on(|| {
+            let mut service = OracleService::default();
+            service.register("default", snap.clone());
+            let cfg = ServerConfig {
+                exec: ExecPolicy::with_threads(threads),
+                slow_query_us: 1,
+                metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+                ..ServerConfig::default()
+            };
+            let handle = Server::spawn(service, "127.0.0.1:0", cfg).expect("bind");
+            assert!(handle.metrics_addr().is_some(), "metrics listener bound");
+            let result =
+                drive_network(handle.local_addr(), "default", &spec, 3).expect("network drive");
+            // Telemetry observed the run before the daemon stops.
+            assert!(handle.telemetry().qps_1s_peak() > 0.0);
+            assert!(!handle.telemetry().flight.is_empty());
+            handle.shutdown();
+            result.fingerprint
+        });
+        assert_eq!(on, off, "threads={threads}");
+        assert_eq!(on, reference.fingerprint, "threads={threads}");
     }
 }

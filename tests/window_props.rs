@@ -1,0 +1,136 @@
+//! Property tests for the `cc_obs` windowed instruments behind the serving
+//! daemon's live telemetry: the rolling-histogram ring and the flight
+//! recorder. Everything here runs under an *injected* clock — timestamps
+//! are generated data, never wall time — so every property is exactly
+//! reproducible.
+//!
+//! The load-bearing invariant is the merge law the exposition layer relies
+//! on: recording a stream into one `RollingHistogram` is equivalent to
+//! sharding the stream arbitrarily (across shards, across real threads),
+//! recording each shard separately, and merging — epoch-boundary slot
+//! reclaims included.
+
+use cc_obs::{FlightRecorder, RollingHistogram};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const WIDTH_MS: u64 = 1_000;
+
+/// Strategy: a monotone-nondecreasing sample stream `(at_ms, value)` whose
+/// timestamps advance by 0..3 epochs per step, so streams routinely cross
+/// epoch boundaries and (with small slot counts) wrap the ring.
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..3 * WIDTH_MS, 0u64..50_000), 0..max_len).prop_map(|steps| {
+        let mut at = 0u64;
+        steps
+            .into_iter()
+            .map(|(delta, value)| {
+                at += delta;
+                (at, value)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Sharding a stream by an arbitrary mask and merging the per-shard
+    /// histograms reproduces the whole-stream histogram bit-for-bit, even
+    /// when the stream spans more epochs than the ring has slots (so slot
+    /// reclaims happen at different points in each shard).
+    #[test]
+    fn sharded_merge_equals_whole_stream(
+        stream in arb_stream(200),
+        mask in proptest::collection::vec(any::<bool>(), 200),
+        slots in 2usize..9,
+    ) {
+        let mut whole = RollingHistogram::new(WIDTH_MS, slots);
+        let mut left = RollingHistogram::new(WIDTH_MS, slots);
+        let mut right = RollingHistogram::new(WIDTH_MS, slots);
+        for (i, &(at, value)) in stream.iter().enumerate() {
+            whole.record(at, value);
+            if mask.get(i).copied().unwrap_or(false) {
+                left.record(at, value);
+            } else {
+                right.record(at, value);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        // The merged ring also answers window queries identically.
+        if let Some(&(now, _)) = stream.last() {
+            for window_ms in [WIDTH_MS, 10 * WIDTH_MS, 60 * WIDTH_MS] {
+                prop_assert_eq!(
+                    left.window(now, window_ms).count(),
+                    whole.window(now, window_ms).count(),
+                    "window_ms={}", window_ms
+                );
+            }
+        }
+    }
+
+    /// Recording the shards on real threads (each shard preserves the
+    /// stream's timestamp order) and merging under a lock gives the same
+    /// final state at every thread count — the instrument is deterministic
+    /// under an injected clock regardless of interleaving.
+    #[test]
+    fn threaded_shard_merge_is_thread_count_invariant(
+        stream in arb_stream(160),
+        slots in 2usize..9,
+    ) {
+        let mut expected = RollingHistogram::new(WIDTH_MS, slots);
+        for &(at, value) in &stream {
+            expected.record(at, value);
+        }
+        for threads in [1usize, 4] {
+            let merged = Arc::new(Mutex::new(RollingHistogram::new(WIDTH_MS, slots)));
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let merged = Arc::clone(&merged);
+                    let shard: Vec<(u64, u64)> = stream
+                        .iter()
+                        .skip(t)
+                        .step_by(threads)
+                        .copied()
+                        .collect();
+                    scope.spawn(move || {
+                        let mut local = RollingHistogram::new(WIDTH_MS, slots);
+                        for (at, value) in shard {
+                            local.record(at, value);
+                        }
+                        merged.lock().unwrap().merge(&local);
+                    });
+                }
+            });
+            let merged = Arc::try_unwrap(merged).unwrap().into_inner().unwrap();
+            prop_assert_eq!(&merged, &expected, "threads={}", threads);
+        }
+    }
+
+    /// The flight recorder's ring never loses the newest events: after any
+    /// event sequence it holds exactly the last `min(cap, recorded)` events
+    /// in order, with contiguous 1-based sequence numbers ending at the
+    /// total recorded count.
+    #[test]
+    fn flight_ring_wraparound_keeps_newest(
+        cap in 1usize..9,
+        kinds in proptest::collection::vec(0u8..4, 0..40),
+    ) {
+        let recorder = FlightRecorder::new(cap);
+        let names = ["conn-accept", "conn-drop", "overload", "slow-query"];
+        for (i, &k) in kinds.iter().enumerate() {
+            recorder.record(i as u64, names[k as usize], format!("event {i}"));
+        }
+        let events = recorder.snapshot();
+        prop_assert_eq!(recorder.recorded(), kinds.len() as u64);
+        prop_assert_eq!(events.len(), kinds.len().min(cap));
+        let first_kept = kinds.len() - events.len();
+        for (j, event) in events.iter().enumerate() {
+            let i = first_kept + j;
+            prop_assert_eq!(event.seq, i as u64 + 1, "seq is 1-based and contiguous");
+            prop_assert_eq!(event.at_ms, i as u64);
+            prop_assert_eq!(event.kind.as_str(), names[kinds[i] as usize]);
+        }
+    }
+}

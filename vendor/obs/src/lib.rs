@@ -60,6 +60,18 @@
 //! report, [`render_json`] as a nested JSON span-tree dump, and
 //! [`render_chrome`] as a Chrome-trace-format event file loadable in
 //! `chrome://tracing` or Perfetto.
+//!
+//! # Windowed instruments
+//!
+//! The [`window`] module adds the live-serving side of the house —
+//! [`Gauge`] levels with high-water marks, [`RollingHistogram`] sliding
+//! windows over epoch-bucket rings, and the [`FlightRecorder`] ring of
+//! recent structured events — as plain owned values driven by an injected
+//! clock, independent of the global recorder.
+
+pub mod window;
+
+pub use window::{render_flight_json, FlightEvent, FlightRecorder, Gauge, RollingHistogram};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -758,7 +770,7 @@ fn insert_path(roots: &mut Vec<SpanNode>, path: &str, stat: &SpanStat) {
 }
 
 /// Escapes `s` as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

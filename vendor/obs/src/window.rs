@@ -1,0 +1,455 @@
+//! Time-windowed instruments for live serving telemetry: [`Gauge`],
+//! [`RollingHistogram`], and the [`FlightRecorder`] ring of recent
+//! structured events.
+//!
+//! Unlike the process-global recorder in the crate root, these types are
+//! plain values the owner embeds and shares explicitly (the serving daemon
+//! holds them in its telemetry block) — nothing here touches the global
+//! store or the enabled flag, so they are always on and never interact
+//! with `--trace` capture.
+//!
+//! # Injected clocks
+//!
+//! Every time-dependent operation takes the current time as an explicit
+//! `now_ms` argument instead of reading a wall clock. Production callers
+//! pass milliseconds since their own epoch (the daemon uses
+//! `Instant::elapsed` from boot); tests pass synthetic timestamps, which
+//! makes windowed behavior — epoch rollover, ring reuse, rate math —
+//! fully deterministic and flake-free.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{json_string, Histogram};
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A point-in-time level with a high-water mark: queue depths, live
+/// connection counts, batch occupancy. All operations are lock-free
+/// (`Relaxed` atomics — gauges are statistics, never synchronization).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the level and advances the high-water mark.
+    pub fn add(&self, delta: u64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta` from the level, saturating at zero (a release
+    /// racing a reset must not wrap to 2⁶⁴).
+    pub fn sub(&self, delta: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(delta))
+            });
+    }
+
+    /// Sets the level outright and advances the high-water mark.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.high.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest level ever observed by `add`/`set`.
+    pub fn high_water(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RollingHistogram
+// ---------------------------------------------------------------------------
+
+/// A sliding-window histogram: a ring of fixed-width epoch buckets, each a
+/// full log₂ [`Histogram`], so any trailing window that is a whole number
+/// of epochs can be summarized by merging live buckets ([`Histogram::merge`]
+/// is commutative, so windowed merges equal whole-stream merges at epoch
+/// boundaries — property-tested in `tests/window_props.rs`).
+///
+/// Recording is epoch-keyed: a sample lands in the bucket of
+/// `now_ms / width_ms`, reclaiming the slot (ring index `epoch % len`) when
+/// its previous epoch has scrolled out of the window. A sample older than
+/// the epoch currently occupying its slot is dropped — the window it
+/// belonged to is gone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingHistogram {
+    width_ms: u64,
+    buckets: Vec<EpochBucket>,
+}
+
+/// One ring slot: the epoch it currently holds plus that epoch's samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct EpochBucket {
+    epoch: u64,
+    hist: Histogram,
+}
+
+impl RollingHistogram {
+    /// A ring of `slots` buckets, each covering `width_ms` milliseconds of
+    /// samples (so the longest representable window is `slots × width_ms`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width_ms` or `slots` is zero.
+    pub fn new(width_ms: u64, slots: usize) -> Self {
+        assert!(width_ms > 0, "epoch width must be positive");
+        assert!(slots > 0, "ring needs at least one slot");
+        Self {
+            width_ms,
+            buckets: vec![EpochBucket::default(); slots],
+        }
+    }
+
+    /// Epoch bucket width, milliseconds.
+    pub fn width_ms(&self) -> u64 {
+        self.width_ms
+    }
+
+    /// Ring capacity in epochs.
+    pub fn slots(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn slot_of(&self, epoch: u64) -> usize {
+        (epoch % self.buckets.len() as u64) as usize
+    }
+
+    /// Records one sample stamped `now_ms`. Samples whose epoch has already
+    /// scrolled out of the ring are dropped silently.
+    pub fn record(&mut self, now_ms: u64, value: u64) {
+        let epoch = now_ms / self.width_ms;
+        let slot = self.slot_of(epoch);
+        let bucket = &mut self.buckets[slot];
+        if bucket.epoch > epoch {
+            return; // the slot has been reclaimed by a newer epoch
+        }
+        if bucket.epoch < epoch {
+            bucket.epoch = epoch;
+            bucket.hist = Histogram::new();
+        }
+        bucket.hist.record(value);
+    }
+
+    /// Samples recorded in the (possibly partial) epoch containing
+    /// `now_ms`.
+    pub fn current_epoch_count(&self, now_ms: u64) -> u64 {
+        let epoch = now_ms / self.width_ms;
+        let bucket = &self.buckets[self.slot_of(epoch)];
+        if bucket.epoch == epoch {
+            bucket.hist.count()
+        } else {
+            0
+        }
+    }
+
+    /// Whether a bucket's epoch falls inside the trailing window of
+    /// `window_ms` ending at `now_ms` (the current partial epoch included).
+    fn in_window(&self, epoch: u64, now_ms: u64, window_ms: u64) -> bool {
+        let now_epoch = now_ms / self.width_ms;
+        let span = (window_ms / self.width_ms).max(1);
+        epoch <= now_epoch && epoch + span > now_epoch
+    }
+
+    /// Merges the buckets of the trailing `window_ms` window into one
+    /// [`Histogram`] for percentile queries. `window_ms` is rounded down to
+    /// whole epochs (minimum one).
+    pub fn window(&self, now_ms: u64, window_ms: u64) -> Histogram {
+        let mut merged = Histogram::new();
+        for bucket in &self.buckets {
+            if bucket.hist.count() > 0 && self.in_window(bucket.epoch, now_ms, window_ms) {
+                merged.merge(&bucket.hist);
+            }
+        }
+        merged
+    }
+
+    /// Samples in the trailing `window_ms` window (cheaper than
+    /// [`RollingHistogram::window`] when only the count is needed).
+    pub fn window_count(&self, now_ms: u64, window_ms: u64) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|b| self.in_window(b.epoch, now_ms, window_ms))
+            .map(|b| b.hist.count())
+            .sum()
+    }
+
+    /// The derived rate over the trailing window: samples per second.
+    /// This is the QPS read the exposition reports for 1 s/10 s/60 s.
+    pub fn rate_per_sec(&self, now_ms: u64, window_ms: u64) -> f64 {
+        let window_ms = window_ms.max(self.width_ms);
+        self.window_count(now_ms, window_ms) as f64 / (window_ms as f64 / 1e3)
+    }
+
+    /// Folds `other` into `self`, bucket-by-epoch: matching epochs merge
+    /// their histograms (commutative), a newer epoch reclaims the slot, an
+    /// older one is dropped — exactly the single-stream semantics, so
+    /// splitting a sample stream across rings and merging equals recording
+    /// the whole stream into one ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rings disagree on epoch width or slot count.
+    pub fn merge(&mut self, other: &RollingHistogram) {
+        assert_eq!(self.width_ms, other.width_ms, "epoch widths must match");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "ring sizes must match"
+        );
+        for theirs in &other.buckets {
+            if theirs.hist.count() == 0 && theirs.epoch == 0 {
+                continue; // untouched slot
+            }
+            let slot = self.slot_of(theirs.epoch);
+            let mine = &mut self.buckets[slot];
+            if mine.epoch == theirs.epoch {
+                mine.hist.merge(&theirs.hist);
+            } else if mine.epoch < theirs.epoch {
+                *mine = theirs.clone();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+/// One structured event in the flight ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Event timestamp, milliseconds on the owner's injected clock.
+    pub at_ms: u64,
+    /// Machine-readable event kind (`"conn-accept"`, `"overload"`, …).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A bounded ring buffer of recent [`FlightEvent`]s — the last N things
+/// that happened before a fault. Wraparound discards the *oldest* events;
+/// the newest are never lost (property-tested in `tests/window_props.rs`).
+/// Snapshot it on demand (`serve-admin flight-dump`) or on fault.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    state: Mutex<FlightState>,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    next_seq: u64,
+    ring: VecDeque<FlightEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightState> {
+        // Poison recovery, same rationale as the global store: telemetry
+        // must never amplify a crash, and a ring is valid at every push.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one event, evicting the oldest when the ring is full.
+    pub fn record(&self, at_ms: u64, kind: &str, detail: impl Into<String>) {
+        let mut state = self.lock();
+        state.next_seq += 1;
+        let seq = state.next_seq;
+        if state.ring.len() == self.cap {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(FlightEvent {
+            seq,
+            at_ms,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Events recorded so far (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Events currently in the ring.
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything has been evicted —
+    /// impossible, eviction only happens on insert).
+    pub fn is_empty(&self) -> bool {
+        self.lock().ring.is_empty()
+    }
+
+    /// The ring contents, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.lock().ring.iter().cloned().collect()
+    }
+}
+
+/// Renders flight events as a `cc-flight/v1` JSON document (same
+/// hand-rolled emission style as [`crate::render_json`]; validated by the
+/// workspace's shared JSON scanner).
+pub fn render_flight_json(events: &[FlightEvent]) -> String {
+    let body = events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"seq\":{},\"at_ms\":{},\"kind\":{},\"detail\":{}}}",
+                e.seq,
+                e.at_ms,
+                json_string(&e.kind),
+                json_string(&e.detail)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"schema\":\"cc-flight/v1\",\"count\":{},\"events\":[{}]}}\n",
+        events.len(),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(2);
+        g.sub(4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 5);
+        g.sub(10); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.set(4);
+        assert_eq!(g.get(), 4);
+        assert_eq!(g.high_water(), 5);
+        g.set(9);
+        assert_eq!(g.high_water(), 9);
+    }
+
+    #[test]
+    fn rolling_histogram_windows_and_rates() {
+        let mut r = RollingHistogram::new(1000, 8);
+        // Three epochs: 0, 1, 2 — two samples each.
+        for epoch in 0u64..3 {
+            r.record(epoch * 1000 + 10, 100 * (epoch + 1));
+            r.record(epoch * 1000 + 990, 100 * (epoch + 1));
+        }
+        let now = 2500; // inside epoch 2
+        assert_eq!(r.current_epoch_count(now), 2);
+        assert_eq!(r.window_count(now, 1000), 2); // epoch 2 only
+        assert_eq!(r.window_count(now, 2000), 4); // epochs 1..=2
+        assert_eq!(r.window_count(now, 60_000), 6); // everything
+        assert_eq!(r.rate_per_sec(now, 1000), 2.0);
+        assert_eq!(r.rate_per_sec(now, 2000), 2.0);
+        let w = r.window(now, 2000);
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.min(), 200);
+        assert_eq!(w.max(), 300);
+    }
+
+    #[test]
+    fn rolling_histogram_ring_reclaims_old_epochs() {
+        let mut r = RollingHistogram::new(1000, 4);
+        r.record(500, 1); // epoch 0
+        r.record(4500, 2); // epoch 4 → same slot as epoch 0, reclaims it
+        assert_eq!(r.window_count(4500, 60_000), 1);
+        assert_eq!(r.window(4500, 60_000).min(), 2);
+        // A sample from the evicted epoch is dropped, not resurrected.
+        r.record(600, 3);
+        assert_eq!(r.window_count(4500, 60_000), 1);
+    }
+
+    #[test]
+    fn rolling_merge_matches_whole_stream() {
+        let mut whole = RollingHistogram::new(100, 16);
+        let mut a = RollingHistogram::new(100, 16);
+        let mut b = RollingHistogram::new(100, 16);
+        for i in 0u64..300 {
+            let (ts, v) = (i * 7, i * 13 % 400);
+            whole.record(ts, v);
+            if i % 2 == 0 {
+                a.record(ts, v);
+            } else {
+                b.record(ts, v);
+            }
+        }
+        a.merge(&b);
+        let now = 299 * 7;
+        for window in [100, 300, 1000, 1600] {
+            assert_eq!(
+                a.window(now, window),
+                whole.window(now, window),
+                "window={window}"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_recorder_wraps_keeping_newest() {
+        let fr = FlightRecorder::new(3);
+        assert!(fr.is_empty());
+        for i in 0..5u64 {
+            fr.record(i * 10, "tick", format!("event {i}"));
+        }
+        assert_eq!(fr.recorded(), 5);
+        assert_eq!(fr.len(), 3);
+        let events = fr.snapshot();
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "oldest evicted, newest kept, in order"
+        );
+        assert_eq!(events[2].detail, "event 4");
+    }
+
+    #[test]
+    fn flight_json_is_balanced_and_escaped() {
+        let fr = FlightRecorder::new(4);
+        fr.record(1, "conn-drop", "peer \"weird\"\nbytes=2");
+        let doc = render_flight_json(&fr.snapshot());
+        assert!(doc.contains("\"schema\":\"cc-flight/v1\""));
+        assert!(doc.contains("\\\"weird\\\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}
